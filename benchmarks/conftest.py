@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the data behind one table or figure of the paper
+(see the experiment index in DESIGN.md).  Because a single experiment run is
+already an aggregate over several seeded simulations, each benchmark executes
+its experiment exactly once (``benchmark.pedantic`` with one round/iteration)
+and attaches the resulting rows to ``benchmark.extra_info`` so that the JSON
+output of ``pytest benchmarks/ --benchmark-only --benchmark-json=...``
+contains the reproduced series alongside the timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def attach_rows(benchmark, rows, *, title: str, columns=None) -> str:
+    """Record experiment rows in the benchmark metadata and return the table text."""
+    rows = list(rows)
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["title"] = title
+    text = format_table(rows, columns, title=title)
+    print("\n" + text)
+    return text
+
+
+@pytest.fixture
+def bench_table():
+    """Fixture exposing :func:`attach_rows` with a uniform signature."""
+    return attach_rows

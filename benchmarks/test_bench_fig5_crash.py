@@ -1,0 +1,39 @@
+"""Benchmark FIG5 — crash resilience (Figure 5).
+
+Regenerates the "percentage of devices that complete the protocol vs density
+of active devices" series for NeighborWatchRB, its 2-voting variant and
+MultiPathRB, on a scaled-down map.  Expected shape (as in the paper): every
+protocol improves with density; NeighborWatchRB needs the least density,
+MultiPathRB the most; crashes never cause incorrect deliveries.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import CrashResilienceSpec, run_crash_resilience
+
+
+def test_fig5_crash_resilience(benchmark):
+    spec = CrashResilienceSpec.small()
+    rows = run_once(benchmark, run_crash_resilience, spec)
+    attach_rows(
+        benchmark,
+        rows,
+        title="FIG5: completion vs active-device density",
+        columns=["protocol", "density", "completion_%", "correct_%", "rounds"],
+    )
+
+    by_key = {(r["protocol"], r["density"]) for r in rows}
+    assert len(by_key) == len(spec.protocols) * len(spec.densities)
+    # Crashes never violate authenticity.
+    assert all(r["correct_%"] >= 99.9 for r in rows)
+    for label, _proto, _t in spec.protocols:
+        series = sorted(
+            (r for r in rows if r["protocol"] == label), key=lambda r: r["density"]
+        )
+        # Completion improves (weakly, up to sampling noise) with density and is
+        # high at the densest point for the NeighborWatch variants.
+        assert series[-1]["completion_%"] >= series[0]["completion_%"] - 10.0
+        if "NeighborWatch" in label:
+            assert series[-1]["completion_%"] > 85.0

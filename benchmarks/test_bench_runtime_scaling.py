@@ -1,0 +1,93 @@
+"""Benchmark THM5 — running time scaling O(beta*D + log|Sigma|) (Theorem 5).
+
+Two controlled sweeps on the analytical grid validate the two terms of the
+bound separately:
+
+* fixing the adversary and growing the message length: the completion time
+  grows (at most) linearly in the number of message bits;
+* fixing the topology/message and growing the per-jammer budget beta: the
+  completion time grows (at most) linearly in beta.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import attach_rows, run_once
+
+from repro.adversary.placement import random_fault_selection
+from repro.sim.builder import run_scenario
+from repro.sim.config import FaultPlan, ScenarioConfig
+from repro.topology.deployment import grid_jittered_deployment
+
+
+def _sweep_message_length(lengths):
+    deployment = grid_jittered_deployment(8, 8, spacing=1.0)
+    rows = []
+    for k in lengths:
+        config = ScenarioConfig(protocol="neighborwatch", radius=3.0, message_length=int(k), seed=2)
+        result = run_scenario(deployment, config)
+        rows.append(
+            {
+                "message_bits": int(k),
+                "rounds": result.completion_rounds,
+                "rounds_per_bit": result.completion_rounds / int(k),
+                "completion_%": 100.0 * result.completion_fraction,
+            }
+        )
+    return rows
+
+
+def _sweep_budget(budgets):
+    deployment = grid_jittered_deployment(8, 8, spacing=1.0)
+    jammers = random_fault_selection(
+        deployment.num_nodes, 6, exclude=[deployment.source_index], rng=3
+    )
+    rows = []
+    for beta in budgets:
+        config = ScenarioConfig(protocol="neighborwatch", radius=3.0, message_length=3, seed=2)
+        faults = (
+            FaultPlan(jammers=tuple(jammers), jammer_budget=int(beta), jam_probability=1.0)
+            if beta > 0
+            else FaultPlan()
+        )
+        result = run_scenario(deployment, config, faults)
+        rows.append(
+            {
+                "beta": int(beta),
+                "rounds": result.completion_rounds,
+                "adversary_broadcasts": result.adversary_broadcasts,
+                "completion_%": 100.0 * result.completion_fraction,
+            }
+        )
+    return rows
+
+
+def test_runtime_scales_with_message_length(benchmark):
+    rows = run_once(benchmark, _sweep_message_length, (2, 4, 8))
+    attach_rows(benchmark, rows, title="THM5: completion time vs message length")
+    rounds = np.array([r["rounds"] for r in rows], dtype=float)
+    bits = np.array([r["message_bits"] for r in rows], dtype=float)
+    assert all(r["completion_%"] == 100.0 for r in rows)
+    # Monotone growth, and sub-linear-per-bit thanks to pipelining: doubling
+    # the message length far less than doubles the completion time once the
+    # pipeline is full.
+    assert rounds[1] > rounds[0] and rounds[2] > rounds[1]
+    assert rounds[2] / rounds[0] < 2.0 * (bits[2] / bits[0])
+    assert rows[2]["rounds_per_bit"] <= rows[0]["rounds_per_bit"]
+
+
+def test_runtime_scales_with_adversary_budget(benchmark):
+    rows = run_once(benchmark, _sweep_budget, (0, 4, 8))
+    attach_rows(benchmark, rows, title="THM5: completion time vs jamming budget beta")
+    rounds = [r["rounds"] for r in rows]
+    assert all(r["completion_%"] == 100.0 for r in rows)
+    # Delay is non-decreasing in beta (adaptivity: the protocol finishes as
+    # soon as the interference stops).
+    assert rounds[1] >= rounds[0]
+    assert rounds[2] >= rounds[1]
+    # The incremental delay per unit of budget is bounded: going 4 -> 8 costs
+    # at most proportionally more than going 0 -> 4 (linear, not worse).
+    extra_first = rounds[1] - rounds[0]
+    extra_second = rounds[2] - rounds[1]
+    cycle = 606  # one full schedule cycle on this configuration
+    assert extra_second <= extra_first + 4 * cycle

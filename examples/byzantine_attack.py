@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Lying devices trying to spread a fake firmware digest.
+
+Scenario from the paper's introduction: a base station disseminates a short
+authenticated value (think: the digest of a firmware image) through an ad hoc
+network in which some devices have been compromised.  The compromised devices
+run the protocol faithfully but are initialised with a *fake* message — the
+hardest attack to spot, because they look perfectly well-behaved.
+
+The example compares plain NeighborWatchRB, its 2-voting variant and the
+unprotected epidemic flood under increasing fractions of compromised devices,
+and prints how many devices end up accepting the fake value.
+
+Run with:  python examples/byzantine_attack.py
+"""
+
+from __future__ import annotations
+
+from repro import FaultPlan, ScenarioConfig, run_scenario, uniform_deployment
+from repro.adversary import fraction_to_count, random_fault_selection
+from repro.analysis import format_table
+
+MAP_SIZE = 10.0
+NUM_NODES = 160
+RADIUS = 3.0
+MESSAGE = (1, 0, 1, 1)
+FRACTIONS = (0.0, 0.05, 0.15)
+PROTOCOLS = (
+    ("epidemic flood (no protection)", "epidemic"),
+    ("NeighborWatchRB", "neighborwatch"),
+    ("NeighborWatchRB 2-vote", "neighborwatch2"),
+)
+
+
+def main() -> None:
+    deployment = uniform_deployment(NUM_NODES, MAP_SIZE, MAP_SIZE, rng=7)
+    rows = []
+    for label, protocol in PROTOCOLS:
+        for fraction in FRACTIONS:
+            count = fraction_to_count(NUM_NODES, fraction)
+            liars = tuple(
+                random_fault_selection(NUM_NODES, count, exclude=[deployment.source_index], rng=99)
+            )
+            config = ScenarioConfig(
+                protocol=protocol,
+                radius=RADIUS,
+                message_length=len(MESSAGE),
+                message=MESSAGE,
+                seed=7,
+            )
+            result = run_scenario(deployment, config, FaultPlan(liars=liars))
+            rows.append(
+                {
+                    "protocol": label,
+                    "compromised": f"{fraction:.0%}",
+                    "delivered_%": round(100 * result.completion_fraction, 1),
+                    "correct_%": round(100 * result.correctness_fraction, 1),
+                    "rounds": result.completion_rounds,
+                }
+            )
+    print(format_table(rows, title="Who accepts the fake message?"))
+    print(
+        "\nThe unprotected flood is poisoned by even a handful of compromised devices;\n"
+        "NeighborWatchRB keeps deliveries authentic until whole regions are compromised,\n"
+        "and the 2-voting variant holds out longer still (at the cost of extra time)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The dual-mode deployment the paper recommends in practice.
+
+Broadcasting *every* payload bit with a Byzantine-tolerant protocol is
+expensive.  The paper's practical suggestion: flood the full payload with the
+fast (unprotected) epidemic protocol, and secure only a short digest of it
+with NeighborWatchRB; devices accept the payload only when its digest matches
+the authenticated one.  This example measures the end-to-end overhead of that
+construction over plain flooding and verifies that nobody accepts a forged
+payload.
+
+Run with:  python examples/dual_mode_digest.py
+"""
+
+from __future__ import annotations
+
+from repro import ScenarioConfig, run_scenario, uniform_deployment
+from repro.analysis import format_mapping
+from repro.core import combine_dual_mode, polynomial_digest
+from repro.core.digest import recommended_digest_length
+from repro.experiments import airtime_bits
+
+MAP_SIZE = 10.0
+NUM_NODES = 150
+RADIUS = 3.0
+PAYLOAD_BITS = 24
+DIGEST_RATIO = 0.125
+
+
+def main() -> None:
+    deployment = uniform_deployment(NUM_NODES, MAP_SIZE, MAP_SIZE, rng=9)
+    payload = tuple((i * 5 + 1) % 2 for i in range(PAYLOAD_BITS))
+    digest_len = recommended_digest_length(PAYLOAD_BITS, DIGEST_RATIO)
+    digest = polynomial_digest(payload, digest_len)
+
+    payload_run = run_scenario(
+        deployment,
+        ScenarioConfig(protocol="epidemic", radius=RADIUS,
+                       message_length=PAYLOAD_BITS, message=payload, seed=9),
+    )
+    digest_run = run_scenario(
+        deployment,
+        ScenarioConfig(protocol="neighborwatch", radius=RADIUS,
+                       message_length=digest_len, message=digest, seed=10),
+    )
+    combined = combine_dual_mode(payload, payload_run, digest_run)
+
+    payload_airtime = airtime_bits("epidemic", payload_run.completion_rounds, PAYLOAD_BITS)
+    digest_airtime = airtime_bits("neighborwatch", digest_run.completion_rounds, digest_len)
+    overhead = (payload_airtime + digest_airtime) / payload_airtime
+
+    print(format_mapping(
+        {
+            "payload bits": PAYLOAD_BITS,
+            "digest bits (secured with NeighborWatchRB)": digest_len,
+            "epidemic payload air-time (bit-times)": payload_airtime,
+            "digest broadcast air-time (bit-times)": digest_airtime,
+            "overhead over plain flooding": f"{overhead:.2f}x",
+            "devices accepting the payload": f"{combined.acceptance_fraction:.1%}",
+            "accepted payloads that are authentic": f"{combined.correctness_fraction:.1%}",
+            "any forged payload accepted?": combined.any_incorrect_acceptance,
+        },
+        title="Dual-mode broadcast (epidemic payload + authenticated digest)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

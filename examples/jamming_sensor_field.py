@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Jamming attack on an alarm broadcast.
+
+A sensor field must disseminate a short alarm even while a fraction of the
+devices have been captured and turned into jammers.  The jammers target the
+protocol's veto rounds (the most damaging single broadcast they can make) but
+each has a limited energy budget.  The example sweeps the per-jammer budget
+and shows the paper's observation that the damage is *proportional* to the
+energy the adversary spends — and that the alarm is always delivered intact
+once the jammers run dry.
+
+Run with:  python examples/jamming_sensor_field.py
+"""
+
+from __future__ import annotations
+
+from repro import FaultPlan, ScenarioConfig, run_scenario, uniform_deployment
+from repro.adversary import fraction_to_count, random_fault_selection
+from repro.analysis import format_table
+from repro.experiments import fit_linear_trend
+
+MAP_SIZE = 10.0
+NUM_NODES = 150
+RADIUS = 3.0
+JAMMER_FRACTION = 0.10
+BUDGETS = (0, 5, 10, 20)
+
+
+def main() -> None:
+    deployment = uniform_deployment(NUM_NODES, MAP_SIZE, MAP_SIZE, rng=5)
+    num_jammers = fraction_to_count(NUM_NODES, JAMMER_FRACTION)
+    jammers = tuple(
+        random_fault_selection(NUM_NODES, num_jammers, exclude=[deployment.source_index], rng=17)
+    )
+    config = ScenarioConfig(protocol="neighborwatch", radius=RADIUS, message_length=4, seed=5)
+
+    rows = []
+    for budget in BUDGETS:
+        faults = FaultPlan(jammers=jammers, jammer_budget=budget, jam_probability=0.2)
+        result = run_scenario(deployment, config, faults)
+        rows.append(
+            {
+                "per-jammer budget": budget,
+                "rounds": result.completion_rounds,
+                "delivered_%": round(100 * result.completion_fraction, 1),
+                "correct_%": round(100 * result.correctness_fraction, 1),
+                "jam broadcasts spent": result.adversary_broadcasts,
+            }
+        )
+    print(format_table(rows, title=f"Alarm broadcast with {num_jammers} jammers ({JAMMER_FRACTION:.0%})"))
+
+    slope, intercept, r2 = fit_linear_trend(rows, x_key="per-jammer budget", y_key="rounds")
+    print(
+        f"\nDelay grows roughly linearly with the jamming budget: "
+        f"~{slope:.0f} extra rounds per unit of budget (R^2 = {r2:.2f})."
+    )
+    print("Authenticity is never affected — jamming can only buy time, not forge the alarm.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro — reproduction of "Securing Every Bit: Authenticated Broadcast in Radio Networks".
+
+The package provides:
+
+* :mod:`repro.core` — the paper's protocols: the 2Bit- and 1Hop-Protocols,
+  NeighborWatchRB (with the 2-voting variant), MultiPathRB, the epidemic
+  baseline and the dual-mode digest construction;
+* :mod:`repro.sim` — a slotted radio-network simulator (the WSNet stand-in)
+  with unit-disk and Friis/SINR channel models and a scenario builder;
+* :mod:`repro.topology` — grid, uniform and clustered deployments;
+* :mod:`repro.adversary` — crash, jamming, lying and spoofing fault models;
+* :mod:`repro.analysis` — metrics, theoretical bounds and result aggregation;
+* :mod:`repro.experiments` — one module per table/figure of the paper's
+  evaluation (see DESIGN.md for the experiment index).
+
+Quickstart::
+
+    from repro import ScenarioConfig, run_scenario, uniform_deployment
+
+    deployment = uniform_deployment(200, 20, 20, rng=1)
+    config = ScenarioConfig(protocol="neighborwatch", radius=4.0, message_length=4, seed=1)
+    result = run_scenario(deployment, config)
+    print(result.summary())
+"""
+
+from .core import (
+    EpidemicNode,
+    MultiPathConfig,
+    MultiPathNode,
+    NeighborWatchConfig,
+    NeighborWatchNode,
+    OneHopReceiver,
+    OneHopSender,
+    TwoBitReceiver,
+    TwoBitSender,
+    combine_dual_mode,
+    polynomial_digest,
+)
+from .sim import (
+    FaultPlan,
+    ProtocolName,
+    RunResult,
+    ScenarioConfig,
+    Simulation,
+    build_simulation,
+    run_scenario,
+)
+from .topology import (
+    Deployment,
+    GridSpec,
+    GridTopology,
+    clustered_deployment,
+    grid_jittered_deployment,
+    uniform_deployment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EpidemicNode",
+    "MultiPathConfig",
+    "MultiPathNode",
+    "NeighborWatchConfig",
+    "NeighborWatchNode",
+    "OneHopReceiver",
+    "OneHopSender",
+    "TwoBitReceiver",
+    "TwoBitSender",
+    "combine_dual_mode",
+    "polynomial_digest",
+    "FaultPlan",
+    "ProtocolName",
+    "RunResult",
+    "ScenarioConfig",
+    "Simulation",
+    "build_simulation",
+    "run_scenario",
+    "Deployment",
+    "GridSpec",
+    "GridTopology",
+    "clustered_deployment",
+    "grid_jittered_deployment",
+    "uniform_deployment",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Fault and adversary models: crash, jamming, lying, spoofing."""
+
+from .base import Adversary
+from .budget import BroadcastBudget
+from .crash import crashes_for_survivor_count, crashes_for_target_density, survivors
+from .jammer import ContinuousJammer, VetoJammer
+from .liar import (
+    fake_message_for,
+    lying_epidemic_node,
+    lying_multipath_node,
+    lying_neighborwatch_node,
+    lying_node_factory,
+)
+from .placement import (
+    faults_in_neighborhood,
+    faults_in_square,
+    fraction_to_count,
+    max_faults_per_neighborhood,
+    random_fault_selection,
+)
+from .spoofer import BitFlipSpoofer, ScriptedAdversary
+
+__all__ = [
+    "Adversary",
+    "BroadcastBudget",
+    "crashes_for_survivor_count",
+    "crashes_for_target_density",
+    "survivors",
+    "ContinuousJammer",
+    "VetoJammer",
+    "fake_message_for",
+    "lying_epidemic_node",
+    "lying_multipath_node",
+    "lying_neighborwatch_node",
+    "lying_node_factory",
+    "faults_in_neighborhood",
+    "faults_in_square",
+    "fraction_to_count",
+    "max_faults_per_neighborhood",
+    "random_fault_selection",
+    "BitFlipSpoofer",
+    "ScriptedAdversary",
+]

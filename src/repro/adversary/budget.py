@@ -1,0 +1,67 @@
+"""Broadcast budgets for Byzantine devices.
+
+The paper's running-time analysis is parameterised by ``beta``, the maximum
+number of broadcasts Byzantine devices perform per neighborhood: continual
+jamming would trivially prevent termination but is not sustainable (it drains
+batteries and exposes the jammers), so the adversary is charged for every
+broadcast and the protocols guarantee delivery within ``O(beta*D + log|Sigma|)``
+rounds.  :class:`BroadcastBudget` implements that accounting for the simulated
+adversaries; an unlimited budget (``None``) reproduces the paper's lying
+experiments, which do not bound the malicious devices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["BroadcastBudget"]
+
+
+class BroadcastBudget:
+    """Counter of adversarial broadcasts with an optional cap."""
+
+    __slots__ = ("_limit", "_spent")
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError("budget limit must be non-negative")
+        self._limit = limit
+        self._spent = 0
+
+    @property
+    def limit(self) -> Optional[int]:
+        return self._limit
+
+    @property
+    def spent(self) -> int:
+        """Broadcasts performed so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Broadcasts still allowed (``None`` for an unlimited budget)."""
+        if self._limit is None:
+            return None
+        return max(self._limit - self._spent, 0)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._limit is not None and self._spent >= self._limit
+
+    def can_spend(self, amount: int = 1) -> bool:
+        """Whether ``amount`` more broadcasts fit in the budget."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if self._limit is None:
+            return True
+        return self._spent + amount <= self._limit
+
+    def spend(self, amount: int = 1) -> bool:
+        """Consume ``amount`` broadcasts; returns False (and spends nothing) if over budget."""
+        if not self.can_spend(amount):
+            return False
+        self._spent += amount
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BroadcastBudget(limit={self._limit}, spent={self._spent})"

@@ -1,0 +1,56 @@
+"""Crash failures.
+
+Crashed devices take no steps at all: they never broadcast, never acknowledge
+and never relay.  In the paper's first experiment (Figure 5) varying the
+number of crashed devices is how the *effective deployment density* is varied,
+and each protocol's completion percentage is measured as a function of it.
+
+In the simulator a crashed device is simply a :class:`~repro.sim.node.SimNode`
+with no protocol attached; these helpers compute which devices to crash for a
+target density or survivor count.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..topology.deployment import Deployment
+from .placement import random_fault_selection
+
+__all__ = ["crashes_for_target_density", "crashes_for_survivor_count", "survivors"]
+
+
+def crashes_for_survivor_count(
+    deployment: Deployment,
+    survivors_count: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+) -> list[int]:
+    """Crash devices uniformly at random so that ``survivors_count`` remain active."""
+    n = deployment.num_nodes
+    if not (1 <= survivors_count <= n):
+        raise ValueError("survivors_count must be between 1 and the deployment size")
+    crash_count = n - survivors_count
+    return random_fault_selection(n, crash_count, exclude=[deployment.source_index], rng=rng)
+
+
+def crashes_for_target_density(
+    deployment: Deployment,
+    target_density: float,
+    *,
+    rng: np.random.Generator | int | None = None,
+) -> list[int]:
+    """Crash devices so that the density of *active* devices matches ``target_density``."""
+    if target_density <= 0:
+        raise ValueError("target_density must be positive")
+    survivors_count = int(round(target_density * deployment.area))
+    survivors_count = max(1, min(survivors_count, deployment.num_nodes))
+    return crashes_for_survivor_count(deployment, survivors_count, rng=rng)
+
+
+def survivors(num_nodes: int, crashed: Sequence[int]) -> list[int]:
+    """Indices of devices that did not crash."""
+    crashed_set = set(int(i) for i in crashed)
+    return [i for i in range(num_nodes) if i not in crashed_set]

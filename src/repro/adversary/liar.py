@@ -1,0 +1,90 @@
+"""Lying devices: Byzantine nodes that propagate a fake message.
+
+The paper simulates its "malicious attack" scenario by initialising corrupt
+devices with a fake message while otherwise running the correct protocol
+(Section 6.1): they look perfectly well-behaved to their neighbors, which is
+what makes the attack dangerous.  Concretely:
+
+* for **NeighborWatchRB** the lying devices act as sources initialised with
+  the fake message — they try to relay the fake bits through their square's
+  broadcast interval, and succeed only if no honest device shares (and
+  therefore vetoes) the square;
+* for **MultiPathRB** the lying devices broadcast COMMIT messages for the fake
+  value and never relay HEARD messages from correct nodes;
+* for the **epidemic** baseline a lying device simply floods the fake payload
+  (the baseline has no defence whatsoever, which is the paper's point).
+
+These helpers construct appropriately preloaded instances of the honest
+protocol classes so the simulation engine treats them exactly like any other
+device (their dishonesty lives purely in their initial state and configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..core.epidemic import EpidemicConfig, EpidemicNode
+from ..core.messages import Bits, validate_bits
+from ..core.multipath import MultiPathConfig, MultiPathNode
+from ..core.neighborwatch import NeighborWatchConfig, NeighborWatchNode
+from ..core.protocol import Protocol
+
+__all__ = [
+    "fake_message_for",
+    "lying_neighborwatch_node",
+    "lying_multipath_node",
+    "lying_epidemic_node",
+    "lying_node_factory",
+]
+
+
+def fake_message_for(message: Iterable[int]) -> Bits:
+    """The canonical fake message used in the lying experiments.
+
+    The complement of the true message maximises the damage of a successful
+    lie (every bit differs), matching the spirit of the paper's evaluation
+    where corrupt devices try to persuade honest devices to adopt an
+    *incorrect value*.
+    """
+    bits = validate_bits(message)
+    return tuple(1 - b for b in bits)
+
+
+def lying_neighborwatch_node(
+    fake_message: Sequence[int], config: Optional[NeighborWatchConfig] = None
+) -> NeighborWatchNode:
+    """A NeighborWatchRB device preloaded with a fake message."""
+    return NeighborWatchNode(config=config, preloaded_message=fake_message)
+
+
+def lying_multipath_node(
+    fake_message: Sequence[int], tolerance: int = 3
+) -> MultiPathNode:
+    """A MultiPathRB device that floods fake COMMITs and suppresses HEARD relays."""
+    config = MultiPathConfig(tolerance=tolerance, relay_heard=False)
+    return MultiPathNode(config=config, preloaded_message=fake_message)
+
+
+def lying_epidemic_node(fake_message: Sequence[int]) -> EpidemicNode:
+    """An epidemic device that floods a fake payload."""
+    return EpidemicNode(config=EpidemicConfig(), preloaded_message=fake_message)
+
+
+def lying_node_factory(protocol: str, fake_message: Sequence[int], **kwargs) -> Protocol:
+    """Dispatch helper used by the simulation builder.
+
+    ``protocol`` is one of ``"neighborwatch"``, ``"neighborwatch2"``,
+    ``"multipath"`` or ``"epidemic"``; keyword arguments are forwarded to the
+    specific constructor (e.g. ``tolerance`` for MultiPathRB).
+    """
+    name = protocol.lower()
+    if name in ("neighborwatch", "nw"):
+        return lying_neighborwatch_node(fake_message, config=kwargs.get("config"))
+    if name in ("neighborwatch2", "nw2"):
+        config = kwargs.get("config") or NeighborWatchConfig(votes_required=2)
+        return lying_neighborwatch_node(fake_message, config=config)
+    if name in ("multipath", "mp"):
+        return lying_multipath_node(fake_message, tolerance=int(kwargs.get("tolerance", 3)))
+    if name in ("epidemic", "flood"):
+        return lying_epidemic_node(fake_message)
+    raise ValueError(f"unknown protocol {protocol!r}")

@@ -1,0 +1,50 @@
+"""Metrics, theoretical bounds, aggregation and table rendering."""
+
+from .metrics import (
+    ComparisonRow,
+    broadcasts_per_delivered_bit,
+    delivery_latencies,
+    latency_percentiles,
+    max_tolerated_fraction,
+    slowdown_factor,
+)
+from .stats import Aggregate, aggregate, discard_outliers, repeat_runs, summarize_runs
+from .tables import format_mapping, format_table, to_csv, write_csv
+from .theory import (
+    expected_neighborhood_size,
+    koo_tolerance_bound,
+    max_tolerable_multipath,
+    max_tolerable_neighborwatch,
+    max_tolerable_neighborwatch_2vote,
+    minimum_runtime_rounds,
+    multipath_lying_fraction,
+    pipeline_speedup,
+    runtime_bound_rounds,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "broadcasts_per_delivered_bit",
+    "delivery_latencies",
+    "latency_percentiles",
+    "max_tolerated_fraction",
+    "slowdown_factor",
+    "Aggregate",
+    "aggregate",
+    "discard_outliers",
+    "repeat_runs",
+    "summarize_runs",
+    "format_mapping",
+    "format_table",
+    "to_csv",
+    "write_csv",
+    "expected_neighborhood_size",
+    "koo_tolerance_bound",
+    "max_tolerable_multipath",
+    "max_tolerable_neighborwatch",
+    "max_tolerable_neighborwatch_2vote",
+    "minimum_runtime_rounds",
+    "multipath_lying_fraction",
+    "pipeline_speedup",
+    "runtime_bound_rounds",
+]

@@ -1,0 +1,120 @@
+"""Repetition and aggregation of simulation runs.
+
+The paper repeats every experiment 6-20 times, discards outliers and reports
+averages.  These helpers run a scenario factory across seeds, aggregate any
+numeric metric with the same outlier-discarding policy, and compute simple
+confidence intervals (mean +/- t * s / sqrt(n), via scipy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from ..sim.results import RunResult
+
+__all__ = ["Aggregate", "aggregate", "discard_outliers", "repeat_runs", "summarize_runs"]
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """Summary statistics of one metric across repetitions."""
+
+    mean: float
+    std: float
+    count: int
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "count": float(self.count),
+            "min": self.minimum,
+            "max": self.maximum,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+        }
+
+
+def discard_outliers(values: Sequence[float], *, z_threshold: float = 3.0) -> list[float]:
+    """Drop values more than ``z_threshold`` standard deviations from the mean.
+
+    With fewer than four samples nothing is discarded (the paper's runs keep
+    at least a handful of repetitions).
+    """
+    vals = [float(v) for v in values]
+    if len(vals) < 4:
+        return vals
+    arr = np.asarray(vals)
+    mean, std = arr.mean(), arr.std()
+    if std == 0:
+        return vals
+    keep = np.abs(arr - mean) <= z_threshold * std
+    return [float(v) for v in arr[keep]]
+
+
+def aggregate(values: Sequence[float], *, confidence: float = 0.95, drop_outliers: bool = True) -> Aggregate:
+    """Aggregate a list of metric values into an :class:`Aggregate`."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot aggregate an empty list of values")
+    if drop_outliers:
+        vals = discard_outliers(vals)
+    arr = np.asarray(vals, dtype=float)
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if len(arr) > 1 else 0.0
+    if len(arr) > 1 and std > 0:
+        sem = std / np.sqrt(len(arr))
+        t_val = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=len(arr) - 1))
+        half = t_val * sem
+    else:
+        half = 0.0
+    return Aggregate(
+        mean=mean,
+        std=std,
+        count=len(arr),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        ci_low=mean - half,
+        ci_high=mean + half,
+    )
+
+
+def repeat_runs(
+    run_factory: Callable[[int], RunResult], repetitions: int, *, base_seed: int = 0
+) -> list[RunResult]:
+    """Run ``run_factory(seed)`` for ``repetitions`` distinct seeds."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    return [run_factory(base_seed + i) for i in range(repetitions)]
+
+
+def summarize_runs(
+    results: Iterable[RunResult],
+    metrics: Sequence[str] = (
+        "rounds",
+        "completion_fraction",
+        "correctness_fraction",
+        "correct_delivery_fraction",
+        "honest_broadcasts",
+        "adversary_broadcasts",
+    ),
+    *,
+    drop_outliers: bool = True,
+) -> Mapping[str, Aggregate]:
+    """Aggregate the standard summary metrics across repetitions."""
+    results = list(results)
+    if not results:
+        raise ValueError("no results to summarize")
+    summaries = [r.summary() for r in results]
+    out: dict[str, Aggregate] = {}
+    for metric in metrics:
+        out[metric] = aggregate([s[metric] for s in summaries], drop_outliers=drop_outliers)
+    return out

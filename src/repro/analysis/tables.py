@@ -1,0 +1,77 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The original figures are plots; since this reproduction runs headless the
+experiment harness renders every figure's underlying data as an aligned ASCII
+table (and optionally CSV), which is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_mapping", "to_csv", "write_csv"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or value == int(value):
+            return f"{value:.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None, *, title: str | None = None) -> str:
+    """Render a list of row dictionaries as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_value(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, object], *, title: str | None = None) -> str:
+    """Render a flat mapping as ``key: value`` lines."""
+    lines = [title] if title else []
+    width = max((len(str(k)) for k in mapping), default=0)
+    for key, value in mapping.items():
+        lines.append(f"{str(key).ljust(width)} : {_format_value(value)}")
+    return "\n".join(lines)
+
+
+def to_csv(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Serialise rows to CSV text."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({c: row.get(c, "") for c in columns})
+    return buffer.getvalue()
+
+
+def write_csv(path, rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> None:
+    """Write rows to a CSV file."""
+    text = to_csv(rows, columns)
+    with open(path, "w", encoding="utf8", newline="") as handle:
+        handle.write(text)

@@ -1,0 +1,134 @@
+"""Theoretical bounds from the paper, as executable formulas.
+
+These functions encode the tolerance thresholds and the running-time bound the
+paper proves (or cites), so that experiments and tests can compare measured
+behaviour against theory:
+
+* Koo's impossibility bound: no protocol tolerates ``t >= R(2R+1)/2`` Byzantine
+  devices per neighborhood (and MultiPathRB matches it, Theorem 4);
+* NeighborWatchRB tolerates ``t < ceil(R/2)^2`` (Theorem 3) and its 2-voting
+  variant roughly ``t < R^2/2``;
+* both protocols deliver within ``O(beta*D + log|Sigma|)`` rounds (Theorem 5);
+* the paper's rule of thumb for the lying experiments: with ``E[|N|]``
+  neighbors per device, MultiPathRB tuned for ``t`` faults tolerates about a
+  fraction ``t / E[|N|]`` of lying devices.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "koo_tolerance_bound",
+    "max_tolerable_multipath",
+    "max_tolerable_neighborwatch",
+    "max_tolerable_neighborwatch_2vote",
+    "expected_neighborhood_size",
+    "multipath_lying_fraction",
+    "runtime_bound_rounds",
+    "minimum_runtime_rounds",
+    "pipeline_speedup",
+]
+
+
+def koo_tolerance_bound(radius: float) -> float:
+    """The impossibility threshold ``R(2R+1)/2`` of Koo (PODC'04)."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    return 0.5 * radius * (2 * radius + 1)
+
+
+def max_tolerable_multipath(radius: float) -> int:
+    """Largest integer ``t`` with ``t < R(2R+1)/2`` (MultiPathRB is optimal)."""
+    bound = koo_tolerance_bound(radius)
+    t = int(math.ceil(bound)) - 1
+    return max(t, 0)
+
+
+def max_tolerable_neighborwatch(radius: float) -> int:
+    """Largest integer ``t`` with ``t < ceil(R/2)^2`` (Theorem 3)."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    return max(int(math.ceil(radius / 2.0)) ** 2 - 1, 0)
+
+
+def max_tolerable_neighborwatch_2vote(radius: float) -> int:
+    """Largest integer ``t`` with ``t < R^2/2`` (the 2-voting variant)."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    bound = radius * radius / 2.0
+    t = int(math.ceil(bound)) - 1
+    return max(t, 0)
+
+
+def expected_neighborhood_size(density: float, radius: float, *, norm: str = "l2") -> float:
+    """Expected number of neighbors of a device in a random deployment.
+
+    The paper quotes "approximately 80 neighbors" for 600 devices on a 20x20
+    map with R = 4; that corresponds to the L-infinity (square) neighborhood
+    ``density * (2R)^2``, which is the default the lying analysis uses.
+    """
+    if density <= 0 or radius <= 0:
+        raise ValueError("density and radius must be positive")
+    if norm == "linf":
+        return density * (2.0 * radius) ** 2
+    if norm == "l2":
+        return density * math.pi * radius * radius
+    raise ValueError(f"unknown norm {norm!r}")
+
+
+def multipath_lying_fraction(tolerance: int, density: float, radius: float) -> float:
+    """Fraction of lying devices MultiPathRB(t) tolerates, per the paper's rule.
+
+    Section 6.1: "for t = 3, the theoretic analysis implies a tolerance of
+    approximately 2.5%, and for t = 5, approximately 5%" with ~80 neighbors —
+    i.e. ``t / E[|N|]`` with the L-infinity neighborhood size.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    neighbors = expected_neighborhood_size(density, radius, norm="linf")
+    return tolerance / neighbors
+
+
+def minimum_runtime_rounds(beta: float, diameter: int, message_space_bits: int) -> float:
+    """The combined lower bound ``Omega(beta*D + log|Sigma|)`` (Section 1).
+
+    ``message_space_bits`` is ``log2 |Sigma|``, i.e. the message length in bits.
+    """
+    if diameter < 0 or beta < 0 or message_space_bits < 0:
+        raise ValueError("arguments must be non-negative")
+    return beta * diameter + message_space_bits
+
+
+def runtime_bound_rounds(
+    beta: float,
+    diameter: int,
+    message_space_bits: int,
+    *,
+    slots_per_cycle: int = 1,
+    phases_per_slot: int = 6,
+    constant: float = 3.0,
+) -> float:
+    """An explicit upper-bound curve ``c * (beta*D + log|Sigma|)`` in rounds.
+
+    Theorem 5 is asymptotic; for plotting against measurements we scale the
+    bound by the schedule geometry (each unit of protocol progress costs one
+    broadcast interval of ``phases_per_slot`` rounds, and a device is
+    scheduled once per ``slots_per_cycle`` slots) and a constant ``c``.
+    """
+    if slots_per_cycle < 1 or phases_per_slot < 1:
+        raise ValueError("schedule parameters must be >= 1")
+    base = minimum_runtime_rounds(beta, diameter, message_space_bits)
+    return constant * base * slots_per_cycle * phases_per_slot
+
+
+def pipeline_speedup(beta: float, diameter: int, message_space_bits: int) -> float:
+    """Speed-up of the pipelined bound over the naive composition.
+
+    Composing the layers naively costs ``Theta(beta * D * log|Sigma|)`` while
+    the paper's pipelined protocols cost ``Theta(beta*D + log|Sigma|)``
+    (Section 5); the ratio quantifies how much the pipelining matters.
+    """
+    naive = max(beta, 1.0) * max(diameter, 1) * max(message_space_bits, 1)
+    pipelined = minimum_runtime_rounds(max(beta, 1.0), diameter, message_space_bits)
+    return naive / pipelined if pipelined > 0 else float("inf")

@@ -1,0 +1,76 @@
+"""Non-cryptographic digests for the dual-mode protocol.
+
+The paper conjectures (Sections 1 and 6.2) that a practical deployment would
+broadcast the full message with the fast epidemic protocol and only secure a
+short *digest* of it with NeighborWatchRB; a receiver accepts the epidemic
+payload only if it matches the authenticated digest.  The paper does not
+prescribe a digest construction — it merely requires that a digest "chosen
+appropriately" make it hard for an adversary to find a different message with
+the same digest.  Since the whole point of the paper is to avoid cryptography,
+we provide a small, deterministic, seedable *universal-hash style* digest: a
+polynomial fingerprint of the message bits modulo a Mersenne prime, truncated
+to the requested number of bits.  It is not cryptographically secure (nothing
+non-cryptographic is against an unbounded adversary), but it has the uniform
+collision behaviour needed for the dual-mode experiments and it exercises the
+same code path a real deployment would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .messages import Bits, validate_bits
+
+__all__ = ["polynomial_digest", "digest_matches", "recommended_digest_length"]
+
+#: Modulus of the polynomial fingerprint (the Mersenne prime 2^61 - 1).
+_MODULUS = (1 << 61) - 1
+#: Default evaluation point; any fixed point works, a deployment could derive
+#: it from a shared seed to make targeted collisions harder to precompute.
+_DEFAULT_POINT = 0x5DEECE66D
+
+
+def polynomial_digest(message: Iterable[int], digest_bits: int, *, point: int = _DEFAULT_POINT) -> Bits:
+    """Digest ``message`` (a bit sequence) into ``digest_bits`` bits.
+
+    The digest is the polynomial ``sum(b_i * x^i) mod p`` evaluated at
+    ``x = point``, folded down to ``digest_bits`` bits.  Equal messages always
+    produce equal digests; distinct messages collide with probability roughly
+    ``2**-digest_bits`` for a random evaluation point.
+    """
+    bits = validate_bits(message)
+    if digest_bits < 1:
+        raise ValueError("digest_bits must be >= 1")
+    x = point % _MODULUS
+    acc = len(bits) % _MODULUS  # include the length so prefixes do not collide trivially
+    for bit in bits:
+        acc = (acc * x + bit + 1) % _MODULUS
+    # Fold the 61-bit accumulator down to the requested width.
+    out: list[int] = []
+    state = acc
+    for i in range(digest_bits):
+        if i and i % 61 == 0:
+            # Re-expand when more bits than the accumulator width are requested.
+            state = (state * x + i) % _MODULUS
+        out.append((state >> (i % 61)) & 1)
+    return tuple(out)
+
+
+def digest_matches(message: Iterable[int], digest: Iterable[int], *, point: int = _DEFAULT_POINT) -> bool:
+    """Whether ``digest`` is the digest of ``message`` (same length and value)."""
+    digest = validate_bits(digest)
+    return polynomial_digest(message, len(digest), point=point) == digest
+
+
+def recommended_digest_length(message_length: int, ratio: float = 0.1) -> int:
+    """Digest length for the dual-mode protocol.
+
+    The paper argues the dual-mode overhead stays acceptable as long as the
+    digest is about one tenth (Section 6.2; one seventh in the introduction)
+    of the original message.  Returns at least one bit.
+    """
+    if message_length < 1:
+        raise ValueError("message_length must be >= 1")
+    if not (0.0 < ratio <= 1.0):
+        raise ValueError("ratio must be in (0, 1]")
+    return max(1, int(round(message_length * ratio)))

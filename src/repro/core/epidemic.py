@@ -1,0 +1,126 @@
+"""Simple epidemic flooding baseline.
+
+Section 6.2 of the paper compares the Byzantine-tolerant protocols against a
+simple epidemic protocol with no built-in fault tolerance: the source
+broadcasts the whole message in a single frame, and every device that receives
+the message rebroadcasts it once during its own slot.  Any Byzantine
+interference (a collision, a jammed slot, a spoofed payload) can disrupt it,
+which is exactly the point of the comparison — it establishes the baseline
+cost of flooding a message across the network, against which the overhead of
+NeighborWatchRB (about 7.7x in the paper) and MultiPathRB (orders of
+magnitude) is measured.
+
+The baseline uses the same slotted TDMA structure as the other protocols but
+with a single round per slot and no per-bit exchange: an entire application
+message fits in one frame.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .messages import Bits, Frame, FrameKind, validate_bits
+from .protocol import NodeContext, Observation, Protocol
+from .schedule import NodeSchedule
+
+__all__ = ["EpidemicConfig", "EpidemicNode"]
+
+
+class EpidemicConfig:
+    """Parameters of the epidemic baseline.
+
+    ``rebroadcast_count`` controls how many times a device repeats the message
+    in its own slots after adopting it (the paper's baseline uses a single
+    broadcast; allowing more repeats is useful to study how much redundancy a
+    non-authenticated protocol needs to survive losses).
+    """
+
+    __slots__ = ("rebroadcast_count",)
+
+    def __init__(self, rebroadcast_count: int = 1) -> None:
+        if rebroadcast_count < 1:
+            raise ValueError("rebroadcast_count must be >= 1")
+        self.rebroadcast_count = int(rebroadcast_count)
+
+
+class EpidemicNode(Protocol):
+    """Per-device behaviour of the epidemic flooding baseline.
+
+    ``preloaded_message`` turns the device into a fake-message injector (a
+    Byzantine "liar"): because the baseline performs no authentication at all,
+    a single such device can poison every node it reaches first.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EpidemicConfig] = None,
+        *,
+        preloaded_message: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.config = config if config is not None else EpidemicConfig()
+        self._preloaded = validate_bits(preloaded_message) if preloaded_message is not None else None
+        self._message: Optional[Bits] = None
+        self._remaining_broadcasts = 0
+        self._my_slot = -1
+        self._listen_slots: set[int] = set()
+
+    # -- setup ---------------------------------------------------------------------------
+    def setup(self, context: NodeContext) -> None:
+        super().setup(context)
+        schedule = context.schedule
+        if not isinstance(schedule, NodeSchedule):
+            raise TypeError("the epidemic baseline requires a NodeSchedule")
+        if schedule.phases_per_slot != 1:
+            raise ValueError("the epidemic baseline uses single-round slots")
+        self._schedule = schedule
+        self._my_slot = schedule.slot_of_node(context.node_id)
+        self._listen_slots = set(schedule.neighbor_slots_of_node(context.node_id))
+        self._listen_slots.discard(self._my_slot)
+        if context.is_source:
+            self._adopt(tuple(context.source_message or ()))
+        elif self._preloaded is not None:
+            self._adopt(tuple(self._preloaded[: context.message_length]))
+
+    def _adopt(self, message: Bits) -> None:
+        if self._message is not None:
+            return
+        self._message = tuple(message)
+        self._remaining_broadcasts = self.config.rebroadcast_count
+
+    # -- protocol interface ------------------------------------------------------------------
+    def interests(self) -> Iterable[int]:
+        slots = set(self._listen_slots)
+        slots.add(self._my_slot)
+        return sorted(slots)
+
+    def act(self, slot_cycle: int, slot: int, phase: int) -> Optional[Frame]:
+        if slot != self._my_slot or phase != 0:
+            return None
+        if self._message is None or self._remaining_broadcasts <= 0:
+            return None
+        self._remaining_broadcasts -= 1
+        return Frame(FrameKind.PAYLOAD, self.context.node_id, tuple(self._message))
+
+    def observe(self, slot_cycle: int, slot: int, phase: int, observation: Observation) -> None:
+        frame = observation.decoded
+        if frame is None or frame.kind is not FrameKind.PAYLOAD:
+            return
+        if len(frame.payload) != self.context.message_length:
+            return
+        if any(bit not in (0, 1) for bit in frame.payload):
+            return
+        self._adopt(tuple(int(b) for b in frame.payload))
+
+    # -- outcome -----------------------------------------------------------------------------
+    @property
+    def delivered(self) -> bool:
+        return self._message is not None
+
+    @property
+    def delivered_message(self) -> Optional[Bits]:
+        return self._message
+
+    @property
+    def pending_broadcasts(self) -> int:
+        """Broadcasts the device still intends to perform."""
+        return self._remaining_broadcasts if self._message is not None else 0

@@ -1,0 +1,287 @@
+"""NeighborWatchRB: multi-hop authenticated broadcast via meta-node squares.
+
+The plane is partitioned into squares small enough that any device in a square
+can talk directly to any device in the eight neighboring squares.  All honest
+devices in a square behave identically — they form a single *meta-node* — and
+actively prevent any device of their square from disseminating information the
+whole square has not committed to ("neighborhood watch").  Concretely:
+
+* every device maintains, for each neighboring square (plus the source, when
+  in range), a 1Hop-Protocol receiver buffering the bits that square has
+  authentically relayed so far;
+* a device *commits* to bit ``i`` once it has received bits ``1..i`` from one
+  of those neighbors (the **2-voting** variant requires two distinct
+  neighboring squares to agree on the prefix; bits heard directly from the
+  source always suffice on their own because Theorem 2 authenticates them);
+* during its own square's broadcast interval a device acts as a 1Hop sender
+  for its next committed-but-not-yet-relayed bit; devices of the square with
+  nothing new to send *block* the interval by broadcasting in both veto
+  rounds, so data leaves the square only when every honest member has
+  committed to it;
+* an idle square also vetoes its own interval (the *idle veto*), so that a
+  silent interval is never mistaken for a genuine ``(0, 0)`` pair by the
+  neighbors (see DESIGN.md).
+
+The protocol tolerates any number of Byzantine devices as long as every square
+contains at least one honest device — ``t < ceil(R/2)^2`` in the analytical
+model (Theorem 3) — and the 2-voting variant pushes this to roughly
+``t < R^2 / 2`` because a fake bit must then be vouched for by two fully
+Byzantine squares.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .messages import Bits, Frame, FrameKind, validate_bits
+from .onehop import OneHopReceiver, OneHopSender
+from .protocol import NodeContext, Observation, Protocol
+from .schedule import SOURCE_SLOT, SquareSchedule
+from .twobit import TwoBitBlocker
+
+__all__ = ["NeighborWatchConfig", "NeighborWatchNode"]
+
+
+class _Role(enum.Enum):
+    """What the device is doing during the current slot."""
+
+    IDLE = "idle"
+    SENDER = "sender"
+    BLOCKER = "blocker"
+    RECEIVER = "receiver"
+
+
+class NeighborWatchConfig:
+    """Tunable parameters of NeighborWatchRB.
+
+    Parameters
+    ----------
+    votes_required:
+        ``1`` for plain NeighborWatchRB, ``2`` for the 2-voting variant.
+    idle_veto:
+        Whether devices veto their own square's interval when they have
+        nothing to send.  Required for soundness of the parity scheme (see
+        DESIGN.md); exposed for the ablation benchmark.
+    """
+
+    __slots__ = ("votes_required", "idle_veto")
+
+    def __init__(self, votes_required: int = 1, idle_veto: bool = True) -> None:
+        if votes_required not in (1, 2):
+            raise ValueError("votes_required must be 1 or 2")
+        self.votes_required = int(votes_required)
+        self.idle_veto = bool(idle_veto)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NeighborWatchConfig(votes={self.votes_required}, idle_veto={self.idle_veto})"
+
+
+class NeighborWatchNode(Protocol):
+    """Per-device behaviour of NeighborWatchRB.
+
+    Parameters
+    ----------
+    config:
+        Protocol variant parameters.
+    preloaded_message:
+        When given, the device starts with this bit string already committed.
+        The honest source uses it implicitly (via ``context.source_message``);
+        the *lying* Byzantine devices of Section 6.1 are simulated exactly as
+        the paper describes, by preloading them with a fake message while they
+        otherwise run the correct protocol.
+    """
+
+    def __init__(
+        self,
+        config: Optional[NeighborWatchConfig] = None,
+        *,
+        preloaded_message: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.config = config if config is not None else NeighborWatchConfig()
+        self._preloaded = validate_bits(preloaded_message) if preloaded_message is not None else None
+        self._committed: list[int] = []
+        self._receivers: dict[int, OneHopReceiver] = {}
+        self._sender = OneHopSender()
+        self._role: _Role = _Role.IDLE
+        self._active_receiver: Optional[OneHopReceiver] = None
+        self._blocker: Optional[TwoBitBlocker] = None
+        self._sending_active = False
+        self._my_slot: int = -1
+        self._is_source = False
+        self._delivered_message: Optional[Bits] = None
+
+    # -- setup ------------------------------------------------------------------------
+    def setup(self, context: NodeContext) -> None:
+        super().setup(context)
+        schedule = context.schedule
+        if not isinstance(schedule, SquareSchedule):
+            raise TypeError("NeighborWatchRB requires a SquareSchedule")
+        self._schedule = schedule
+        self._is_source = context.is_source
+        self._my_slot = schedule.slot_of_node(context.node_id)
+        k = context.message_length
+
+        if self._is_source:
+            # The source behaves independently of any square: it already holds
+            # the message and only ever transmits during the first interval.
+            self._committed = list(context.source_message or ())
+            self._sender.extend(self._committed)
+            return
+
+        if self._preloaded is not None:
+            # Lying devices start with a (fake) message already committed.
+            self._committed = list(self._preloaded[:k])
+            self._sender.extend(self._committed)
+
+        my_square = schedule.square_of_node(context.node_id)
+        for neighbor in schedule.grid.neighbors(my_square):
+            slot = schedule.slot_of_square(neighbor)
+            if slot != self._my_slot:
+                self._receivers.setdefault(slot, OneHopReceiver(expected_length=k))
+        # Listen to the source only when it is actually within range; the
+        # schedule gives every device the source's location, mirroring the
+        # paper's assumption that slot 0 is known to belong to the source.
+        src_pos = schedule.positions[schedule.source_index]
+        my_pos = np.asarray(context.position, dtype=float)
+        if self._schedule_norm_distance(my_pos, src_pos) <= context.radius + 1e-12:
+            self._receivers[SOURCE_SLOT] = OneHopReceiver(expected_length=k)
+
+    def _schedule_norm_distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        # The square partition guarantees range for neighbors; for the source we
+        # measure with the Euclidean norm used by the simulation deployments.
+        return float(np.sqrt(np.sum((np.asarray(a, float) - np.asarray(b, float)) ** 2)))
+
+    # -- schedule interface ---------------------------------------------------------------
+    def interests(self) -> Iterable[int]:
+        if self._is_source:
+            return (SOURCE_SLOT,)
+        slots = set(self._receivers)
+        slots.add(self._my_slot)
+        return sorted(slots)
+
+    # -- slot lifecycle ----------------------------------------------------------------------
+    def _begin_slot(self, slot: int) -> None:
+        self._role = _Role.IDLE
+        self._active_receiver = None
+        self._blocker = None
+        self._sending_active = False
+
+        if slot == self._my_slot:
+            if self._sender.has_pending:
+                self._role = _Role.SENDER
+                self._sending_active = self._sender.begin_slot()
+            elif self.config.idle_veto:
+                self._role = _Role.BLOCKER
+                self._blocker = TwoBitBlocker(always=True)
+            else:
+                self._role = _Role.BLOCKER
+                self._blocker = TwoBitBlocker(always=False)
+            return
+
+        receiver = self._receivers.get(slot)
+        if receiver is not None:
+            if receiver.begin_slot():
+                self._role = _Role.RECEIVER
+                self._active_receiver = receiver
+            else:
+                self._role = _Role.IDLE
+
+    def act(self, slot_cycle: int, slot: int, phase: int) -> Optional[Frame]:
+        if phase == 0:
+            self._begin_slot(slot)
+        transmit = False
+        kind = FrameKind.DATA_BIT
+        if self._role is _Role.SENDER:
+            transmit = self._sender.action(phase)
+            kind = FrameKind.DATA_BIT if phase in (0, 2) else FrameKind.VETO
+        elif self._role is _Role.BLOCKER and self._blocker is not None:
+            transmit = self._blocker.action(phase)
+            kind = FrameKind.VETO
+        elif self._role is _Role.RECEIVER and self._active_receiver is not None:
+            transmit = self._active_receiver.action(phase)
+            kind = FrameKind.ACK if phase in (1, 3) else FrameKind.VETO
+        if not transmit:
+            return None
+        return Frame(kind, self.context.node_id)
+
+    def observe(self, slot_cycle: int, slot: int, phase: int, observation: Observation) -> None:
+        busy = observation.busy
+        if self._role is _Role.SENDER:
+            self._sender.observe(phase, busy)
+        elif self._role is _Role.BLOCKER and self._blocker is not None:
+            self._blocker.observe(phase, busy)
+        elif self._role is _Role.RECEIVER and self._active_receiver is not None:
+            self._active_receiver.observe(phase, busy)
+
+    def end_slot(self, slot_cycle: int, slot: int) -> None:
+        if self._role is _Role.SENDER:
+            self._sender.finish_slot()
+        elif self._role is _Role.RECEIVER and self._active_receiver is not None:
+            self._active_receiver.finish_slot()
+            self._update_commits()
+        self._role = _Role.IDLE
+        self._active_receiver = None
+        self._blocker = None
+
+    # -- commit logic -------------------------------------------------------------------------
+    def _update_commits(self) -> None:
+        """Extend the committed prefix according to the (2-)voting rule."""
+        k = self.context.message_length
+        extended = True
+        while extended and len(self._committed) < k:
+            extended = False
+            index = len(self._committed)
+            votes: dict[int, int] = {}
+            source_vote: Optional[int] = None
+            for slot, receiver in self._receivers.items():
+                bits = receiver.received_bits
+                if len(bits) <= index:
+                    continue
+                if tuple(bits[:index]) != tuple(self._committed):
+                    # This neighbor's stream conflicts with what we already
+                    # committed; it cannot vouch for the next bit.
+                    continue
+                value = bits[index]
+                if slot == SOURCE_SLOT:
+                    source_vote = value
+                votes[value] = votes.get(value, 0) + 1
+            chosen: Optional[int] = None
+            if source_vote is not None:
+                # Bits received directly from the source are authenticated by
+                # Theorem 2 and therefore commit regardless of the vote count.
+                chosen = source_vote
+            else:
+                for value in (0, 1):
+                    if votes.get(value, 0) >= self.config.votes_required:
+                        chosen = value
+                        break
+            if chosen is not None:
+                self._committed.append(chosen)
+                self._sender.extend((chosen,))
+                extended = True
+
+    # -- outcome ----------------------------------------------------------------------------------
+    @property
+    def committed_bits(self) -> Bits:
+        """The prefix of the message this device has committed to so far."""
+        return tuple(self._committed)
+
+    @property
+    def relayed_count(self) -> int:
+        """Number of committed bits already relayed to the neighboring squares."""
+        return self._sender.sent_count
+
+    @property
+    def delivered(self) -> bool:
+        return len(self._committed) >= self.context.message_length
+
+    @property
+    def delivered_message(self) -> Optional[Bits]:
+        if not self.delivered:
+            return None
+        if self._delivered_message is None:
+            self._delivered_message = tuple(self._committed[: self.context.message_length])
+        return self._delivered_message

@@ -1,0 +1,266 @@
+"""The 1Hop-Protocol: reliable authenticated streaming of bits over one hop.
+
+The 1Hop-Protocol turns the fallible 2Bit-Protocol into an exactly-once,
+in-order bit stream between a sender and the honest devices in its
+neighborhood.  Each application bit is sent as a pair ``(parity, data)``:
+
+* the *parity* (control) bit alternates ``1, 0, 1, 0, ...`` starting at ``1``
+  for the first data bit, letting receivers distinguish a retransmission of
+  the current bit from the next bit in the sequence;
+* the *data* bit is the actual payload.
+
+Whenever a 2Bit exchange fails (because of interference, which by Theorem 1
+requires the adversary to spend budget), the sender simply repeats the same
+pair in its next broadcast interval.  The sender advances to the next bit only
+after a successful exchange, and — by the termination property of the
+2Bit-Protocol — a successful exchange implies every honest receiver accepted
+the pair, so sender and receivers can never get out of sync (Theorem 2).
+
+The classes below manage the per-slot lifecycle: the multi-hop layers call
+``begin_slot`` at the start of a broadcast interval, drive the embedded 2Bit
+state machine through the six phases, and call ``finish_slot`` at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .messages import Bits, validate_bits
+from .twobit import TwoBitOutcome, TwoBitReceiver, TwoBitSender
+
+__all__ = ["parity_of_index", "OneHopSender", "OneHopReceiver"]
+
+
+def parity_of_index(bit_index: int) -> int:
+    """Parity (control) bit for the 1-based ``bit_index``-th data bit.
+
+    The paper fixes the first parity value to ``1`` so that an idle channel
+    (which reads as ``(0, 0)``) can never be mistaken for the first bit.
+    """
+    if bit_index < 1:
+        raise ValueError("bit_index is 1-based and must be >= 1")
+    return 1 if bit_index % 2 == 1 else 0
+
+
+class OneHopSender:
+    """Sender side of the 1Hop-Protocol.
+
+    The sender maintains a queue of data bits.  Relay devices append to the
+    queue as they commit to new bits (``extend``); the broadcast source seeds
+    the queue with the whole message up front.
+
+    Usage per broadcast interval::
+
+        active = sender.begin_slot()      # False -> nothing to send this slot
+        for phase in range(6):
+            if active and sender.action(phase): broadcast(...)
+            ... deliver observations via sender.observe(phase, busy) ...
+        advanced = sender.finish_slot()   # True -> the current bit was delivered
+    """
+
+    def __init__(self, bits: Iterable[int] = ()) -> None:
+        self._bits: list[int] = list(validate_bits(bits))
+        self._sent_count = 0
+        self._attempts = 0
+        self._successful_slots = 0
+        self._current: Optional[TwoBitSender] = None
+
+    # -- queue management -----------------------------------------------------------
+    def extend(self, bits: Iterable[int]) -> None:
+        """Append newly committed data bits to the outgoing stream."""
+        self._bits.extend(validate_bits(bits))
+
+    @property
+    def queued_bits(self) -> Bits:
+        """All data bits ever queued (sent and pending)."""
+        return tuple(self._bits)
+
+    @property
+    def sent_count(self) -> int:
+        """Number of data bits already delivered to every honest neighbor."""
+        return self._sent_count
+
+    @property
+    def pending_count(self) -> int:
+        """Number of queued data bits not yet delivered."""
+        return len(self._bits) - self._sent_count
+
+    @property
+    def has_pending(self) -> bool:
+        return self.pending_count > 0
+
+    @property
+    def attempts(self) -> int:
+        """Total number of 2Bit exchanges started (retransmissions included)."""
+        return self._attempts
+
+    @property
+    def successful_slots(self) -> int:
+        return self._successful_slots
+
+    @property
+    def current_pair(self) -> Optional[tuple[int, int]]:
+        """The ``(parity, data)`` pair being transmitted this slot, if any."""
+        if self._current is None:
+            return None
+        return (self._current.b1, self._current.b2)
+
+    # -- slot lifecycle ----------------------------------------------------------------
+    def begin_slot(self) -> bool:
+        """Start a broadcast interval; returns whether there is a bit to send."""
+        if self._current is not None:
+            raise RuntimeError("begin_slot called twice without finish_slot")
+        if not self.has_pending:
+            return False
+        index = self._sent_count + 1
+        data = self._bits[self._sent_count]
+        self._current = TwoBitSender(parity_of_index(index), data)
+        self._attempts += 1
+        return True
+
+    def action(self, phase: int) -> bool:
+        if self._current is None:
+            return False
+        return self._current.action(phase)
+
+    def listens(self, phase: int) -> bool:
+        if self._current is None:
+            return False
+        return self._current.listens(phase)
+
+    def observe(self, phase: int, busy: bool) -> None:
+        if self._current is not None:
+            self._current.observe(phase, busy)
+
+    def finish_slot(self) -> bool:
+        """End the broadcast interval; returns whether the current bit advanced."""
+        if self._current is None:
+            return False
+        outcome = self._current.outcome()
+        self._current = None
+        if outcome is TwoBitOutcome.SUCCESS:
+            self._sent_count += 1
+            self._successful_slots += 1
+            return True
+        return False
+
+    def abort_slot(self) -> None:
+        """Discard the in-flight exchange without advancing (used on interrupts)."""
+        self._current = None
+
+
+class OneHopReceiver:
+    """Receiver side of the 1Hop-Protocol.
+
+    ``expected_length`` bounds the number of data bits accepted; pass ``None``
+    for an open-ended stream (MultiPathRB's control channel).  The receiver
+    tracks the alternating parity: a successful 2Bit exchange whose parity
+    matches the *next expected* bit is appended to the stream, anything else
+    (a retransmission of the previous bit, or noise) is ignored, which is
+    always safe.
+    """
+
+    def __init__(self, expected_length: Optional[int] = None) -> None:
+        if expected_length is not None and expected_length < 0:
+            raise ValueError("expected_length must be non-negative")
+        self._expected_length = expected_length
+        self._received: list[int] = []
+        self._current: Optional[TwoBitReceiver] = None
+        self._failed_slots = 0
+        self._accepted_slots = 0
+        self._ignored_slots = 0
+
+    # -- state -------------------------------------------------------------------------
+    @property
+    def received_bits(self) -> Bits:
+        """Data bits accepted so far, in order."""
+        return tuple(self._received)
+
+    @property
+    def received_count(self) -> int:
+        return len(self._received)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the expected number of bits has been received."""
+        return self._expected_length is not None and len(self._received) >= self._expected_length
+
+    @property
+    def failed_slots(self) -> int:
+        """Number of slots in which the exchange was vetoed/failed."""
+        return self._failed_slots
+
+    @property
+    def accepted_slots(self) -> int:
+        return self._accepted_slots
+
+    @property
+    def ignored_slots(self) -> int:
+        """Slots that succeeded but carried a stale parity (retransmissions)."""
+        return self._ignored_slots
+
+    @property
+    def expected_parity(self) -> int:
+        """Parity value the next new data bit must carry."""
+        return parity_of_index(len(self._received) + 1)
+
+    def take_new_bits(self, already_consumed: int) -> Bits:
+        """Bits received beyond ``already_consumed`` (helper for stream consumers)."""
+        return tuple(self._received[already_consumed:])
+
+    # -- slot lifecycle -------------------------------------------------------------------
+    def begin_slot(self) -> bool:
+        """Start listening for a broadcast interval of the peer.
+
+        Returns ``False`` when the stream is already complete (the receiver no
+        longer needs to ack, and stale retransmissions are ignored anyway).
+        """
+        if self._current is not None:
+            raise RuntimeError("begin_slot called twice without finish_slot")
+        if self.complete:
+            return False
+        self._current = TwoBitReceiver()
+        return True
+
+    def action(self, phase: int) -> bool:
+        if self._current is None:
+            return False
+        return self._current.action(phase)
+
+    def listens(self, phase: int) -> bool:
+        if self._current is None:
+            return False
+        return self._current.listens(phase)
+
+    def observe(self, phase: int, busy: bool) -> None:
+        if self._current is not None:
+            self._current.observe(phase, busy)
+
+    def finish_slot(self) -> Optional[int]:
+        """End the broadcast interval.
+
+        Returns the newly accepted data bit (0/1) when the exchange succeeded
+        with the expected parity, and ``None`` otherwise.
+        """
+        if self._current is None:
+            return None
+        outcome = self._current.outcome()
+        pair = self._current.result()
+        self._current = None
+        if outcome is not TwoBitOutcome.SUCCESS or pair is None:
+            self._failed_slots += 1
+            return None
+        parity, data = pair
+        if parity != self.expected_parity:
+            self._ignored_slots += 1
+            return None
+        if self._expected_length is not None and len(self._received) >= self._expected_length:
+            self._ignored_slots += 1
+            return None
+        self._received.append(data)
+        self._accepted_slots += 1
+        return data
+
+    def abort_slot(self) -> None:
+        """Discard the in-flight exchange (used on interrupts)."""
+        self._current = None

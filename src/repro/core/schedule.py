@@ -1,0 +1,320 @@
+"""TDMA broadcast schedules.
+
+To prevent contention among honest devices the paper allocates a simple
+TDMA-like broadcast schedule in which no two devices within distance ``3R`` of
+each other are scheduled in the same slot, each slot being six consecutive
+rounds (the "broadcast interval").  The schedule is computed locally from
+device locations; the source is always awarded the first broadcast interval.
+
+Two schedule flavours are provided:
+
+* :class:`SquareSchedule` -- used by NeighborWatchRB, where whole squares of
+  the :class:`~repro.core.regions.SquareGrid` share a slot (all their honest
+  members broadcast identically).  Slots are assigned by colouring squares
+  with a ``m x m`` periodic pattern, which reuses slots only between squares
+  at least ``separation`` apart and therefore needs only ``O(R^2)`` slots.
+* :class:`NodeSchedule` -- used by MultiPathRB and the epidemic baseline,
+  where each device has its own slot.  On the analytical grid the same
+  periodic-pattern rule applies; for arbitrary random deployments we fall
+  back to a deterministic greedy colouring of the conflict graph (documented
+  in DESIGN.md as a stand-in for the paper's location-derived rule, which is
+  only specified for grid placements).
+
+Both flavours expose the mapping between rounds and ``(cycle, slot, phase)``
+triples and the inverse mapping from slots to their owners, which receivers
+use to attribute transmissions to locations ("a node identifies the location
+of a message's sender based on the slot in which it was sent").
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..topology.geometry import as_positions, pairwise_distances
+from .regions import SquareGrid, SquareId
+
+__all__ = [
+    "PHASES_PER_SLOT",
+    "SOURCE_SLOT",
+    "Schedule",
+    "SquareSchedule",
+    "NodeSchedule",
+]
+
+#: Number of rounds in one broadcast interval (the 2Bit-Protocol uses six).
+PHASES_PER_SLOT = 6
+
+#: The slot reserved for the broadcast source.
+SOURCE_SLOT = 0
+
+
+class Schedule(abc.ABC):
+    """Common round/slot arithmetic for TDMA schedules."""
+
+    def __init__(self, num_slots: int, phases_per_slot: int = PHASES_PER_SLOT) -> None:
+        if num_slots < 1:
+            raise ValueError("a schedule needs at least one slot")
+        if phases_per_slot < 1:
+            raise ValueError("phases_per_slot must be >= 1")
+        self.num_slots = int(num_slots)
+        self.phases_per_slot = int(phases_per_slot)
+
+    # -- round arithmetic -------------------------------------------------------
+    @property
+    def rounds_per_cycle(self) -> int:
+        """Rounds in one full pass over the schedule."""
+        return self.num_slots * self.phases_per_slot
+
+    def locate_round(self, round_index: int) -> tuple[int, int, int]:
+        """Map a global round index to ``(cycle, slot, phase)``."""
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        cycle, rem = divmod(round_index, self.rounds_per_cycle)
+        slot, phase = divmod(rem, self.phases_per_slot)
+        return cycle, slot, phase
+
+    def round_index(self, cycle: int, slot: int, phase: int = 0) -> int:
+        """Inverse of :meth:`locate_round`."""
+        if not (0 <= slot < self.num_slots):
+            raise ValueError("slot out of range")
+        if not (0 <= phase < self.phases_per_slot):
+            raise ValueError("phase out of range")
+        if cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        return (cycle * self.num_slots + slot) * self.phases_per_slot + phase
+
+    def slots_elapsed(self, round_index: int) -> int:
+        """Number of complete slots that finished strictly before ``round_index``."""
+        return round_index // self.phases_per_slot
+
+    # -- ownership ---------------------------------------------------------------
+    @abc.abstractmethod
+    def slot_of_node(self, node_id: int) -> int:
+        """The broadcast slot of a given device."""
+
+    @abc.abstractmethod
+    def owners_of_slot(self, slot: int) -> Sequence[int]:
+        """Device indices that broadcast during ``slot`` (spatial reuse allowed)."""
+
+
+class SquareSchedule(Schedule):
+    """Slot assignment for NeighborWatchRB squares.
+
+    Parameters
+    ----------
+    grid:
+        The square partition of the map.
+    radius:
+        Communication radius ``R``.
+    positions:
+        Device coordinates, used to resolve per-device slots and occupancy.
+    source_index:
+        The broadcast source; it always owns :data:`SOURCE_SLOT` regardless of
+        its square.
+    separation:
+        Minimum distance between devices sharing a slot.  Defaults to the
+        paper's ``3R``.
+    """
+
+    def __init__(
+        self,
+        grid: SquareGrid,
+        radius: float,
+        positions: np.ndarray,
+        source_index: int,
+        *,
+        separation: float | None = None,
+        phases_per_slot: int = PHASES_PER_SLOT,
+    ) -> None:
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.grid = grid
+        self.radius = float(radius)
+        self.separation = float(separation) if separation is not None else 3.0 * radius
+        self.positions = as_positions(positions)
+        self.source_index = int(source_index)
+        if not (0 <= self.source_index < self.positions.shape[0]):
+            raise ValueError("source_index out of range")
+        # Periodic colouring: squares whose column and row agree modulo ``m``
+        # share a colour; any two such squares are at least (m-1)*side apart.
+        self._pattern = max(1, int(math.ceil(self.separation / grid.side)) + 1)
+        num_slots = 1 + self._pattern * self._pattern
+        super().__init__(num_slots=num_slots, phases_per_slot=phases_per_slot)
+
+        self._square_of_node: list[SquareId] = grid.squares_of(self.positions)
+        self._members: dict[SquareId, list[int]] = {}
+        for idx, sq in enumerate(self._square_of_node):
+            self._members.setdefault(sq, []).append(idx)
+        self._owners_cache: dict[int, tuple[int, ...]] = {}
+
+    # -- square-level API ---------------------------------------------------------
+    @property
+    def pattern_size(self) -> int:
+        """Side of the periodic colouring pattern (number of colours = size^2)."""
+        return self._pattern
+
+    def slot_of_square(self, square: SquareId) -> int:
+        """Slot during which every member of ``square`` broadcasts."""
+        col, row = square
+        return 1 + (col % self._pattern) * self._pattern + (row % self._pattern)
+
+    def squares_of_slot(self, slot: int) -> list[SquareId]:
+        """All squares sharing ``slot`` (they are pairwise at least ``separation`` apart)."""
+        if slot == SOURCE_SLOT:
+            return []
+        if not (1 <= slot < self.num_slots):
+            raise ValueError("slot out of range")
+        rem = slot - 1
+        col_mod, row_mod = divmod(rem, self._pattern)
+        out = []
+        for sq in self.grid.iter_squares():
+            if sq[0] % self._pattern == col_mod and sq[1] % self._pattern == row_mod:
+                out.append(sq)
+        return out
+
+    def square_of_node(self, node_id: int) -> SquareId:
+        return self._square_of_node[node_id]
+
+    def members_of_square(self, square: SquareId) -> list[int]:
+        """Device indices located in ``square`` (may be empty)."""
+        return list(self._members.get(square, []))
+
+    # -- Schedule interface ---------------------------------------------------------
+    def slot_of_node(self, node_id: int) -> int:
+        if node_id == self.source_index:
+            return SOURCE_SLOT
+        return self.slot_of_square(self._square_of_node[node_id])
+
+    def owners_of_slot(self, slot: int) -> tuple[int, ...]:
+        if slot in self._owners_cache:
+            return self._owners_cache[slot]
+        if slot == SOURCE_SLOT:
+            owners: tuple[int, ...] = (self.source_index,)
+        else:
+            ids: list[int] = []
+            for sq in self.squares_of_slot(slot):
+                ids.extend(i for i in self._members.get(sq, []) if i != self.source_index)
+            owners = tuple(sorted(ids))
+        self._owners_cache[slot] = owners
+        return owners
+
+    def listening_slots_of_node(self, node_id: int) -> list[int]:
+        """Slots a NeighborWatchRB device must observe.
+
+        These are the source slot, the device's own square slot and the slots
+        of the up-to-eight neighboring squares.
+        """
+        sq = self._square_of_node[node_id]
+        slots = {SOURCE_SLOT, self.slot_of_square(sq)}
+        for nb in self.grid.neighbors(sq):
+            slots.add(self.slot_of_square(nb))
+        return sorted(slots)
+
+
+class NodeSchedule(Schedule):
+    """Per-device slot assignment for MultiPathRB and the epidemic baseline.
+
+    Devices whose distance is at most ``separation`` never share a slot, so a
+    receiver can unambiguously attribute a slot to a single device within its
+    own neighborhood.  Slot 0 is reserved for the source.  The assignment is a
+    deterministic greedy colouring of the conflict graph in device-id order,
+    which keeps the number of slots within a small factor of the maximum
+    conflict degree (itself ``O(R^2 * density)``).
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        radius: float,
+        source_index: int,
+        *,
+        separation: float | None = None,
+        norm: str = "l2",
+        phases_per_slot: int = PHASES_PER_SLOT,
+    ) -> None:
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.positions = as_positions(positions)
+        self.radius = float(radius)
+        self.separation = float(separation) if separation is not None else 3.0 * radius
+        self.norm = norm
+        self.source_index = int(source_index)
+        n = self.positions.shape[0]
+        if not (0 <= self.source_index < n):
+            raise ValueError("source_index out of range")
+
+        slots = np.zeros(n, dtype=int)
+        if n > 1:
+            dist = pairwise_distances(self.positions, norm=norm)
+            conflict = dist <= self.separation
+            np.fill_diagonal(conflict, False)
+            for node in range(n):
+                if node == self.source_index:
+                    slots[node] = SOURCE_SLOT
+                    continue
+                used = set()
+                neighbors = np.nonzero(conflict[node])[0]
+                for nb in neighbors:
+                    if nb < node or nb == self.source_index:
+                        used.add(int(slots[nb]))
+                used.add(SOURCE_SLOT)
+                slot = 1
+                while slot in used:
+                    slot += 1
+                slots[node] = slot
+        self._slots = slots
+        num_slots = int(slots.max()) + 1 if n else 1
+        super().__init__(num_slots=max(num_slots, 1), phases_per_slot=phases_per_slot)
+        self._owners: dict[int, tuple[int, ...]] = {}
+        for node in range(n):
+            self._owners.setdefault(int(slots[node]), tuple())
+        grouped: dict[int, list[int]] = {}
+        for node in range(n):
+            grouped.setdefault(int(slots[node]), []).append(node)
+        self._owners = {slot: tuple(ids) for slot, ids in grouped.items()}
+
+    # -- Schedule interface ---------------------------------------------------------
+    def slot_of_node(self, node_id: int) -> int:
+        return int(self._slots[node_id])
+
+    def owners_of_slot(self, slot: int) -> tuple[int, ...]:
+        return self._owners.get(slot, tuple())
+
+    def neighbor_slots_of_node(self, node_id: int, listen_radius: float | None = None) -> list[int]:
+        """Slots of devices within communication range of ``node_id`` (plus the source slot)."""
+        r = self.radius if listen_radius is None else listen_radius
+        pos = self.positions
+        if self.norm == "linf":
+            d = np.max(np.abs(pos - pos[node_id][None, :]), axis=1)
+        else:
+            d = np.sqrt(np.sum((pos - pos[node_id][None, :]) ** 2, axis=1))
+        nearby = np.nonzero(d <= r)[0]
+        slots = {SOURCE_SLOT}
+        for nb in nearby:
+            slots.add(int(self._slots[nb]))
+        return sorted(slots)
+
+    def owner_in_neighborhood(self, slot: int, node_id: int, listen_radius: float | None = None) -> int | None:
+        """The unique owner of ``slot`` within range of ``node_id``, if any.
+
+        This is how a MultiPathRB receiver resolves "who sent this": the slot
+        plus the schedule identify the sender's location, because the schedule
+        never reuses a slot within ``separation`` of the listener.
+        """
+        r = self.radius if listen_radius is None else listen_radius
+        candidates = []
+        pos = self.positions
+        for owner in self.owners_of_slot(slot):
+            if self.norm == "linf":
+                d = float(np.max(np.abs(pos[owner] - pos[node_id])))
+            else:
+                d = float(np.sqrt(np.sum((pos[owner] - pos[node_id]) ** 2)))
+            if d <= r:
+                candidates.append(owner)
+        if len(candidates) == 1:
+            return candidates[0]
+        return None

@@ -1,0 +1,44 @@
+"""Reproductions of the paper's evaluation (one module per table/figure)."""
+
+from .base import PointResult, run_point
+from .clustered import ClusteredSpec, run_clustered
+from .crash_resilience import CrashResilienceSpec, run_crash_resilience
+from .density_tolerance import DensityToleranceSpec, run_density_tolerance
+from .epidemic_comparison import (
+    DualModeSpec,
+    EpidemicComparisonSpec,
+    airtime_bits,
+    run_dual_mode,
+    run_epidemic_comparison,
+)
+from .jamming import JammingSpec, fit_linear_trend, run_jamming
+from .lying import LyingSpec, run_lying
+from .map_size import MapSizeSpec, linear_scaling_error, run_map_size
+from .registry import EXPERIMENTS, available_experiments, run_experiment
+
+__all__ = [
+    "PointResult",
+    "run_point",
+    "ClusteredSpec",
+    "run_clustered",
+    "CrashResilienceSpec",
+    "run_crash_resilience",
+    "DensityToleranceSpec",
+    "run_density_tolerance",
+    "DualModeSpec",
+    "EpidemicComparisonSpec",
+    "airtime_bits",
+    "run_dual_mode",
+    "run_epidemic_comparison",
+    "JammingSpec",
+    "fit_linear_trend",
+    "run_jamming",
+    "LyingSpec",
+    "run_lying",
+    "MapSizeSpec",
+    "linear_scaling_error",
+    "run_map_size",
+    "EXPERIMENTS",
+    "available_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,128 @@
+"""Common machinery for the paper-reproduction experiments.
+
+Every experiment module follows the same pattern:
+
+* a *spec* dataclass with two constructors — ``paper()`` (parameters matching
+  the paper's evaluation as closely as is practical in pure Python) and
+  ``small()`` (a scaled-down configuration with the same qualitative shape,
+  used by the test suite and the benchmark harness);
+* a ``run_*`` function that sweeps the experiment's independent variable,
+  repeats each point over several seeds, aggregates the metrics and returns a
+  list of row dictionaries (one per sweep point);
+* the rows render to text via :func:`repro.analysis.tables.format_table` and
+  are recorded in EXPERIMENTS.md.
+
+This module provides the shared sweep-point runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..analysis.stats import Aggregate, summarize_runs
+from ..sim.builder import run_scenario
+from ..sim.config import FaultPlan, ScenarioConfig
+from ..sim.results import RunResult
+from ..topology.deployment import Deployment
+
+__all__ = ["PointResult", "run_point"]
+
+#: A deployment factory receives the repetition seed and returns a deployment.
+DeploymentFactory = Callable[[int], Deployment]
+#: A fault factory receives the deployment and the repetition seed.
+FaultFactory = Callable[[Deployment, int], FaultPlan]
+
+
+@dataclass(slots=True)
+class PointResult:
+    """Aggregated outcome of one sweep point (one x-value of a figure)."""
+
+    label: str
+    repetitions: int
+    aggregates: Mapping[str, Aggregate]
+    runs: list[RunResult]
+
+    @property
+    def rounds(self) -> float:
+        return self.aggregates["rounds"].mean
+
+    @property
+    def completion_fraction(self) -> float:
+        return self.aggregates["completion_fraction"].mean
+
+    @property
+    def correctness_fraction(self) -> float:
+        return self.aggregates["correctness_fraction"].mean
+
+    @property
+    def correct_delivery_fraction(self) -> float:
+        return self.aggregates["correct_delivery_fraction"].mean
+
+    @property
+    def honest_broadcasts(self) -> float:
+        return self.aggregates["honest_broadcasts"].mean
+
+    @property
+    def adversary_broadcasts(self) -> float:
+        return self.aggregates["adversary_broadcasts"].mean
+
+    def row(self, **extra) -> dict:
+        """A flat row dictionary for table rendering."""
+        row = {
+            "label": self.label,
+            "rounds": self.rounds,
+            "completion_%": 100.0 * self.completion_fraction,
+            "correct_%": 100.0 * self.correctness_fraction,
+            "correct_delivery_%": 100.0 * self.correct_delivery_fraction,
+            "honest_broadcasts": self.honest_broadcasts,
+            "adversary_broadcasts": self.adversary_broadcasts,
+            "repetitions": self.repetitions,
+        }
+        row.update(extra)
+        return row
+
+
+def run_point(
+    label: str,
+    deployment_factory: DeploymentFactory,
+    config: ScenarioConfig,
+    *,
+    fault_factory: Optional[FaultFactory] = None,
+    repetitions: int = 3,
+    base_seed: int = 0,
+    max_rounds: Optional[int] = None,
+) -> PointResult:
+    """Run one sweep point: ``repetitions`` independent simulations, aggregated.
+
+    Each repetition re-derives the deployment, the fault placement and the
+    scenario seed from ``base_seed + i`` so the whole experiment is
+    reproducible from its spec alone.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    runs: list[RunResult] = []
+    for rep in range(repetitions):
+        seed = base_seed + rep
+        deployment = deployment_factory(seed)
+        faults = fault_factory(deployment, seed) if fault_factory is not None else FaultPlan()
+        scenario = ScenarioConfig(
+            protocol=config.protocol,
+            radius=config.radius,
+            message_length=config.message_length,
+            message=config.message,
+            norm=config.norm,
+            channel=config.channel,
+            capture_probability=config.capture_probability,
+            loss_probability=config.loss_probability,
+            square_side=config.square_side,
+            multipath_tolerance=config.multipath_tolerance,
+            schedule_separation=config.schedule_separation,
+            epidemic_separation=config.epidemic_separation,
+            idle_veto=config.idle_veto,
+            max_rounds=config.max_rounds,
+            seed=seed,
+        )
+        runs.append(run_scenario(deployment, scenario, faults, max_rounds=max_rounds))
+    aggregates = summarize_runs(runs)
+    return PointResult(label=label, repetitions=repetitions, aggregates=aggregates, runs=runs)

@@ -1,0 +1,111 @@
+"""Experiment CLUST — non-uniform (clustered) node distributions (Section 6.2).
+
+The paper deploys 1200 devices on a 30x30 map in clusters (cluster centers
+chosen at random, devices spread normally around their cluster center via
+Marsaglia's method) and observes that NeighborWatchRB keeps working as long as
+connectivity is sufficient, that completion may fall short of 100% because
+some clusters are disconnected from the source, and that under lying attacks
+the inherent clustering *helps* (correctness up to ~10% higher than uniform).
+This experiment compares uniform vs clustered deployments with and without
+lying devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..adversary.placement import fraction_to_count, random_fault_selection
+from ..sim.config import FaultPlan, ProtocolName, ScenarioConfig
+from ..topology.connectivity import connectivity_report
+from ..topology.deployment import clustered_deployment, uniform_deployment
+from .base import run_point
+
+__all__ = ["ClusteredSpec", "run_clustered"]
+
+
+@dataclass(slots=True)
+class ClusteredSpec:
+    """Parameters of the clustered-deployment comparison."""
+
+    map_size: float = 30.0
+    num_nodes: int = 1200
+    num_clusters: int = 10
+    radius: float = 4.0
+    message_length: int = 4
+    protocol: str = "neighborwatch"
+    lying_fractions: Sequence[float] = (0.0, 0.05)
+    repetitions: int = 3
+    base_seed: int = 500
+
+    @classmethod
+    def paper(cls) -> "ClusteredSpec":
+        return cls(lying_fractions=(0.0, 0.05, 0.10), repetitions=6)
+
+    @classmethod
+    def small(cls) -> "ClusteredSpec":
+        return cls(
+            map_size=12.0,
+            num_nodes=200,
+            num_clusters=5,
+            radius=3.0,
+            message_length=2,
+            lying_fractions=(0.0, 0.05),
+            repetitions=2,
+        )
+
+
+def run_clustered(spec: ClusteredSpec) -> list[dict]:
+    """Compare uniform vs clustered deployments; one row per (kind, fraction)."""
+    rows: list[dict] = []
+    config = ScenarioConfig(
+        protocol=ProtocolName.parse(spec.protocol),
+        radius=spec.radius,
+        message_length=spec.message_length,
+    )
+
+    for kind in ("uniform", "clustered"):
+        for fraction in spec.lying_fractions:
+            num_liars = fraction_to_count(spec.num_nodes, fraction)
+
+            def deployment_factory(seed: int, _kind=kind):
+                if _kind == "clustered":
+                    return clustered_deployment(
+                        spec.num_nodes,
+                        spec.map_size,
+                        spec.map_size,
+                        num_clusters=spec.num_clusters,
+                        rng=seed,
+                    )
+                return uniform_deployment(spec.num_nodes, spec.map_size, spec.map_size, rng=seed)
+
+            def fault_factory(deployment, seed: int, _count=num_liars) -> FaultPlan:
+                if _count == 0:
+                    return FaultPlan()
+                liars = random_fault_selection(
+                    deployment.num_nodes, _count, exclude=[deployment.source_index], rng=seed + 23
+                )
+                return FaultPlan(liars=tuple(liars))
+
+            point = run_point(
+                f"{kind}@{fraction:.0%}",
+                deployment_factory,
+                config,
+                fault_factory=fault_factory,
+                repetitions=spec.repetitions,
+                base_seed=spec.base_seed,
+            )
+            # Report source-component connectivity alongside, since the paper
+            # attributes sub-100% completion to disconnected clusters.
+            sample = deployment_factory(spec.base_seed)
+            report = connectivity_report(
+                sample.positions, spec.radius, sample.source_index, norm="l2"
+            )
+            rows.append(
+                point.row(
+                    deployment=kind,
+                    byzantine_fraction=fraction,
+                    reachable_from_source_pct=100.0 * report.reachable_from_source,
+                )
+            )
+    return rows

@@ -1,0 +1,107 @@
+"""Experiment FIG5 — tolerating crashed devices (Figure 5 of the paper).
+
+The paper deploys devices on a 24x24 map, crashes a varying fraction of them
+(equivalently: varies the density of *active* devices) and reports the
+percentage of devices that complete the protocol, for NeighborWatchRB, its
+2-voting variant, and MultiPathRB with t = 3 and t = 5.  The expected shape:
+completion climbs towards 100% with density, NeighborWatchRB needs the least
+density, 2-voting a bit more, and MultiPathRB — which needs ``t + 1``
+node-disjoint paths — the most, with t = 5 failing at the network edges even
+at moderate densities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..sim.config import ProtocolName, ScenarioConfig
+from ..adversary.crash import crashes_for_target_density
+from ..sim.config import FaultPlan
+from ..topology.deployment import uniform_deployment
+from .base import PointResult, run_point
+
+__all__ = ["CrashResilienceSpec", "run_crash_resilience"]
+
+
+@dataclass(slots=True)
+class CrashResilienceSpec:
+    """Parameters of the crash-resilience sweep."""
+
+    map_size: float = 24.0
+    deployed_density: float = 3.0          # devices deployed before crashing
+    densities: Sequence[float] = (0.75, 1.0, 1.5, 2.0)  # active densities swept
+    radius: float = 4.0
+    message_length: int = 4
+    protocols: Sequence[tuple[str, str, int]] = field(
+        default_factory=lambda: [
+            ("NeighborWatchRB", "neighborwatch", 0),
+            ("NeighborWatchRB-2vote", "neighborwatch2", 0),
+            ("MultiPathRB(t=3)", "multipath", 3),
+            ("MultiPathRB(t=5)", "multipath", 5),
+        ]
+    )
+    repetitions: int = 3
+    base_seed: int = 100
+
+    @classmethod
+    def paper(cls) -> "CrashResilienceSpec":
+        """Parameters close to the paper's Figure 5 (slow: hours of CPU)."""
+        return cls(
+            map_size=24.0,
+            deployed_density=3.0,
+            densities=(0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0),
+            radius=4.0,
+            message_length=4,
+            repetitions=6,
+        )
+
+    @classmethod
+    def small(cls) -> "CrashResilienceSpec":
+        """A scaled-down sweep with the same qualitative shape (tens of seconds)."""
+        return cls(
+            map_size=8.0,
+            deployed_density=2.2,
+            densities=(0.8, 1.6),
+            radius=3.0,
+            message_length=2,
+            protocols=[
+                ("NeighborWatchRB", "neighborwatch", 0),
+                ("NeighborWatchRB-2vote", "neighborwatch2", 0),
+                ("MultiPathRB(t=1)", "multipath", 1),
+            ],
+            repetitions=2,
+        )
+
+
+def run_crash_resilience(spec: CrashResilienceSpec) -> list[dict]:
+    """Run the FIG5 sweep and return one row per (protocol, density) point."""
+    rows: list[dict] = []
+    num_deployed = int(round(spec.deployed_density * spec.map_size * spec.map_size))
+
+    for label, protocol, tolerance in spec.protocols:
+        for density in spec.densities:
+
+            def deployment_factory(seed: int):
+                return uniform_deployment(num_deployed, spec.map_size, spec.map_size, rng=seed)
+
+            def fault_factory(deployment, seed: int, _density=density) -> FaultPlan:
+                crashed = crashes_for_target_density(deployment, _density, rng=seed + 7)
+                return FaultPlan(crashed=tuple(crashed))
+
+            config = ScenarioConfig(
+                protocol=ProtocolName.parse(protocol),
+                radius=spec.radius,
+                message_length=spec.message_length,
+                multipath_tolerance=tolerance,
+            )
+            point: PointResult = run_point(
+                f"{label}@density={density}",
+                deployment_factory,
+                config,
+                fault_factory=fault_factory,
+                repetitions=spec.repetitions,
+                base_seed=spec.base_seed,
+            )
+            rows.append(point.row(protocol=label, density=density))
+    return rows

@@ -1,0 +1,97 @@
+"""Experiment MAPSZ / THM5 — scaling with the map size (Section 6.2, Theorem 5).
+
+The paper verifies that NeighborWatchRB's running time and message complexity
+scale linearly with the network diameter by sweeping the map size at constant
+density.  This experiment reproduces that sweep and additionally reports the
+quantities Theorem 5 predicts: rounds per unit of diameter should be roughly
+constant, and so should broadcasts per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.config import ProtocolName, ScenarioConfig
+from ..topology.connectivity import connectivity_report
+from ..topology.deployment import uniform_deployment
+from .base import run_point
+
+__all__ = ["MapSizeSpec", "run_map_size", "linear_scaling_error"]
+
+
+@dataclass(slots=True)
+class MapSizeSpec:
+    """Parameters of the map-size sweep."""
+
+    map_sizes: Sequence[float] = (10.0, 15.0, 20.0)
+    density: float = 1.25
+    radius: float = 3.0
+    message_length: int = 5
+    protocol: str = "neighborwatch"
+    repetitions: int = 3
+    base_seed: int = 600
+
+    @classmethod
+    def paper(cls) -> "MapSizeSpec":
+        return cls(map_sizes=(30.0, 40.0, 50.0), repetitions=6)
+
+    @classmethod
+    def small(cls) -> "MapSizeSpec":
+        return cls(map_sizes=(8.0, 12.0), density=1.5, message_length=2, repetitions=2)
+
+
+def run_map_size(spec: MapSizeSpec) -> list[dict]:
+    """Run the sweep; one row per map size, with diameter-normalised columns."""
+    rows: list[dict] = []
+    config = ScenarioConfig(
+        protocol=ProtocolName.parse(spec.protocol),
+        radius=spec.radius,
+        message_length=spec.message_length,
+    )
+    for size in spec.map_sizes:
+        num_nodes = max(10, int(round(spec.density * size * size)))
+
+        def deployment_factory(seed: int, _size=size, _n=num_nodes):
+            return uniform_deployment(_n, _size, _size, rng=seed)
+
+        point = run_point(
+            f"map={size:.0f}",
+            deployment_factory,
+            config,
+            repetitions=spec.repetitions,
+            base_seed=spec.base_seed,
+        )
+        sample = deployment_factory(spec.base_seed)
+        report = connectivity_report(sample.positions, spec.radius, sample.source_index)
+        diameter = max(report.diameter_hops_from_source, 1)
+        rows.append(
+            point.row(
+                map_size=size,
+                num_nodes=num_nodes,
+                diameter_hops=diameter,
+                rounds_per_hop=point.rounds / diameter,
+                broadcasts_per_node=point.honest_broadcasts / num_nodes,
+            )
+        )
+    return rows
+
+
+def linear_scaling_error(rows: Sequence[dict], x_key: str = "diameter_hops", y_key: str = "rounds") -> float:
+    """Relative RMS error of the best linear (through-origin-free) fit.
+
+    Small values mean the measured series is consistent with linear scaling in
+    the diameter, which is what Theorem 5 and the paper's map-size experiment
+    claim.
+    """
+    xs = np.asarray([float(r[x_key]) for r in rows])
+    ys = np.asarray([float(r[y_key]) for r in rows])
+    if len(xs) < 2:
+        return 0.0
+    coeffs = np.polyfit(xs, ys, 1)
+    predicted = np.polyval(coeffs, xs)
+    rms = float(np.sqrt(np.mean((ys - predicted) ** 2)))
+    scale = float(np.mean(np.abs(ys))) or 1.0
+    return rms / scale

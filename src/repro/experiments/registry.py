@@ -1,0 +1,92 @@
+"""Registry mapping the experiment identifiers of DESIGN.md to runnable entry points.
+
+Each entry returns ``(rows, description)`` when called with the chosen scale
+(``"small"`` or ``"paper"``); the command-line helper in ``examples/`` and the
+benchmark harness both go through this registry so there is exactly one place
+where an experiment id is bound to code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from .clustered import ClusteredSpec, run_clustered
+from .crash_resilience import CrashResilienceSpec, run_crash_resilience
+from .density_tolerance import DensityToleranceSpec, run_density_tolerance
+from .epidemic_comparison import (
+    DualModeSpec,
+    EpidemicComparisonSpec,
+    run_dual_mode,
+    run_epidemic_comparison,
+)
+from .jamming import JammingSpec, run_jamming
+from .lying import LyingSpec, run_lying
+from .map_size import MapSizeSpec, run_map_size
+
+__all__ = ["EXPERIMENTS", "available_experiments", "run_experiment"]
+
+
+def _spec_for(spec_cls, scale: str):
+    if scale == "paper":
+        return spec_cls.paper()
+    if scale == "small":
+        return spec_cls.small()
+    raise ValueError(f"unknown scale {scale!r}; expected 'small' or 'paper'")
+
+
+def _run_fig5(scale: str) -> Sequence[dict]:
+    return run_crash_resilience(_spec_for(CrashResilienceSpec, scale))
+
+
+def _run_jam(scale: str) -> Sequence[dict]:
+    return run_jamming(_spec_for(JammingSpec, scale))
+
+
+def _run_fig6(scale: str) -> Sequence[dict]:
+    return run_lying(_spec_for(LyingSpec, scale))
+
+
+def _run_fig7(scale: str) -> Sequence[dict]:
+    return run_density_tolerance(_spec_for(DensityToleranceSpec, scale))
+
+
+def _run_clust(scale: str) -> Sequence[dict]:
+    return run_clustered(_spec_for(ClusteredSpec, scale))
+
+
+def _run_mapsz(scale: str) -> Sequence[dict]:
+    return run_map_size(_spec_for(MapSizeSpec, scale))
+
+
+def _run_epid(scale: str) -> Sequence[dict]:
+    return run_epidemic_comparison(_spec_for(EpidemicComparisonSpec, scale))
+
+
+def _run_dual(scale: str) -> Sequence[dict]:
+    return [run_dual_mode(_spec_for(DualModeSpec, scale))]
+
+
+EXPERIMENTS: Mapping[str, tuple[str, Callable[[str], Sequence[dict]]]] = {
+    "FIG5": ("Crash resilience: completion vs active-device density (Fig. 5)", _run_fig5),
+    "JAM": ("Jamming: completion time vs adversarial budget (Sec. 6.1)", _run_jam),
+    "FIG6": ("Lying devices: correctness vs Byzantine fraction (Fig. 6)", _run_fig6),
+    "FIG7": ("Max tolerated Byzantine fraction vs density (Fig. 7)", _run_fig7),
+    "CLUST": ("Clustered vs uniform deployments (Sec. 6.2)", _run_clust),
+    "MAPSZ": ("Scaling with map size / diameter (Sec. 6.2, Thm. 5)", _run_mapsz),
+    "EPID": ("Comparison with the epidemic baseline (Sec. 6.2)", _run_epid),
+    "DUAL": ("Dual-mode protocol: payload flood + secured digest (Sec. 1, 6.2)", _run_dual),
+}
+
+
+def available_experiments() -> list[str]:
+    """Identifiers of all registered experiments, in DESIGN.md order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, scale: str = "small") -> tuple[Sequence[dict], str]:
+    """Run one experiment by id; returns ``(rows, description)``."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}")
+    description, runner = EXPERIMENTS[key]
+    return runner(scale), description

@@ -1,0 +1,34 @@
+"""Radio-network simulator substrate (the reproduction's stand-in for WSNet)."""
+
+from .builder import build_channel, build_schedule, build_simulation, run_scenario
+from .config import ChannelName, FaultPlan, ProtocolName, ScenarioConfig, default_message
+from .engine import Simulation
+from .events import Event, EventKind, EventLog
+from .node import SimNode
+from .radio import Channel, FriisChannel, Transmission, UnitDiskChannel
+from .results import NodeOutcome, RunResult
+from .rng import RngFactory
+
+__all__ = [
+    "build_channel",
+    "build_schedule",
+    "build_simulation",
+    "run_scenario",
+    "ChannelName",
+    "FaultPlan",
+    "ProtocolName",
+    "ScenarioConfig",
+    "default_message",
+    "Simulation",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "SimNode",
+    "Channel",
+    "FriisChannel",
+    "Transmission",
+    "UnitDiskChannel",
+    "NodeOutcome",
+    "RunResult",
+    "RngFactory",
+]

@@ -1,0 +1,215 @@
+"""Assemble deployments, protocols, faults and channels into runnable simulations.
+
+This is the main user-facing entry point of the library: given a
+:class:`~repro.topology.deployment.Deployment`, a
+:class:`~repro.sim.config.ScenarioConfig` and an optional
+:class:`~repro.sim.config.FaultPlan`, :func:`build_simulation` wires up the
+schedule, the channel model, one protocol instance per device (honest,
+jamming, lying or crashed) and returns a ready-to-run
+:class:`~repro.sim.engine.Simulation`.  :func:`run_scenario` is the one-call
+convenience wrapper used by the examples, the experiments and most tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..adversary.jammer import VetoJammer
+from ..adversary.liar import fake_message_for, lying_node_factory
+from ..core.epidemic import EpidemicConfig, EpidemicNode
+from ..core.multipath import MultiPathConfig, MultiPathNode
+from ..core.neighborwatch import NeighborWatchConfig, NeighborWatchNode
+from ..core.protocol import NodeContext, Protocol
+from ..core.regions import SquareGrid
+from ..core.schedule import NodeSchedule, Schedule, SquareSchedule
+from ..topology.deployment import Deployment
+from .config import ChannelName, FaultPlan, ProtocolName, ScenarioConfig
+from .engine import Simulation
+from .events import EventLog
+from .radio import Channel, FriisChannel, UnitDiskChannel
+from .results import RunResult
+from .rng import RngFactory
+from .node import SimNode
+
+__all__ = ["build_schedule", "build_channel", "build_simulation", "run_scenario"]
+
+
+def build_schedule(deployment: Deployment, config: ScenarioConfig) -> Schedule:
+    """Construct the TDMA schedule appropriate for the configured protocol."""
+    protocol = ProtocolName.parse(config.protocol)
+    if protocol in (ProtocolName.NEIGHBORWATCH, ProtocolName.NEIGHBORWATCH_2VOTE):
+        grid = SquareGrid(deployment.width, deployment.height, config.effective_square_side())
+        return SquareSchedule(
+            grid,
+            config.radius,
+            deployment.positions,
+            deployment.source_index,
+            separation=config.separation,
+        )
+    if protocol is ProtocolName.MULTIPATH:
+        return NodeSchedule(
+            deployment.positions,
+            config.radius,
+            deployment.source_index,
+            separation=config.separation,
+            norm=config.norm,
+        )
+    if protocol is ProtocolName.EPIDEMIC:
+        return NodeSchedule(
+            deployment.positions,
+            config.radius,
+            deployment.source_index,
+            separation=config.epidemic_slot_separation,
+            norm=config.norm,
+            phases_per_slot=1,
+        )
+    raise ValueError(f"unsupported protocol {protocol}")
+
+
+def build_channel(config: ScenarioConfig) -> Channel:
+    """Construct the configured channel model."""
+    channel = ChannelName(config.channel)
+    if channel is ChannelName.UNIT_DISK:
+        return UnitDiskChannel(
+            config.radius,
+            norm=config.norm,
+            capture_probability=config.capture_probability,
+            loss_probability=config.loss_probability,
+        )
+    if channel is ChannelName.FRIIS:
+        return FriisChannel(config.radius, loss_probability=config.loss_probability)
+    raise ValueError(f"unsupported channel {channel}")
+
+
+def _honest_protocol(config: ScenarioConfig) -> Protocol:
+    protocol = ProtocolName.parse(config.protocol)
+    if protocol is ProtocolName.NEIGHBORWATCH:
+        return NeighborWatchNode(NeighborWatchConfig(votes_required=1, idle_veto=config.idle_veto))
+    if protocol is ProtocolName.NEIGHBORWATCH_2VOTE:
+        return NeighborWatchNode(NeighborWatchConfig(votes_required=2, idle_veto=config.idle_veto))
+    if protocol is ProtocolName.MULTIPATH:
+        return MultiPathNode(
+            MultiPathConfig(tolerance=config.multipath_tolerance, idle_veto=config.idle_veto)
+        )
+    if protocol is ProtocolName.EPIDEMIC:
+        return EpidemicNode(EpidemicConfig())
+    raise ValueError(f"unsupported protocol {protocol}")
+
+
+def build_simulation(
+    deployment: Deployment,
+    config: ScenarioConfig,
+    faults: Optional[FaultPlan] = None,
+    *,
+    trace: Optional[EventLog] = None,
+) -> Simulation:
+    """Wire a deployment, a scenario and a fault plan into a Simulation."""
+    faults = faults if faults is not None else FaultPlan()
+    faults.validate_for(deployment.num_nodes, deployment.source_index)
+
+    protocol_name = ProtocolName.parse(config.protocol)
+    message = config.message_bits
+    fake = tuple(faults.fake_message) if faults.fake_message is not None else fake_message_for(message)
+    rng_factory = RngFactory(config.seed)
+
+    schedule = build_schedule(deployment, config)
+    channel = build_channel(config)
+
+    crashed = set(faults.crashed)
+    jammers = set(faults.jammers)
+    liars = set(faults.liars)
+
+    nodes: list[SimNode] = []
+    for node_id in range(deployment.num_nodes):
+        position = (float(deployment.positions[node_id, 0]), float(deployment.positions[node_id, 1]))
+        protocol: Optional[Protocol]
+        honest = True
+        if node_id in crashed:
+            protocol = None
+        elif node_id in jammers:
+            honest = False
+            protocol = VetoJammer(
+                faults.jammer_budget,
+                jam_probability=faults.jam_probability,
+                rng=rng_factory.node_generator(node_id),
+            )
+        elif node_id in liars:
+            honest = False
+            protocol = lying_node_factory(
+                protocol_name.value, fake, tolerance=config.multipath_tolerance
+            )
+        else:
+            protocol = _honest_protocol(config)
+
+        if protocol is not None:
+            is_source = node_id == deployment.source_index
+            context = NodeContext(
+                node_id=node_id,
+                position=position,
+                radius=config.radius,
+                schedule=schedule,
+                message_length=config.message_length,
+                is_source=is_source,
+                source_message=message if is_source else None,
+                rng_seed=config.seed,
+            )
+            protocol.setup(context)
+        nodes.append(SimNode(node_id=node_id, position=position, protocol=protocol, honest=honest))
+
+    return Simulation(
+        nodes,
+        schedule,
+        channel,
+        message,
+        rng=rng_factory.generator("channel"),
+        trace=trace,
+    )
+
+
+def run_scenario(
+    deployment: Deployment,
+    config: ScenarioConfig,
+    faults: Optional[FaultPlan] = None,
+    *,
+    trace: Optional[EventLog] = None,
+    max_rounds: Optional[int] = None,
+) -> RunResult:
+    """Build and run a scenario to completion (or to the round cap)."""
+    simulation = build_simulation(deployment, config, faults, trace=trace)
+    faults = faults if faults is not None else FaultPlan()
+    if max_rounds is None:
+        extent = math.hypot(deployment.width, deployment.height)
+        bits_per_hop = 1
+        if ProtocolName.parse(config.protocol) is ProtocolName.MULTIPATH:
+            # MultiPathRB streams whole control frames over the 1Hop-Protocol,
+            # so per-hop progress costs one frame's worth of successful slots.
+            from ..core.messages import ControlCodec
+
+            bits_per_hop = ControlCodec(
+                config.message_length, simulation.schedule.num_slots
+            ).frame_bits
+        max_rounds = config.derive_max_rounds(
+            extent,
+            simulation.schedule.rounds_per_cycle,
+            faults.total_jam_budget(),
+            bits_per_hop=bits_per_hop,
+        )
+    result = simulation.run(max_rounds)
+    result.metadata.update(
+        {
+            "protocol": ProtocolName.parse(config.protocol).value,
+            "radius": config.radius,
+            "message_length": config.message_length,
+            "num_nodes": deployment.num_nodes,
+            "density": deployment.density,
+            "seed": config.seed,
+            "max_rounds": max_rounds,
+            "rounds_per_cycle": simulation.schedule.rounds_per_cycle,
+            "num_slots": simulation.schedule.num_slots,
+            "num_crashed": len(faults.crashed),
+            "num_jammers": len(faults.jammers),
+            "num_liars": len(faults.liars),
+        }
+    )
+    return result

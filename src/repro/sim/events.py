@@ -1,0 +1,92 @@
+"""Structured event tracing for simulations.
+
+Tracing is optional (the engine takes ``trace=None`` by default because large
+experiments would otherwise allocate millions of records) but invaluable for
+debugging protocol behaviour and for the worked examples: every broadcast,
+delivery and slot outcome can be recorded and filtered after the fact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+__all__ = ["EventKind", "Event", "EventLog"]
+
+
+class EventKind(enum.Enum):
+    """Categories of traced events."""
+
+    BROADCAST = "broadcast"
+    DELIVERY = "delivery"
+    SLOT = "slot"
+    NOTE = "note"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One traced event."""
+
+    kind: EventKind
+    round_index: int
+    node_id: Optional[int] = None
+    detail: tuple = ()
+
+    def __str__(self) -> str:
+        who = f" node={self.node_id}" if self.node_id is not None else ""
+        return f"[r{self.round_index}] {self.kind.value}{who} {self.detail}"
+
+
+class EventLog:
+    """Append-only event log with simple filtering utilities."""
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        self._events: list[Event] = []
+        self._dropped = 0
+        self._max_events = max_events
+
+    def record(self, kind: EventKind, round_index: int, node_id: Optional[int] = None, *detail) -> None:
+        """Append an event (silently dropping once ``max_events`` is reached)."""
+        if self._max_events is not None and len(self._events) >= self._max_events:
+            self._dropped += 1
+            return
+        self._events.append(Event(kind, round_index, node_id, tuple(detail)))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Number of events discarded because the log was full."""
+        return self._dropped
+
+    def filter(
+        self,
+        kind: EventKind | None = None,
+        node_id: int | None = None,
+        predicate: Callable[[Event], bool] | None = None,
+    ) -> list[Event]:
+        """Events matching all the given criteria."""
+        out: Iterable[Event] = self._events
+        if kind is not None:
+            out = (e for e in out if e.kind is kind)
+        if node_id is not None:
+            out = (e for e in out if e.node_id == node_id)
+        if predicate is not None:
+            out = (e for e in out if predicate(e))
+        return list(out)
+
+    def deliveries(self) -> list[Event]:
+        """All delivery events, in round order."""
+        return self.filter(kind=EventKind.DELIVERY)
+
+    def broadcasts_by(self, node_id: int) -> list[Event]:
+        return self.filter(kind=EventKind.BROADCAST, node_id=node_id)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._dropped = 0

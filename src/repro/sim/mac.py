@@ -1,0 +1,59 @@
+"""Carrier-sensing MAC abstraction.
+
+The paper assumes devices can perform *carrier sensing* (collision detection):
+whenever there is any activity on the channel — a single message, a collision
+of several messages, or jamming noise — the device can distinguish that from
+complete silence, even if no frame is decodable.  The WSNet simulation modifies
+the MAC layer to surface exactly this tri-state information, and the functions
+here reproduce that resolution step for our channel models: given which frames
+reached a listener with what strength, produce the
+:class:`~repro.core.protocol.Observation` the protocol sees.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.messages import Frame
+from ..core.protocol import ChannelState, Observation, SILENCE
+
+__all__ = ["resolve_observation"]
+
+#: Shared collision observation (no frame decoded, channel busy).
+_COLLISION = Observation(ChannelState.COLLISION)
+
+
+def resolve_observation(
+    frames: Sequence[Frame],
+    *,
+    decoded_index: int | None = None,
+    energy_detected: bool | None = None,
+) -> Observation:
+    """Resolve what a listening device perceives in one round.
+
+    Parameters
+    ----------
+    frames:
+        The frames whose signal reached the listener above the sensing
+        threshold this round (possibly empty).
+    decoded_index:
+        Index into ``frames`` of the single frame the radio could decode, if
+        any.  ``None`` means no frame was decodable (collision / jamming), in
+        which case the observation is a collision whenever energy was present.
+    energy_detected:
+        Override for the busy test; defaults to ``len(frames) > 0``.
+
+    Returns
+    -------
+    Observation
+        ``SILENT`` when nothing was sensed, ``MESSAGE`` with the decoded frame
+        when exactly one frame was decodable, ``COLLISION`` otherwise.
+    """
+    busy = bool(frames) if energy_detected is None else bool(energy_detected)
+    if not busy:
+        return SILENCE
+    if decoded_index is not None:
+        if not (0 <= decoded_index < len(frames)):
+            raise ValueError("decoded_index out of range")
+        return Observation(ChannelState.MESSAGE, frames[decoded_index])
+    return _COLLISION

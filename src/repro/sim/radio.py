@@ -1,0 +1,274 @@
+"""Radio channel models.
+
+Two propagation models are provided, mirroring the paper's two system models:
+
+* :class:`UnitDiskChannel` — the analytical model: a transmission is heard by
+  every device within distance ``R`` (L-infinity or L2); a listener hearing
+  exactly one transmission decodes it, a listener hearing several detects a
+  collision (optionally, the *capture* behaviour of the analytical model lets
+  it decode one of them instead), and a listener hearing none perceives
+  silence.
+* :class:`FriisChannel` — the simulation model: Friis free-space path loss
+  with configurable exponent, a reception threshold, SINR-based capture (the
+  strongest signal is decoded when it sufficiently dominates the interference,
+  reproducing WSNet's capture effect), a carrier-sense threshold below the
+  reception threshold, and optional independent packet loss.
+
+Both channels operate on batches: given the listeners and the transmitters of
+one round they return one observation per listener, fully vectorised in NumPy.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.messages import Frame
+from ..core.protocol import ChannelState, Observation, SILENCE
+
+__all__ = ["Transmission", "Channel", "UnitDiskChannel", "FriisChannel"]
+
+_COLLISION = Observation(ChannelState.COLLISION)
+
+
+@dataclass(frozen=True, slots=True)
+class Transmission:
+    """One frame put on the air in the current round."""
+
+    sender: int
+    position: tuple[float, float]
+    frame: Frame
+
+
+class Channel(abc.ABC):
+    """Interface of a per-round channel model."""
+
+    @abc.abstractmethod
+    def observe(
+        self,
+        listener_ids: Sequence[int],
+        listener_positions: np.ndarray,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        """Observation perceived by every listener given this round's transmissions."""
+
+    def hears(self, listener_position: Sequence[float], transmitter_position: Sequence[float]) -> bool:
+        """Whether a single transmission at ``transmitter_position`` is audible.
+
+        Used by the engine to bound which devices could possibly be affected
+        by a transmission; channel subclasses with soft thresholds should be
+        conservative (return ``True`` whenever reception is possible).
+        """
+        raise NotImplementedError
+
+
+class UnitDiskChannel(Channel):
+    """Idealised range-based channel used for the analytical model.
+
+    Parameters
+    ----------
+    radius:
+        Communication (and interference) radius.
+    norm:
+        ``"linf"`` for the analytical grid model, ``"l2"`` for geometric
+        deployments.
+    capture_probability:
+        When two or more transmissions reach a listener, probability that the
+        listener nevertheless receives one of them (chosen uniformly at
+        random), reproducing the model sentence "v may receive either of the
+        two messages, or no message at all".  The default of ``0`` makes
+        collisions deterministic, which is what the correctness proofs assume
+        (they only rely on *activity* being detected).
+    loss_probability:
+        Independent probability that an otherwise decodable frame is lost; the
+        energy is still sensed, so the listener perceives a collision rather
+        than silence (losses cannot forge silence).
+    """
+
+    def __init__(
+        self,
+        radius: float,
+        norm: str = "l2",
+        *,
+        capture_probability: float = 0.0,
+        loss_probability: float = 0.0,
+    ) -> None:
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        if not (0.0 <= capture_probability <= 1.0):
+            raise ValueError("capture_probability must be in [0, 1]")
+        if not (0.0 <= loss_probability <= 1.0):
+            raise ValueError("loss_probability must be in [0, 1]")
+        if norm not in ("linf", "l2"):
+            raise ValueError("norm must be 'linf' or 'l2'")
+        self.radius = float(radius)
+        self.norm = norm
+        self.capture_probability = float(capture_probability)
+        self.loss_probability = float(loss_probability)
+
+    def _distances(self, listeners: np.ndarray, transmitters: np.ndarray) -> np.ndarray:
+        diff = listeners[:, None, :] - transmitters[None, :, :]
+        if self.norm == "linf":
+            return np.max(np.abs(diff), axis=-1)
+        return np.sqrt(np.sum(diff**2, axis=-1))
+
+    def hears(self, listener_position: Sequence[float], transmitter_position: Sequence[float]) -> bool:
+        lx, ly = float(listener_position[0]), float(listener_position[1])
+        tx, ty = float(transmitter_position[0]), float(transmitter_position[1])
+        if self.norm == "linf":
+            d = max(abs(lx - tx), abs(ly - ty))
+        else:
+            d = math.hypot(lx - tx, ly - ty)
+        return d <= self.radius + 1e-12
+
+    def observe(
+        self,
+        listener_ids: Sequence[int],
+        listener_positions: np.ndarray,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        num_listeners = len(listener_ids)
+        if num_listeners == 0:
+            return []
+        if not transmissions:
+            return [SILENCE] * num_listeners
+
+        tx_pos = np.asarray([t.position for t in transmissions], dtype=float)
+        listeners = np.asarray(listener_positions, dtype=float).reshape(num_listeners, 2)
+        dist = self._distances(listeners, tx_pos)
+        audible = dist <= self.radius + 1e-12
+        counts = audible.sum(axis=1)
+
+        observations: list[Observation] = []
+        for li in range(num_listeners):
+            count = int(counts[li])
+            if count == 0:
+                observations.append(SILENCE)
+                continue
+            if count == 1:
+                tx_index = int(np.nonzero(audible[li])[0][0])
+                if self.loss_probability > 0.0 and rng.random() < self.loss_probability:
+                    observations.append(_COLLISION)
+                else:
+                    observations.append(Observation(ChannelState.MESSAGE, transmissions[tx_index].frame))
+                continue
+            # Two or more audible transmissions: collision, possibly captured.
+            if self.capture_probability > 0.0 and rng.random() < self.capture_probability:
+                choices = np.nonzero(audible[li])[0]
+                tx_index = int(choices[rng.integers(0, len(choices))])
+                if self.loss_probability > 0.0 and rng.random() < self.loss_probability:
+                    observations.append(_COLLISION)
+                else:
+                    observations.append(Observation(ChannelState.MESSAGE, transmissions[tx_index].frame))
+            else:
+                observations.append(_COLLISION)
+        return observations
+
+
+class FriisChannel(Channel):
+    """Friis free-space propagation with SINR capture and carrier sensing.
+
+    The received power of a transmission over distance ``d`` is
+    ``P_rx = P_tx * (reference_distance / max(d, reference_distance)) ** path_loss_exponent``.
+    A listener decodes the strongest audible frame when (a) its power exceeds
+    ``reception_threshold`` and (b) its SINR — power divided by the sum of all
+    other received powers plus the noise floor — exceeds ``capture_threshold``.
+    Whenever the *total* received power exceeds ``sense_threshold`` the channel
+    is perceived as busy, which is how the carrier-sensing MAC of the paper
+    reports jamming and collisions.
+
+    The defaults are normalised so that ``reception_range`` (the distance at
+    which a lone transmission is decodable) plays the role of the paper's
+    broadcast range ``R``, and the carrier-sense range is ``sense_range_factor``
+    times larger, as is typical of real radios.
+    """
+
+    def __init__(
+        self,
+        reception_range: float,
+        *,
+        path_loss_exponent: float = 2.0,
+        sense_range_factor: float = 1.5,
+        capture_threshold_db: float = 6.0,
+        noise_floor: float = 1e-9,
+        loss_probability: float = 0.0,
+        tx_power: float = 1.0,
+        reference_distance: float = 1.0,
+    ) -> None:
+        if reception_range <= 0:
+            raise ValueError("reception_range must be positive")
+        if path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
+        if sense_range_factor < 1.0:
+            raise ValueError("sense_range_factor must be >= 1")
+        if not (0.0 <= loss_probability <= 1.0):
+            raise ValueError("loss_probability must be in [0, 1]")
+        self.reception_range = float(reception_range)
+        self.path_loss_exponent = float(path_loss_exponent)
+        self.sense_range_factor = float(sense_range_factor)
+        self.capture_threshold = 10.0 ** (capture_threshold_db / 10.0)
+        self.noise_floor = float(noise_floor)
+        self.loss_probability = float(loss_probability)
+        self.tx_power = float(tx_power)
+        self.reference_distance = float(reference_distance)
+        # Reception threshold: power received from exactly reception_range away.
+        self.reception_threshold = self._power_at(self.reception_range)
+        self.sense_threshold = self._power_at(self.reception_range * self.sense_range_factor)
+
+    def _power_at(self, distance: float) -> float:
+        d = max(float(distance), self.reference_distance)
+        return self.tx_power * (self.reference_distance / d) ** self.path_loss_exponent
+
+    @property
+    def sense_range(self) -> float:
+        """Distance out to which a lone transmission is sensed (but maybe not decoded)."""
+        return self.reception_range * self.sense_range_factor
+
+    def hears(self, listener_position: Sequence[float], transmitter_position: Sequence[float]) -> bool:
+        lx, ly = float(listener_position[0]), float(listener_position[1])
+        tx, ty = float(transmitter_position[0]), float(transmitter_position[1])
+        return math.hypot(lx - tx, ly - ty) <= self.sense_range + 1e-12
+
+    def observe(
+        self,
+        listener_ids: Sequence[int],
+        listener_positions: np.ndarray,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        num_listeners = len(listener_ids)
+        if num_listeners == 0:
+            return []
+        if not transmissions:
+            return [SILENCE] * num_listeners
+
+        tx_pos = np.asarray([t.position for t in transmissions], dtype=float)
+        listeners = np.asarray(listener_positions, dtype=float).reshape(num_listeners, 2)
+        diff = listeners[:, None, :] - tx_pos[None, :, :]
+        dist = np.sqrt(np.sum(diff**2, axis=-1))
+        dist = np.maximum(dist, self.reference_distance)
+        powers = self.tx_power * (self.reference_distance / dist) ** self.path_loss_exponent
+        total = powers.sum(axis=1)
+
+        observations: list[Observation] = []
+        for li in range(num_listeners):
+            row = powers[li]
+            total_power = float(total[li])
+            if total_power < self.sense_threshold:
+                observations.append(SILENCE)
+                continue
+            strongest = int(np.argmax(row))
+            signal = float(row[strongest])
+            interference = total_power - signal + self.noise_floor
+            decodable = signal >= self.reception_threshold and signal >= self.capture_threshold * interference
+            if decodable and (self.loss_probability == 0.0 or rng.random() >= self.loss_probability):
+                observations.append(Observation(ChannelState.MESSAGE, transmissions[strongest].frame))
+            else:
+                observations.append(_COLLISION)
+        return observations

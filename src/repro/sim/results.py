@@ -1,0 +1,147 @@
+"""Run results and the four metrics the paper's evaluation reports.
+
+Section 6 of the paper measures, for every simulation run: how long the
+broadcast took to terminate, the percentage of devices that completed the
+protocol, the number of broadcasts needed, and the percentage of completed
+devices that received the *correct* message.  :class:`RunResult` records the
+raw per-device outcomes of one run and derives those four quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..core.messages import Bits
+
+__all__ = ["NodeOutcome", "RunResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeOutcome:
+    """Outcome of a single device at the end of a run."""
+
+    node_id: int
+    honest: bool
+    active: bool
+    delivered: bool
+    correct: Optional[bool]
+    delivery_round: Optional[int]
+    broadcasts: int
+
+    @property
+    def completed(self) -> bool:
+        """Whether the device completed the protocol (delivered some message)."""
+        return self.delivered
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Aggregate outcome of one simulation run."""
+
+    message: Bits
+    total_rounds: int
+    terminated: bool
+    outcomes: dict[int, NodeOutcome] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    # -- per-population helpers -------------------------------------------------------
+    def _honest_active(self) -> list[NodeOutcome]:
+        return [o for o in self.outcomes.values() if o.honest and o.active]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def num_honest(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.honest and o.active)
+
+    @property
+    def num_adversaries(self) -> int:
+        return sum(1 for o in self.outcomes.values() if not o.honest)
+
+    @property
+    def num_crashed(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.honest and not o.active)
+
+    # -- the paper's four metrics -------------------------------------------------------
+    @property
+    def completion_rounds(self) -> int:
+        """How long the broadcast took (rounds until the last honest delivery)."""
+        rounds = [o.delivery_round for o in self._honest_active() if o.delivery_round is not None]
+        return max(rounds) if rounds else self.total_rounds
+
+    @property
+    def completion_fraction(self) -> float:
+        """Fraction of honest active devices that completed the protocol."""
+        honest = self._honest_active()
+        if not honest:
+            return 0.0
+        return sum(1 for o in honest if o.delivered) / len(honest)
+
+    @property
+    def total_broadcasts(self) -> int:
+        """Total number of broadcasts by all devices (honest and Byzantine)."""
+        return sum(o.broadcasts for o in self.outcomes.values())
+
+    @property
+    def honest_broadcasts(self) -> int:
+        return sum(o.broadcasts for o in self.outcomes.values() if o.honest)
+
+    @property
+    def adversary_broadcasts(self) -> int:
+        return sum(o.broadcasts for o in self.outcomes.values() if not o.honest)
+
+    @property
+    def correctness_fraction(self) -> float:
+        """Fraction of *completed* honest devices that delivered the correct message.
+
+        This is the metric of Figure 6: "the percentage of delivered messages
+        that are correct".  Devices that never completed are excluded.
+        """
+        delivered = [o for o in self._honest_active() if o.delivered]
+        if not delivered:
+            return 1.0
+        return sum(1 for o in delivered if o.correct) / len(delivered)
+
+    @property
+    def correct_delivery_fraction(self) -> float:
+        """Fraction of honest active devices that delivered the *correct* message.
+
+        This combines coverage and correctness and is the quantity thresholded
+        at 90% by Figure 7.
+        """
+        honest = self._honest_active()
+        if not honest:
+            return 0.0
+        return sum(1 for o in honest if o.delivered and o.correct) / len(honest)
+
+    @property
+    def any_incorrect_delivery(self) -> bool:
+        """Whether any honest device accepted a message the source did not send."""
+        return any(o.delivered and o.correct is False for o in self._honest_active())
+
+    # -- presentation -----------------------------------------------------------------
+    def summary(self) -> Mapping[str, float]:
+        """Compact dictionary of the headline metrics (handy for tables/tests)."""
+        return {
+            "rounds": float(self.completion_rounds),
+            "total_rounds": float(self.total_rounds),
+            "terminated": float(self.terminated),
+            "completion_fraction": self.completion_fraction,
+            "correctness_fraction": self.correctness_fraction,
+            "correct_delivery_fraction": self.correct_delivery_fraction,
+            "honest_broadcasts": float(self.honest_broadcasts),
+            "adversary_broadcasts": float(self.adversary_broadcasts),
+            "num_honest": float(self.num_honest),
+            "num_adversaries": float(self.num_adversaries),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunResult(rounds={self.completion_rounds}, "
+            f"completed={self.completion_fraction:.2%}, "
+            f"correct={self.correctness_fraction:.2%}, "
+            f"terminated={self.terminated})"
+        )

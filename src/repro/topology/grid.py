@@ -1,0 +1,133 @@
+"""Grid deployments for the analytical model.
+
+The paper's running-time analysis places one device at every integer grid
+point of an ``width x height`` rectangle and measures communication in the
+L-infinity norm.  These helpers build that topology (optionally sub-sampled)
+and compute the quantities the analysis refers to (diameter, neighborhood
+size, maximum tolerable number of Byzantine devices).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GridSpec", "grid_positions", "grid_index_of", "GridTopology"]
+
+
+@dataclass(frozen=True, slots=True)
+class GridSpec:
+    """Specification of an analytical unit grid.
+
+    Attributes
+    ----------
+    width, height:
+        Number of grid points along each axis (so coordinates run from 0 to
+        ``width - 1`` / ``height - 1``).
+    spacing:
+        Distance between adjacent grid points.  The paper uses unit spacing.
+    """
+
+    width: int
+    height: int
+    spacing: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("grid dimensions must be positive")
+        if self.spacing <= 0:
+            raise ValueError("grid spacing must be positive")
+
+    @property
+    def num_points(self) -> int:
+        return self.width * self.height
+
+    @property
+    def extent(self) -> tuple[float, float]:
+        """Physical extent of the grid along each axis."""
+        return ((self.width - 1) * self.spacing, (self.height - 1) * self.spacing)
+
+
+def grid_positions(spec: GridSpec) -> np.ndarray:
+    """Return the ``(width*height, 2)`` array of grid point coordinates.
+
+    Points are ordered row-major: index ``i`` corresponds to
+    ``(i % width, i // width)`` scaled by ``spacing``.
+    """
+    xs = np.arange(spec.width, dtype=float) * spec.spacing
+    ys = np.arange(spec.height, dtype=float) * spec.spacing
+    gx, gy = np.meshgrid(xs, ys)
+    return np.column_stack([gx.ravel(), gy.ravel()])
+
+
+def grid_index_of(spec: GridSpec, x: int, y: int) -> int:
+    """Index into :func:`grid_positions` of the grid point ``(x, y)``."""
+    if not (0 <= x < spec.width and 0 <= y < spec.height):
+        raise ValueError(f"grid point ({x}, {y}) outside {spec.width}x{spec.height} grid")
+    return y * spec.width + x
+
+
+@dataclass(slots=True)
+class GridTopology:
+    """A fully materialised analytical grid topology.
+
+    Combines the grid specification with the communication radius ``R`` and
+    exposes the derived quantities used by the paper's theorems:
+
+    * ``neighborhood_size`` -- ``(2R+1)^2 - 1`` devices per neighborhood,
+    * ``max_tolerable_t`` -- Koo's bound ``t < R(2R+1)/2``,
+    * ``diameter_hops`` -- the hop diameter ``D`` used in Theorem 5.
+    """
+
+    spec: GridSpec
+    radius: float
+    positions: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("communication radius must be positive")
+        self.positions = grid_positions(self.spec)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.spec.num_points
+
+    @property
+    def radius_in_cells(self) -> int:
+        """Communication radius expressed in grid cells (rounded down)."""
+        return int(math.floor(self.radius / self.spec.spacing + 1e-9))
+
+    @property
+    def neighborhood_size(self) -> int:
+        """Number of other grid points inside one L-infinity neighborhood."""
+        r = self.radius_in_cells
+        return (2 * r + 1) ** 2 - 1
+
+    @property
+    def max_tolerable_t(self) -> int:
+        """Largest ``t`` satisfying Koo's bound ``t < R(2R+1)/2`` (strictly)."""
+        r = self.radius_in_cells
+        bound = 0.5 * r * (2 * r + 1)
+        t = int(math.ceil(bound)) - 1
+        return max(t, 0)
+
+    @property
+    def neighborwatch_tolerable_t(self) -> int:
+        """Largest ``t`` tolerated by NeighborWatchRB: ``t < ceil(R/2)^2``."""
+        r = self.radius_in_cells
+        return max(int(math.ceil(r / 2)) ** 2 - 1, 0)
+
+    @property
+    def diameter_hops(self) -> int:
+        """Hop diameter of the grid under the L-infinity communication model."""
+        ex, ey = self.spec.extent
+        return int(math.ceil(max(ex, ey) / self.radius))
+
+    def index_of(self, x: int, y: int) -> int:
+        return grid_index_of(self.spec, x, y)
+
+    def center_index(self) -> int:
+        """Index of the grid point closest to the geometric center."""
+        return self.index_of(self.spec.width // 2, self.spec.height // 2)

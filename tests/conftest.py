@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.config import ScenarioConfig
+from repro.topology.deployment import Deployment, grid_jittered_deployment, uniform_deployment
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_grid_deployment() -> Deployment:
+    """A 7x7 unit grid (49 devices) with the source at the center."""
+    return grid_jittered_deployment(6, 6, spacing=1.0)
+
+
+@pytest.fixture
+def tiny_grid_deployment() -> Deployment:
+    """A 5x5 unit grid (25 devices) with the source at the center."""
+    return grid_jittered_deployment(4, 4, spacing=1.0)
+
+
+@pytest.fixture
+def uniform_small_deployment() -> Deployment:
+    """A random uniform deployment dense enough for every protocol to finish."""
+    return uniform_deployment(90, 8, 8, rng=7)
+
+
+@pytest.fixture
+def nw_config() -> ScenarioConfig:
+    return ScenarioConfig(protocol="neighborwatch", radius=3.0, message_length=3, seed=11)
+
+
+@pytest.fixture
+def mp_config() -> ScenarioConfig:
+    return ScenarioConfig(
+        protocol="multipath", radius=3.0, message_length=2, multipath_tolerance=1, seed=11
+    )
+
+
+@pytest.fixture
+def epidemic_config() -> ScenarioConfig:
+    return ScenarioConfig(protocol="epidemic", radius=3.0, message_length=3, seed=11)

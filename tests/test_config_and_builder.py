@@ -1,0 +1,207 @@
+"""Unit tests for scenario configuration and the simulation builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.neighborwatch import NeighborWatchNode
+from repro.core.multipath import MultiPathNode
+from repro.core.epidemic import EpidemicNode
+from repro.core.schedule import NodeSchedule, SquareSchedule
+from repro.sim.builder import build_schedule, build_simulation, run_scenario
+from repro.sim.config import ChannelName, FaultPlan, ProtocolName, ScenarioConfig, default_message
+from repro.sim.radio import FriisChannel, UnitDiskChannel
+from repro.topology.deployment import uniform_deployment
+
+
+class TestProtocolName:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("neighborwatch", ProtocolName.NEIGHBORWATCH),
+            ("NeighborWatchRB", ProtocolName.NEIGHBORWATCH),
+            ("nw", ProtocolName.NEIGHBORWATCH),
+            ("nw2", ProtocolName.NEIGHBORWATCH_2VOTE),
+            ("2-vote", ProtocolName.NEIGHBORWATCH_2VOTE),
+            ("MultiPathRB", ProtocolName.MULTIPATH),
+            ("mp", ProtocolName.MULTIPATH),
+            ("flooding", ProtocolName.EPIDEMIC),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert ProtocolName.parse(alias) is expected
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            ProtocolName.parse("quantum")
+
+    def test_parse_passthrough(self):
+        assert ProtocolName.parse(ProtocolName.EPIDEMIC) is ProtocolName.EPIDEMIC
+
+
+class TestDefaultMessage:
+    def test_pattern(self):
+        assert default_message(5) == (1, 0, 1, 0, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            default_message(0)
+
+
+class TestScenarioConfig:
+    def test_defaults(self):
+        cfg = ScenarioConfig()
+        assert cfg.protocol is ProtocolName.NEIGHBORWATCH
+        assert cfg.message_bits == (1, 0, 1, 0)
+        assert cfg.separation == pytest.approx(12.0)
+        assert cfg.epidemic_slot_separation == pytest.approx(12.0)
+
+    def test_explicit_message_must_match_length(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(message_length=3, message=(1, 0))
+
+    def test_square_side_default_l2(self):
+        cfg = ScenarioConfig(radius=3.0)
+        assert cfg.effective_square_side() == pytest.approx(1.0)
+
+    def test_square_side_default_linf(self):
+        cfg = ScenarioConfig(radius=4.0, norm="linf")
+        assert cfg.effective_square_side() == pytest.approx(2.0)
+
+    def test_square_side_override(self):
+        cfg = ScenarioConfig(radius=4.0, square_side=1.5)
+        assert cfg.effective_square_side() == 1.5
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(radius=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(message_length=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(norm="l1")
+        with pytest.raises(ValueError):
+            ScenarioConfig(multipath_tolerance=-1)
+
+    def test_with_protocol_copy(self):
+        cfg = ScenarioConfig(radius=3.0, seed=9)
+        other = cfg.with_protocol("epidemic")
+        assert other.protocol is ProtocolName.EPIDEMIC
+        assert other.radius == 3.0 and other.seed == 9
+        assert cfg.protocol is ProtocolName.NEIGHBORWATCH
+
+    def test_derive_max_rounds_respects_override(self):
+        cfg = ScenarioConfig(max_rounds=123)
+        assert cfg.derive_max_rounds(20.0, 600) == 123
+
+    def test_derive_max_rounds_grows_with_budget(self):
+        cfg = ScenarioConfig()
+        base = cfg.derive_max_rounds(20.0, 600, adversary_budget=0)
+        jammed = cfg.derive_max_rounds(20.0, 600, adversary_budget=100)
+        assert jammed > base
+
+    def test_derive_max_rounds_bits_per_hop(self):
+        cfg = ScenarioConfig(protocol="multipath")
+        base = cfg.derive_max_rounds(20.0, 600, bits_per_hop=1)
+        scaled = cfg.derive_max_rounds(20.0, 600, bits_per_hop=10)
+        assert scaled > base
+
+
+class TestFaultPlan:
+    def test_normalisation(self):
+        plan = FaultPlan(crashed=(3, 1, 1), jammers=(5,), liars=(7,))
+        assert plan.crashed == (1, 3)
+        assert plan.faulty == (1, 3, 5, 7)
+        assert plan.byzantine == (5, 7)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crashed=(1,), jammers=(1,))
+
+    def test_budget_total(self):
+        assert FaultPlan(jammers=(1, 2), jammer_budget=10).total_jam_budget() == 20
+        assert FaultPlan(jammers=(1, 2)).total_jam_budget() == 0
+
+    def test_validate_for_source(self):
+        plan = FaultPlan(liars=(0,))
+        with pytest.raises(ValueError):
+            plan.validate_for(10, source_index=0)
+
+    def test_validate_for_range(self):
+        plan = FaultPlan(crashed=(99,))
+        with pytest.raises(ValueError):
+            plan.validate_for(10, source_index=0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FaultPlan(jam_probability=2.0)
+
+
+class TestBuilder:
+    @pytest.fixture
+    def deployment(self):
+        return uniform_deployment(60, 8, 8, rng=4)
+
+    def test_build_schedule_kinds(self, deployment):
+        assert isinstance(
+            build_schedule(deployment, ScenarioConfig(protocol="neighborwatch", radius=3)),
+            SquareSchedule,
+        )
+        assert isinstance(
+            build_schedule(deployment, ScenarioConfig(protocol="multipath", radius=3)),
+            NodeSchedule,
+        )
+        epidemic_sched = build_schedule(deployment, ScenarioConfig(protocol="epidemic", radius=3))
+        assert isinstance(epidemic_sched, NodeSchedule)
+        assert epidemic_sched.phases_per_slot == 1
+
+    def test_build_simulation_protocol_types(self, deployment):
+        cfg = ScenarioConfig(protocol="neighborwatch", radius=3, message_length=2)
+        sim = build_simulation(deployment, cfg)
+        honest_protos = [n.protocol for n in sim.nodes if n.protocol is not None]
+        assert all(isinstance(p, NeighborWatchNode) for p in honest_protos)
+
+        cfg = ScenarioConfig(protocol="multipath", radius=3, message_length=2)
+        sim = build_simulation(deployment, cfg)
+        assert all(isinstance(n.protocol, MultiPathNode) for n in sim.nodes)
+
+        cfg = ScenarioConfig(protocol="epidemic", radius=3, message_length=2)
+        sim = build_simulation(deployment, cfg)
+        assert all(isinstance(n.protocol, EpidemicNode) for n in sim.nodes)
+
+    def test_build_simulation_channels(self, deployment):
+        cfg = ScenarioConfig(radius=3, channel="friis")
+        sim = build_simulation(deployment, cfg)
+        assert isinstance(sim.channel, FriisChannel)
+        cfg = ScenarioConfig(radius=3, channel=ChannelName.UNIT_DISK)
+        sim = build_simulation(deployment, cfg)
+        assert isinstance(sim.channel, UnitDiskChannel)
+
+    def test_faults_applied(self, deployment):
+        src = deployment.source_index
+        ids = [i for i in range(deployment.num_nodes) if i != src]
+        plan = FaultPlan(crashed=(ids[0],), jammers=(ids[1],), liars=(ids[2],), jammer_budget=5)
+        cfg = ScenarioConfig(protocol="neighborwatch", radius=3, message_length=2)
+        sim = build_simulation(deployment, cfg, plan)
+        assert sim.nodes[ids[0]].protocol is None
+        assert not sim.nodes[ids[1]].honest
+        assert not sim.nodes[ids[2]].honest
+        assert isinstance(sim.nodes[ids[2]].protocol, NeighborWatchNode)
+
+    def test_faulty_source_rejected(self, deployment):
+        plan = FaultPlan(liars=(deployment.source_index,))
+        with pytest.raises(ValueError):
+            build_simulation(deployment, ScenarioConfig(radius=3), plan)
+
+    def test_run_scenario_metadata(self, deployment):
+        cfg = ScenarioConfig(protocol="epidemic", radius=3, message_length=2, seed=5)
+        result = run_scenario(deployment, cfg)
+        assert result.metadata["protocol"] == "epidemic"
+        assert result.metadata["num_nodes"] == deployment.num_nodes
+        assert result.metadata["seed"] == 5
+        assert result.terminated
+
+    def test_run_scenario_reproducible(self, deployment):
+        cfg = ScenarioConfig(protocol="neighborwatch", radius=3, message_length=2, seed=5)
+        a = run_scenario(deployment, cfg)
+        b = run_scenario(deployment, cfg)
+        assert a.summary() == b.summary()

@@ -1,0 +1,167 @@
+"""Unit tests for deployment generators (repro.topology.deployment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.deployment import (
+    Deployment,
+    clustered_deployment,
+    density,
+    grid_jittered_deployment,
+    marsaglia_normal_pairs,
+    uniform_deployment,
+)
+
+
+class TestDeploymentDataclass:
+    def test_density(self):
+        dep = Deployment(positions=np.zeros((50, 2)) + 1.0, width=10, height=5)
+        assert dep.density == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Deployment(positions=np.empty((0, 2)), width=5, height=5)
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(ValueError):
+            Deployment(positions=np.zeros((3, 2)), width=5, height=5, source_index=3)
+
+    def test_with_source_at_center(self):
+        pos = np.array([[0.0, 0.0], [5.0, 5.0], [9.0, 9.0]])
+        dep = Deployment(positions=pos, width=10, height=10, source_index=0)
+        assert dep.with_source_at_center().source_index == 1
+
+    def test_subset_preserves_source(self):
+        pos = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        dep = Deployment(positions=pos, width=4, height=4, source_index=1)
+        sub = dep.subset([0, 1, 3])
+        assert sub.num_nodes == 3
+        assert sub.positions[sub.source_index].tolist() == [1.0, 1.0]
+
+    def test_subset_requires_source(self):
+        pos = np.zeros((4, 2))
+        dep = Deployment(positions=pos, width=4, height=4, source_index=1)
+        with pytest.raises(ValueError):
+            dep.subset([0, 2, 3])
+
+
+class TestDensityHelper:
+    def test_density_value(self):
+        assert density(800, 24, 24) == pytest.approx(800 / 576)
+
+    def test_density_invalid_map(self):
+        with pytest.raises(ValueError):
+            density(10, 0, 5)
+
+
+class TestUniformDeployment:
+    def test_positions_within_map(self):
+        dep = uniform_deployment(200, 20, 30, rng=0)
+        assert dep.num_nodes == 200
+        assert (dep.positions[:, 0] >= 0).all() and (dep.positions[:, 0] <= 20).all()
+        assert (dep.positions[:, 1] >= 0).all() and (dep.positions[:, 1] <= 30).all()
+
+    def test_reproducible_with_seed(self):
+        a = uniform_deployment(50, 10, 10, rng=42)
+        b = uniform_deployment(50, 10, 10, rng=42)
+        assert np.allclose(a.positions, b.positions)
+
+    def test_different_seeds_differ(self):
+        a = uniform_deployment(50, 10, 10, rng=1)
+        b = uniform_deployment(50, 10, 10, rng=2)
+        assert not np.allclose(a.positions, b.positions)
+
+    def test_source_near_center(self):
+        dep = uniform_deployment(300, 20, 20, rng=3)
+        center = np.array([10.0, 10.0])
+        d = np.abs(dep.positions - center).max(axis=1)
+        assert d[dep.source_index] == d.min()
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            uniform_deployment(0, 10, 10)
+
+
+class TestMarsagliaPairs:
+    def test_shape(self):
+        gen = np.random.default_rng(0)
+        assert marsaglia_normal_pairs(100, gen).shape == (100, 2)
+
+    def test_zero(self):
+        gen = np.random.default_rng(0)
+        assert marsaglia_normal_pairs(0, gen).shape == (0, 2)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            marsaglia_normal_pairs(-1, np.random.default_rng(0))
+
+    def test_moments_are_standard_normal(self):
+        gen = np.random.default_rng(123)
+        samples = marsaglia_normal_pairs(20000, gen)
+        assert abs(samples.mean()) < 0.05
+        assert abs(samples.std() - 1.0) < 0.05
+
+    def test_coordinates_uncorrelated(self):
+        gen = np.random.default_rng(7)
+        samples = marsaglia_normal_pairs(20000, gen)
+        corr = np.corrcoef(samples[:, 0], samples[:, 1])[0, 1]
+        assert abs(corr) < 0.05
+
+
+class TestClusteredDeployment:
+    def test_positions_within_map(self):
+        dep = clustered_deployment(400, 30, 30, num_clusters=6, rng=0)
+        assert dep.num_nodes == 400
+        assert (dep.positions >= 0).all()
+        assert (dep.positions[:, 0] <= 30).all() and (dep.positions[:, 1] <= 30).all()
+
+    def test_is_actually_clustered(self):
+        """Clustered deployments have higher local density variance than uniform ones."""
+        uni = uniform_deployment(600, 30, 30, rng=5)
+        clu = clustered_deployment(600, 30, 30, num_clusters=5, cluster_std=2.0, rng=5)
+
+        def cell_counts(dep):
+            cells = np.floor(dep.positions / 5.0).astype(int)
+            keys = cells[:, 0] * 100 + cells[:, 1]
+            _, counts = np.unique(keys, return_counts=True)
+            full = np.zeros(36)
+            full[: len(counts)] = counts
+            return full
+
+        assert cell_counts(clu).std() > cell_counts(uni).std()
+
+    def test_metadata(self):
+        dep = clustered_deployment(100, 20, 20, num_clusters=3, rng=1)
+        assert dep.metadata["kind"] == "clustered"
+        assert dep.metadata["num_clusters"] == 3
+
+    def test_invalid_clusters(self):
+        with pytest.raises(ValueError):
+            clustered_deployment(100, 20, 20, num_clusters=0)
+
+
+class TestGridJitteredDeployment:
+    def test_exact_grid_when_no_jitter(self):
+        dep = grid_jittered_deployment(4, 4, spacing=1.0)
+        assert dep.num_nodes == 25
+        assert set(map(tuple, dep.positions.tolist())) == {
+            (float(x), float(y)) for x in range(5) for y in range(5)
+        }
+
+    def test_jitter_stays_on_map(self):
+        dep = grid_jittered_deployment(5, 5, spacing=1.0, jitter=0.4, rng=3)
+        assert (dep.positions >= 0).all()
+        assert (dep.positions <= 5).all()
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            grid_jittered_deployment(5, 5, spacing=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+    def test_grid_count_property(self, w, h):
+        dep = grid_jittered_deployment(w, h, spacing=1.0)
+        assert dep.num_nodes == (w + 1) * (h + 1)

@@ -1,0 +1,149 @@
+"""Tests for the digest helpers and the dual-mode combination logic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.digest import digest_matches, polynomial_digest, recommended_digest_length
+from repro.core.dualmode import combine_dual_mode
+from repro.sim.results import NodeOutcome, RunResult
+
+bits_strategy = st.lists(st.integers(0, 1), min_size=1, max_size=64)
+
+
+class TestPolynomialDigest:
+    def test_deterministic(self):
+        msg = (1, 0, 1, 1)
+        assert polynomial_digest(msg, 8) == polynomial_digest(msg, 8)
+
+    def test_length(self):
+        assert len(polynomial_digest((1, 0, 1), 5)) == 5
+        assert len(polynomial_digest((1, 0, 1), 70)) == 70
+
+    def test_different_messages_usually_differ(self):
+        collisions = 0
+        base = polynomial_digest((1, 0, 1, 0, 1, 0, 1, 0), 16)
+        for i in range(50):
+            other = tuple(int(b) for b in format(i + 1, "08b"))
+            if polynomial_digest(other, 16) == base and other != (1, 0, 1, 0, 1, 0, 1, 0):
+                collisions += 1
+        assert collisions <= 1
+
+    def test_prefix_does_not_collide_with_extension(self):
+        assert polynomial_digest((1, 0), 16) != polynomial_digest((1, 0, 0), 16)
+
+    def test_matches(self):
+        msg = (0, 1, 1, 0, 1)
+        digest = polynomial_digest(msg, 6)
+        assert digest_matches(msg, digest)
+        assert not digest_matches((1, 1, 1, 0, 1), digest)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            polynomial_digest((1, 0), 0)
+        with pytest.raises(ValueError):
+            polynomial_digest((1, 2), 4)
+
+    @settings(max_examples=100, deadline=None)
+    @given(bits_strategy, st.integers(min_value=1, max_value=32))
+    def test_roundtrip_property(self, message, width):
+        digest = polynomial_digest(message, width)
+        assert len(digest) == width
+        assert all(b in (0, 1) for b in digest)
+        assert digest_matches(message, digest)
+
+
+class TestRecommendedDigestLength:
+    def test_tenth_of_message(self):
+        assert recommended_digest_length(50) == 5
+        assert recommended_digest_length(100, ratio=0.07) == 7
+
+    def test_at_least_one(self):
+        assert recommended_digest_length(3) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            recommended_digest_length(0)
+        with pytest.raises(ValueError):
+            recommended_digest_length(10, ratio=0.0)
+
+
+def make_result(message, outcomes):
+    return RunResult(message=tuple(message), total_rounds=100, terminated=True, outcomes=outcomes)
+
+
+def honest_outcome(node_id, delivered, correct, round_=50):
+    return NodeOutcome(
+        node_id=node_id,
+        honest=True,
+        active=True,
+        delivered=delivered,
+        correct=correct,
+        delivery_round=round_ if delivered else None,
+        broadcasts=1,
+    )
+
+
+class TestCombineDualMode:
+    def setup_method(self):
+        self.message = (1, 0, 1, 1, 0, 0, 1, 0, 1, 1)
+        self.digest = polynomial_digest(self.message, 2)
+
+    def test_accepts_when_both_delivered_correctly(self):
+        payload = make_result(self.message, {0: honest_outcome(0, True, True)})
+        digest = make_result(self.digest, {0: honest_outcome(0, True, True)})
+        combined = combine_dual_mode(self.message, payload, digest)
+        assert combined.outcomes[0].accepted
+        assert combined.outcomes[0].correct
+        assert combined.acceptance_fraction == 1.0
+        assert combined.correctness_fraction == 1.0
+
+    def test_rejects_without_digest(self):
+        payload = make_result(self.message, {0: honest_outcome(0, True, True)})
+        digest = make_result(self.digest, {0: honest_outcome(0, False, None)})
+        combined = combine_dual_mode(self.message, payload, digest)
+        assert not combined.outcomes[0].accepted
+
+    def test_rejects_fake_payload(self):
+        payload = make_result(self.message, {0: honest_outcome(0, True, False)})
+        digest = make_result(self.digest, {0: honest_outcome(0, True, True)})
+        combined = combine_dual_mode(self.message, payload, digest)
+        assert not combined.outcomes[0].accepted
+        assert not combined.any_incorrect_acceptance
+
+    def test_total_rounds_is_sum_of_phases(self):
+        payload = make_result(self.message, {0: honest_outcome(0, True, True, round_=40)})
+        digest = make_result(self.digest, {0: honest_outcome(0, True, True, round_=60)})
+        combined = combine_dual_mode(self.message, payload, digest)
+        assert combined.total_rounds == 100
+        assert combined.payload_rounds == 40
+        assert combined.digest_rounds == 60
+
+    def test_mismatched_digest_run_rejected(self):
+        payload = make_result(self.message, {0: honest_outcome(0, True, True)})
+        wrong_digest = make_result((1, 1, 1), {0: honest_outcome(0, True, True)})
+        with pytest.raises(ValueError):
+            combine_dual_mode(self.message, payload, wrong_digest)
+
+    def test_adversary_and_crashed_devices_excluded(self):
+        payload = make_result(
+            self.message,
+            {
+                0: honest_outcome(0, True, True),
+                1: NodeOutcome(1, honest=False, active=True, delivered=False, correct=None,
+                               delivery_round=None, broadcasts=3),
+                2: NodeOutcome(2, honest=True, active=False, delivered=False, correct=None,
+                               delivery_round=None, broadcasts=0),
+            },
+        )
+        digest = make_result(self.digest, {0: honest_outcome(0, True, True)})
+        combined = combine_dual_mode(self.message, payload, digest)
+        assert set(combined.outcomes) == {0}
+
+    def test_summary_keys(self):
+        payload = make_result(self.message, {0: honest_outcome(0, True, True)})
+        digest = make_result(self.digest, {0: honest_outcome(0, True, True)})
+        summary = combine_dual_mode(self.message, payload, digest).summary()
+        for key in ("total_rounds", "acceptance_fraction", "correctness_fraction"):
+            assert key in summary

@@ -1,0 +1,228 @@
+"""Unit tests for the simulation engine, using small stub protocols."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+import pytest
+
+from repro.core.messages import Frame, FrameKind
+from repro.core.protocol import Observation, Protocol
+from repro.core.schedule import NodeSchedule
+from repro.sim.engine import Simulation
+from repro.sim.events import EventKind, EventLog
+from repro.sim.node import SimNode
+from repro.sim.radio import UnitDiskChannel
+
+
+class Beacon(Protocol):
+    """Broadcasts its payload once in its own slot; delivered immediately."""
+
+    def __init__(self, slot: int, payload=(1,)):
+        self._slot = slot
+        self._payload = tuple(payload)
+        self._sent = False
+
+    def interests(self) -> Iterable[int]:
+        return (self._slot,)
+
+    def act(self, slot_cycle, slot, phase) -> Optional[Frame]:
+        if slot == self._slot and phase == 0 and not self._sent:
+            self._sent = True
+            return Frame(FrameKind.PAYLOAD, self.context.node_id, self._payload)
+        return None
+
+    def observe(self, slot_cycle, slot, phase, observation: Observation) -> None:
+        pass
+
+    @property
+    def delivered(self) -> bool:
+        return True
+
+    @property
+    def delivered_message(self):
+        return self._payload
+
+
+class Listener(Protocol):
+    """Listens to one slot and delivers the first payload it decodes."""
+
+    def __init__(self, slot: int, expected_len: int = 1):
+        self._slot = slot
+        self._message = None
+        self._observations = []
+        self._expected_len = expected_len
+
+    def interests(self) -> Iterable[int]:
+        return (self._slot,)
+
+    def act(self, slot_cycle, slot, phase) -> Optional[Frame]:
+        return None
+
+    def observe(self, slot_cycle, slot, phase, observation: Observation) -> None:
+        self._observations.append(observation)
+        frame = observation.decoded
+        if frame is not None and frame.kind is FrameKind.PAYLOAD and self._message is None:
+            self._message = tuple(frame.payload)
+
+    @property
+    def observations(self):
+        return self._observations
+
+    @property
+    def delivered(self) -> bool:
+        return self._message is not None
+
+    @property
+    def delivered_message(self):
+        return self._message
+
+
+def make_sim(positions, protocols, message=(1,), honest=None, radius=2.0, phases=1):
+    positions = np.asarray(positions, dtype=float)
+    schedule = NodeSchedule(positions, radius=radius, source_index=0, phases_per_slot=phases,
+                            separation=2 * radius)
+    channel = UnitDiskChannel(radius)
+    nodes = []
+    for i, proto in enumerate(protocols):
+        if proto is not None:
+            from repro.core.protocol import NodeContext
+
+            proto.setup(
+                NodeContext(
+                    node_id=i,
+                    position=(float(positions[i, 0]), float(positions[i, 1])),
+                    radius=radius,
+                    schedule=schedule,
+                    message_length=len(message),
+                    is_source=(i == 0),
+                    source_message=tuple(message) if i == 0 else None,
+                )
+            )
+        nodes.append(
+            SimNode(
+                node_id=i,
+                position=(float(positions[i, 0]), float(positions[i, 1])),
+                protocol=proto,
+                honest=(honest[i] if honest else True),
+            )
+        )
+    return Simulation(nodes, schedule, channel, message), schedule
+
+
+class TestEngineBasics:
+    def test_beacon_reaches_listener(self):
+        positions = [(0, 0), (1, 0)]
+        # Node 0 broadcasts in its slot; node 1 listens to that slot.
+        schedule_probe = NodeSchedule(np.asarray(positions, float), 2.0, 0, phases_per_slot=1)
+        slot0 = schedule_probe.slot_of_node(0)
+        sim, _ = make_sim(positions, [Beacon(slot0, (1, 0)), Listener(slot0, 2)], message=(1, 0))
+        result = sim.run(max_rounds=20)
+        assert result.terminated
+        assert result.outcomes[1].delivered
+        assert result.outcomes[1].correct
+
+    def test_out_of_range_listener_gets_nothing(self):
+        positions = [(0, 0), (10, 0)]
+        sim, sched = make_sim(positions, [Beacon(0), Listener(0)])
+        result = sim.run(max_rounds=20)
+        assert not result.outcomes[1].delivered
+        assert not result.terminated
+
+    def test_listener_records_silence_for_empty_slots(self):
+        positions = [(0, 0), (1, 0)]
+        listener = Listener(0)
+        sim, _ = make_sim(positions, [None, listener])
+        sim.run_slots(3)
+        assert len(listener.observations) >= 1
+        assert all(not o.busy for o in listener.observations)
+
+    def test_broadcast_counted(self):
+        positions = [(0, 0), (1, 0)]
+        sim, _ = make_sim(positions, [Beacon(0), Listener(0)])
+        sim.run(max_rounds=20)
+        assert sim.nodes[0].broadcasts == 1
+
+    def test_crashed_node_inactive_in_results(self):
+        positions = [(0, 0), (1, 0)]
+        sim, _ = make_sim(positions, [Beacon(0), None])
+        result = sim.run(max_rounds=10)
+        assert not result.outcomes[1].active
+        assert result.outcomes[1].delivered is False
+
+    def test_trace_records_broadcasts_and_deliveries(self):
+        positions = [(0, 0), (1, 0)]
+        trace = EventLog()
+        positions_arr = np.asarray(positions, float)
+        schedule = NodeSchedule(positions_arr, 2.0, 0, phases_per_slot=1, separation=4.0)
+        channel = UnitDiskChannel(2.0)
+        protos = [Beacon(0), Listener(0)]
+        from repro.core.protocol import NodeContext
+
+        for i, proto in enumerate(protos):
+            proto.setup(
+                NodeContext(
+                    node_id=i,
+                    position=tuple(positions[i]),
+                    radius=2.0,
+                    schedule=schedule,
+                    message_length=1,
+                    is_source=(i == 0),
+                    source_message=(1,) if i == 0 else None,
+                )
+            )
+        nodes = [SimNode(i, tuple(map(float, positions[i])), protos[i]) for i in range(2)]
+        sim = Simulation(nodes, schedule, channel, (1,), trace=trace)
+        sim.run(max_rounds=20)
+        assert len(trace.filter(kind=EventKind.BROADCAST)) == 1
+        assert len(trace.deliveries()) >= 1
+
+    def test_node_id_mismatch_rejected(self):
+        positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+        schedule = NodeSchedule(positions, 2.0, 0, phases_per_slot=1)
+        nodes = [SimNode(1, (0.0, 0.0), None), SimNode(0, (1.0, 0.0), None)]
+        with pytest.raises(ValueError):
+            Simulation(nodes, schedule, UnitDiskChannel(2.0), (1,))
+
+    def test_interest_out_of_range_rejected(self):
+        positions = [(0, 0), (1, 0)]
+        with pytest.raises(ValueError):
+            make_sim(positions, [Beacon(999), Listener(0)])
+
+    def test_max_rounds_validation(self):
+        positions = [(0, 0), (1, 0)]
+        sim, _ = make_sim(positions, [Beacon(0), Listener(0)])
+        with pytest.raises(ValueError):
+            sim.run(max_rounds=0)
+
+    def test_run_stops_early_when_all_delivered(self):
+        positions = [(0, 0), (1, 0)]
+        sim, sched = make_sim(positions, [Beacon(0), Listener(0)])
+        result = sim.run(max_rounds=100_000)
+        assert result.terminated
+        assert result.total_rounds < 100_000
+
+    def test_already_delivered_terminates_immediately(self):
+        positions = [(0, 0)]
+        sim, _ = make_sim(positions, [Beacon(0)])
+        result = sim.run(max_rounds=50)
+        assert result.terminated
+        assert result.total_rounds == 0
+
+
+class TestFlexTransmitters:
+    def test_adversary_outside_interests_can_jam(self):
+        from repro.adversary.jammer import ContinuousJammer
+
+        positions = [(0, 0), (1, 0), (0.5, 0.5)]
+        schedule_probe = NodeSchedule(np.asarray(positions, float), 2.0, 0, phases_per_slot=1,
+                                      separation=4.0)
+        slot0 = schedule_probe.slot_of_node(0)
+        beacon, listener, jammer = Beacon(slot0), Listener(slot0), ContinuousJammer(budget=100)
+        sim, _ = make_sim(positions, [beacon, listener, jammer], honest=[True, True, False])
+        result = sim.run(max_rounds=10)
+        # The jammer collides with the beacon's single broadcast: no delivery.
+        assert not result.outcomes[1].delivered
+        assert result.outcomes[2].broadcasts > 0
+        assert result.adversary_broadcasts > 0

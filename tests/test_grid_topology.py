@@ -1,0 +1,95 @@
+"""Unit tests for the analytical grid topology (repro.topology.grid)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.grid import GridSpec, GridTopology, grid_index_of, grid_positions
+
+
+class TestGridSpec:
+    def test_num_points(self):
+        assert GridSpec(4, 3).num_points == 12
+
+    def test_extent(self):
+        assert GridSpec(5, 3, spacing=2.0).extent == (8.0, 4.0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            GridSpec(0, 3)
+        with pytest.raises(ValueError):
+            GridSpec(3, -1)
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            GridSpec(3, 3, spacing=0.0)
+
+
+class TestGridPositions:
+    def test_row_major_order(self):
+        pos = grid_positions(GridSpec(3, 2))
+        assert pos.shape == (6, 2)
+        assert pos[0].tolist() == [0.0, 0.0]
+        assert pos[1].tolist() == [1.0, 0.0]
+        assert pos[3].tolist() == [0.0, 1.0]
+
+    def test_spacing_scales_coordinates(self):
+        pos = grid_positions(GridSpec(2, 2, spacing=0.5))
+        assert pos[3].tolist() == [0.5, 0.5]
+
+    def test_grid_index_of_roundtrip(self):
+        spec = GridSpec(4, 5)
+        pos = grid_positions(spec)
+        idx = grid_index_of(spec, 2, 3)
+        assert pos[idx].tolist() == [2.0, 3.0]
+
+    def test_grid_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            grid_index_of(GridSpec(3, 3), 3, 0)
+
+
+class TestGridTopology:
+    def test_neighborhood_size_formula(self):
+        topo = GridTopology(GridSpec(10, 10), radius=2)
+        assert topo.neighborhood_size == (2 * 2 + 1) ** 2 - 1 == 24
+
+    def test_koo_bound(self):
+        # Koo: no algorithm tolerates t >= R(2R+1)/2.  For R=2 the bound is 5,
+        # so the largest tolerable t is 4.
+        topo = GridTopology(GridSpec(10, 10), radius=2)
+        assert topo.max_tolerable_t == 4
+
+    def test_koo_bound_r1(self):
+        topo = GridTopology(GridSpec(5, 5), radius=1)
+        # R(2R+1)/2 = 1.5, so t=1 is tolerable (t < 1.5).
+        assert topo.max_tolerable_t == 1
+
+    def test_neighborwatch_bound(self):
+        # NeighborWatchRB tolerates t < ceil(R/2)^2.
+        topo = GridTopology(GridSpec(10, 10), radius=4)
+        assert topo.neighborwatch_tolerable_t == 3
+
+    def test_neighborwatch_bound_is_weaker_than_koo(self):
+        for radius in (1, 2, 3, 4, 6, 8):
+            topo = GridTopology(GridSpec(20, 20), radius=radius)
+            assert topo.neighborwatch_tolerable_t <= topo.max_tolerable_t
+
+    def test_diameter_hops(self):
+        topo = GridTopology(GridSpec(21, 11), radius=4)
+        assert topo.diameter_hops == 5  # extent 20 / R 4
+
+    def test_center_index(self):
+        topo = GridTopology(GridSpec(5, 5), radius=1)
+        center = topo.center_index()
+        assert topo.positions[center].tolist() == [2.0, 2.0]
+
+    def test_num_nodes(self):
+        assert GridTopology(GridSpec(6, 7), radius=2).num_nodes == 42
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            GridTopology(GridSpec(5, 5), radius=0)
+
+    def test_radius_in_cells_with_spacing(self):
+        topo = GridTopology(GridSpec(5, 5, spacing=2.0), radius=4.0)
+        assert topo.radius_in_cells == 2

@@ -1,0 +1,96 @@
+"""Unit tests for the carrier-sensing MAC resolution and the event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import Frame, FrameKind
+from repro.core.protocol import ChannelState
+from repro.sim.events import EventKind, EventLog
+from repro.sim.mac import resolve_observation
+
+
+class TestResolveObservation:
+    def test_silence(self):
+        obs = resolve_observation([])
+        assert obs.state is ChannelState.SILENT
+        assert not obs.busy
+
+    def test_single_decoded_frame(self):
+        frame = Frame(FrameKind.DATA_BIT, 1)
+        obs = resolve_observation([frame], decoded_index=0)
+        assert obs.state is ChannelState.MESSAGE
+        assert obs.decoded is frame
+
+    def test_collision_when_nothing_decodable(self):
+        frames = [Frame(FrameKind.DATA_BIT, 1), Frame(FrameKind.JAM, 2)]
+        obs = resolve_observation(frames)
+        assert obs.state is ChannelState.COLLISION
+        assert obs.busy
+        assert obs.decoded is None
+
+    def test_energy_override(self):
+        obs = resolve_observation([], energy_detected=True)
+        assert obs.state is ChannelState.COLLISION
+
+    def test_energy_override_false(self):
+        obs = resolve_observation([Frame(FrameKind.JAM, 1)], energy_detected=False)
+        assert obs.state is ChannelState.SILENT
+
+    def test_decoded_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            resolve_observation([Frame(FrameKind.DATA_BIT, 1)], decoded_index=2)
+
+
+class TestEventLog:
+    def test_record_and_len(self):
+        log = EventLog()
+        log.record(EventKind.NOTE, 0, None, "hello")
+        log.record(EventKind.BROADCAST, 3, 7, "slot", 2)
+        assert len(log) == 2
+
+    def test_filter_by_kind(self):
+        log = EventLog()
+        log.record(EventKind.BROADCAST, 1, 1)
+        log.record(EventKind.DELIVERY, 2, 1)
+        log.record(EventKind.DELIVERY, 3, 2)
+        assert len(log.deliveries()) == 2
+        assert len(log.filter(kind=EventKind.BROADCAST)) == 1
+
+    def test_filter_by_node(self):
+        log = EventLog()
+        log.record(EventKind.BROADCAST, 1, 1)
+        log.record(EventKind.BROADCAST, 2, 2)
+        assert len(log.broadcasts_by(1)) == 1
+
+    def test_filter_with_predicate(self):
+        log = EventLog()
+        for r in range(10):
+            log.record(EventKind.NOTE, r)
+        assert len(log.filter(predicate=lambda e: e.round_index >= 5)) == 5
+
+    def test_max_events_drops(self):
+        log = EventLog(max_events=2)
+        for r in range(5):
+            log.record(EventKind.NOTE, r)
+        assert len(log) == 2
+        assert log.dropped == 3
+
+    def test_clear(self):
+        log = EventLog()
+        log.record(EventKind.NOTE, 0)
+        log.clear()
+        assert len(log) == 0
+        assert log.dropped == 0
+
+    def test_event_str(self):
+        log = EventLog()
+        log.record(EventKind.DELIVERY, 12, 3)
+        text = str(list(log)[0])
+        assert "r12" in text and "delivery" in text
+
+    def test_iteration_order(self):
+        log = EventLog()
+        for r in (3, 1, 2):
+            log.record(EventKind.NOTE, r)
+        assert [e.round_index for e in log] == [3, 1, 2]

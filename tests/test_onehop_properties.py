@@ -1,0 +1,117 @@
+"""Property-based tests of Theorem 2 (the 1Hop-Protocol) using hypothesis.
+
+The adversary chooses an arbitrary interference schedule (which phases of
+which slots it pollutes, per receiver and for the sender).  Theorem 2 must
+hold for every such schedule:
+
+* Authenticity  — every receiver's accepted prefix is a prefix of the sent message;
+* Termination   — once the sender has completed, every receiver has the message;
+* Energy        — extra slots beyond one per bit only happen in slots the
+                  adversary interfered with.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.onehop import OneHopReceiver, OneHopSender
+from repro.core.twobit import NUM_PHASES
+
+message_strategy = st.lists(st.integers(0, 1), min_size=1, max_size=6)
+# Per-slot interference: for each slot, a set of (device_index, phase) pairs.
+slot_noise = st.sets(
+    st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=NUM_PHASES - 1)),
+    max_size=4,
+)
+schedule_strategy = st.lists(slot_noise, min_size=0, max_size=24)
+
+
+def run_stream(message, noise_schedule, num_receivers=3):
+    """Run slots until the sender completes or the noise schedule runs out (plus slack)."""
+    sender = OneHopSender(message)
+    receivers = [OneHopReceiver(expected_length=len(message)) for _ in range(num_receivers)]
+    total_slots = len(noise_schedule) + len(message) + 2
+    interfered_slots = 0
+    for slot_index in range(total_slots):
+        noise = noise_schedule[slot_index] if slot_index < len(noise_schedule) else set()
+        if noise:
+            interfered_slots += 1
+        sender_active = sender.begin_slot()
+        actives = [r.begin_slot() for r in receivers]
+        participants = [("s", sender, sender_active, 0)] + [
+            (f"r{i}", r, a, i + 1) for i, (r, a) in enumerate(zip(receivers, actives))
+        ]
+        for phase in range(NUM_PHASES):
+            transmitted = set()
+            for name, device, active, _dev in participants:
+                if active and device.action(phase):
+                    transmitted.add(name)
+            for name, device, active, dev in participants:
+                if not active or name in transmitted:
+                    continue
+                busy = ((dev, phase) in noise) or any(t != name for t in transmitted)
+                device.observe(phase, busy)
+        sender.finish_slot()
+        for r in receivers:
+            r.finish_slot()
+        if sender.sent_count == len(message):
+            break
+    return sender, receivers, interfered_slots
+
+
+class TestTheoremTwoProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(message_strategy, schedule_strategy)
+    def test_authenticity_prefix(self, message, noise_schedule):
+        message = tuple(message)
+        _sender, receivers, _ = run_stream(message, noise_schedule)
+        for r in receivers:
+            got = r.received_bits
+            assert got == message[: len(got)]
+
+    @settings(max_examples=200, deadline=None)
+    @given(message_strategy, schedule_strategy)
+    def test_termination(self, message, noise_schedule):
+        """When the sender completes, every receiver holds the full message."""
+        message = tuple(message)
+        sender, receivers, _ = run_stream(message, noise_schedule)
+        if sender.sent_count == len(message):
+            for r in receivers:
+                assert r.received_bits == message
+
+    @settings(max_examples=200, deadline=None)
+    @given(message_strategy)
+    def test_energy_clean_run_is_one_slot_per_bit(self, message):
+        """Without interference the message takes exactly one slot per bit."""
+        message = tuple(message)
+        sender, receivers, _ = run_stream(message, [])
+        assert sender.attempts == len(message)
+        assert sender.sent_count == len(message)
+        for r in receivers:
+            assert r.received_bits == message
+
+    @settings(max_examples=200, deadline=None)
+    @given(message_strategy, schedule_strategy)
+    def test_energy_extra_slots_bounded_by_interference(self, message, noise_schedule):
+        """Every slot beyond the k successful ones coincides with adversarial energy.
+
+        This is the discrete analogue of Theorem 2's energy claim: the sender
+        needed (attempts - sent) failed slots and each of them required at
+        least one Byzantine broadcast somewhere in the neighborhood.
+        """
+        message = tuple(message)
+        sender, _receivers, interfered_slots = run_stream(message, noise_schedule)
+        failed_attempts = sender.attempts - sender.sent_count
+        assert failed_attempts <= interfered_slots
+
+    @settings(max_examples=100, deadline=None)
+    @given(message_strategy, schedule_strategy, st.integers(min_value=1, max_value=4))
+    def test_receivers_never_diverge_from_each_other_beyond_prefix(
+        self, message, noise_schedule, num_receivers
+    ):
+        """All receivers hold prefixes of the same (true) message, hence of each other."""
+        message = tuple(message)
+        _sender, receivers, _ = run_stream(message, noise_schedule, num_receivers=num_receivers)
+        prefixes = sorted((r.received_bits for r in receivers), key=len)
+        for shorter, longer in zip(prefixes, prefixes[1:]):
+            assert longer[: len(shorter)] == shorter

@@ -1,0 +1,149 @@
+"""Unit tests for run results, node bookkeeping and the RNG factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.node import SimNode
+from repro.sim.results import NodeOutcome, RunResult
+from repro.sim.rng import RngFactory
+
+
+def outcome(node_id, *, honest=True, active=True, delivered=False, correct=None, round_=None, b=0):
+    return NodeOutcome(
+        node_id=node_id,
+        honest=honest,
+        active=active,
+        delivered=delivered,
+        correct=correct,
+        delivery_round=round_,
+        broadcasts=b,
+    )
+
+
+class TestRunResult:
+    def make_result(self):
+        outcomes = {
+            0: outcome(0, delivered=True, correct=True, round_=10, b=5),     # honest ok
+            1: outcome(1, delivered=True, correct=False, round_=20, b=3),    # honest wrong
+            2: outcome(2, delivered=False, b=2),                             # honest pending
+            3: outcome(3, honest=False, b=7),                                # adversary
+            4: outcome(4, active=False),                                     # crashed
+        }
+        return RunResult(message=(1, 0), total_rounds=100, terminated=False, outcomes=outcomes)
+
+    def test_population_counts(self):
+        res = self.make_result()
+        assert res.num_nodes == 5
+        assert res.num_honest == 3
+        assert res.num_adversaries == 1
+        assert res.num_crashed == 1
+
+    def test_completion_metrics(self):
+        res = self.make_result()
+        assert res.completion_fraction == pytest.approx(2 / 3)
+        assert res.completion_rounds == 20
+
+    def test_correctness_metrics(self):
+        res = self.make_result()
+        assert res.correctness_fraction == pytest.approx(1 / 2)
+        assert res.correct_delivery_fraction == pytest.approx(1 / 3)
+        assert res.any_incorrect_delivery
+
+    def test_broadcast_metrics(self):
+        res = self.make_result()
+        assert res.total_broadcasts == 17
+        assert res.honest_broadcasts == 10
+        assert res.adversary_broadcasts == 7
+
+    def test_summary_keys(self):
+        summary = self.make_result().summary()
+        for key in (
+            "rounds",
+            "completion_fraction",
+            "correctness_fraction",
+            "correct_delivery_fraction",
+            "honest_broadcasts",
+            "adversary_broadcasts",
+        ):
+            assert key in summary
+
+    def test_empty_population_edge_cases(self):
+        res = RunResult(message=(1,), total_rounds=5, terminated=True, outcomes={})
+        assert res.completion_fraction == 0.0
+        assert res.correctness_fraction == 1.0
+        assert res.completion_rounds == 5
+
+    def test_completion_rounds_defaults_to_total(self):
+        res = RunResult(
+            message=(1,),
+            total_rounds=42,
+            terminated=False,
+            outcomes={0: outcome(0, delivered=False)},
+        )
+        assert res.completion_rounds == 42
+
+
+class TestSimNode:
+    def test_crashed_node(self):
+        node = SimNode(0, (0.0, 0.0), protocol=None)
+        assert not node.active
+        assert not node.delivered
+        assert node.delivered_message is None
+
+    def test_mark_delivered_once(self):
+        node = SimNode(0, (0.0, 0.0), protocol=None)
+        node.mark_delivered(10)
+        node.mark_delivered(20)
+        assert node.delivery_round == 10
+
+    def test_delivered_caches_protocol_state(self):
+        class Flaky:
+            delivered = True
+            delivered_message = (1,)
+
+        node = SimNode(0, (0.0, 0.0), protocol=Flaky())
+        assert node.delivered
+        node.protocol.delivered = False  # even if the protocol "changes its mind"
+        assert node.delivered  # the cache keeps the first positive answer
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        factory = RngFactory(7)
+        a = factory.generator("channel")
+        b = factory.generator("channel")
+        assert a is b
+
+    def test_different_names_different_streams(self):
+        factory = RngFactory(7)
+        a = factory.generator("channel").random(5)
+        b = factory.generator("jammer").random(5)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_factories(self):
+        a = RngFactory(7).generator("channel").random(5)
+        b = RngFactory(7).generator("channel").random(5)
+        assert np.allclose(a, b)
+
+    def test_node_generators_independent(self):
+        factory = RngFactory(3)
+        a = factory.node_generator(1).random(5)
+        b = factory.node_generator(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_seed_property(self):
+        assert RngFactory(11).seed == 11
+
+    def test_spawn_differs_from_parent(self):
+        parent = RngFactory(5)
+        child = parent.spawn("rep-0")
+        a = parent.generator("x").random(3)
+        b = child.generator("x").random(3)
+        assert not np.allclose(a, b)
+
+    def test_spawn_reproducible(self):
+        a = RngFactory(5).spawn("rep-0").generator("x").random(3)
+        b = RngFactory(5).spawn("rep-0").generator("x").random(3)
+        assert np.allclose(a, b)

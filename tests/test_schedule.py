@@ -1,0 +1,209 @@
+"""Unit tests for the TDMA schedules (repro.core.schedule)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.regions import SquareGrid
+from repro.core.schedule import PHASES_PER_SLOT, SOURCE_SLOT, NodeSchedule, SquareSchedule
+from repro.topology.deployment import grid_jittered_deployment, uniform_deployment
+from repro.topology.geometry import pairwise_distances
+
+
+@pytest.fixture
+def grid_deployment():
+    return grid_jittered_deployment(10, 10, spacing=1.0)
+
+
+@pytest.fixture
+def square_schedule(grid_deployment):
+    grid = SquareGrid(10, 10, side=1.0)
+    return SquareSchedule(grid, radius=3.0, positions=grid_deployment.positions,
+                          source_index=grid_deployment.source_index)
+
+
+class TestRoundArithmetic:
+    def test_locate_round_roundtrip(self, square_schedule):
+        sched = square_schedule
+        for round_index in (0, 5, 6, 127, sched.rounds_per_cycle, sched.rounds_per_cycle * 3 + 17):
+            cycle, slot, phase = sched.locate_round(round_index)
+            assert sched.round_index(cycle, slot, phase) == round_index
+
+    def test_rounds_per_cycle(self, square_schedule):
+        assert square_schedule.rounds_per_cycle == square_schedule.num_slots * PHASES_PER_SLOT
+
+    def test_locate_negative_round(self, square_schedule):
+        with pytest.raises(ValueError):
+            square_schedule.locate_round(-1)
+
+    def test_round_index_validates(self, square_schedule):
+        with pytest.raises(ValueError):
+            square_schedule.round_index(0, square_schedule.num_slots, 0)
+        with pytest.raises(ValueError):
+            square_schedule.round_index(0, 0, PHASES_PER_SLOT)
+        with pytest.raises(ValueError):
+            square_schedule.round_index(-1, 0, 0)
+
+    def test_slots_elapsed(self, square_schedule):
+        assert square_schedule.slots_elapsed(0) == 0
+        assert square_schedule.slots_elapsed(6) == 1
+        assert square_schedule.slots_elapsed(13) == 2
+
+
+class TestSquareSchedule:
+    def test_source_owns_slot_zero(self, square_schedule, grid_deployment):
+        assert square_schedule.slot_of_node(grid_deployment.source_index) == SOURCE_SLOT
+        assert square_schedule.owners_of_slot(SOURCE_SLOT) == (grid_deployment.source_index,)
+
+    def test_source_excluded_from_square_slot_owners(self, square_schedule, grid_deployment):
+        src = grid_deployment.source_index
+        for slot in range(1, square_schedule.num_slots):
+            assert src not in square_schedule.owners_of_slot(slot)
+
+    def test_same_square_same_slot(self, square_schedule, grid_deployment):
+        src = grid_deployment.source_index
+        for node in range(grid_deployment.num_nodes):
+            if node == src:
+                continue
+            sq = square_schedule.square_of_node(node)
+            assert square_schedule.slot_of_node(node) == square_schedule.slot_of_square(sq)
+
+    def test_adjacent_squares_have_distinct_slots(self, square_schedule):
+        grid = square_schedule.grid
+        for square in grid.iter_squares():
+            slot = square_schedule.slot_of_square(square)
+            for neighbor in grid.neighbors(square):
+                assert square_schedule.slot_of_square(neighbor) != slot
+
+    def test_slot_reuse_respects_separation(self, square_schedule):
+        """The paper's rule: devices of *different* squares sharing a slot are
+        at least 3R apart (devices of the same square are deliberate co-senders)."""
+        positions = square_schedule.positions
+        for slot in range(1, square_schedule.num_slots):
+            owners = square_schedule.owners_of_slot(slot)
+            if len(owners) < 2:
+                continue
+            squares = [square_schedule.square_of_node(o) for o in owners]
+            dist = pairwise_distances(positions[list(owners)], norm="l2")
+            for i in range(len(owners)):
+                for j in range(i + 1, len(owners)):
+                    if squares[i] != squares[j]:
+                        assert dist[i, j] >= square_schedule.separation - 1e-9
+
+    def test_members_of_square_consistent(self, square_schedule, grid_deployment):
+        for node in range(grid_deployment.num_nodes):
+            sq = square_schedule.square_of_node(node)
+            assert node in square_schedule.members_of_square(sq)
+
+    def test_listening_slots_include_own_and_source(self, square_schedule, grid_deployment):
+        node = 0 if grid_deployment.source_index != 0 else 1
+        slots = square_schedule.listening_slots_of_node(node)
+        assert SOURCE_SLOT in slots
+        assert square_schedule.slot_of_node(node) in slots
+        # at most: source + own + 8 neighbors
+        assert len(slots) <= 10
+
+    def test_num_slots_is_order_r_squared(self):
+        """The schedule size does not grow with the map, only with R / side."""
+        small = grid_jittered_deployment(8, 8, spacing=1.0)
+        large = grid_jittered_deployment(20, 20, spacing=1.0)
+        sched_small = SquareSchedule(SquareGrid(8, 8, 1.0), 3.0, small.positions, small.source_index)
+        sched_large = SquareSchedule(SquareGrid(20, 20, 1.0), 3.0, large.positions, large.source_index)
+        assert sched_small.num_slots == sched_large.num_slots
+
+    def test_squares_of_slot_inverse(self, square_schedule):
+        for slot in range(1, square_schedule.num_slots):
+            for square in square_schedule.squares_of_slot(slot):
+                assert square_schedule.slot_of_square(square) == slot
+
+    def test_invalid_source_index(self, grid_deployment):
+        grid = SquareGrid(10, 10, side=1.0)
+        with pytest.raises(ValueError):
+            SquareSchedule(grid, 3.0, grid_deployment.positions, source_index=10_000)
+
+    def test_invalid_radius(self, grid_deployment):
+        grid = SquareGrid(10, 10, side=1.0)
+        with pytest.raises(ValueError):
+            SquareSchedule(grid, 0.0, grid_deployment.positions, grid_deployment.source_index)
+
+
+class TestNodeSchedule:
+    @pytest.fixture
+    def node_schedule(self):
+        dep = uniform_deployment(80, 10, 10, rng=3)
+        return dep, NodeSchedule(dep.positions, radius=3.0, source_index=dep.source_index)
+
+    def test_source_owns_slot_zero(self, node_schedule):
+        dep, sched = node_schedule
+        assert sched.slot_of_node(dep.source_index) == SOURCE_SLOT
+        assert sched.owners_of_slot(SOURCE_SLOT) == (dep.source_index,)
+
+    def test_every_node_has_a_slot(self, node_schedule):
+        dep, sched = node_schedule
+        for node in range(dep.num_nodes):
+            slot = sched.slot_of_node(node)
+            assert 0 <= slot < sched.num_slots
+            assert node in sched.owners_of_slot(slot)
+
+    def test_conflict_freedom(self, node_schedule):
+        """No two devices within the separation distance share a slot."""
+        dep, sched = node_schedule
+        dist = pairwise_distances(dep.positions, norm="l2")
+        n = dep.num_nodes
+        for a in range(n):
+            for b in range(a + 1, n):
+                if dist[a, b] <= sched.separation:
+                    assert sched.slot_of_node(a) != sched.slot_of_node(b)
+
+    def test_neighbor_slots_cover_neighbors(self, node_schedule):
+        dep, sched = node_schedule
+        dist = pairwise_distances(dep.positions, norm="l2")
+        for node in range(0, dep.num_nodes, 7):
+            slots = set(sched.neighbor_slots_of_node(node))
+            for other in range(dep.num_nodes):
+                if other != node and dist[node, other] <= 3.0:
+                    assert sched.slot_of_node(other) in slots
+
+    def test_owner_in_neighborhood_unique(self, node_schedule):
+        dep, sched = node_schedule
+        dist = pairwise_distances(dep.positions, norm="l2")
+        for node in range(0, dep.num_nodes, 5):
+            for other in range(dep.num_nodes):
+                if other != node and dist[node, other] <= 3.0:
+                    slot = sched.slot_of_node(other)
+                    assert sched.owner_in_neighborhood(slot, node) == other
+
+    def test_owner_in_neighborhood_none_when_out_of_range(self, node_schedule):
+        dep, sched = node_schedule
+        dist = pairwise_distances(dep.positions, norm="l2")
+        # find a slot whose owners are all far from node 0
+        for slot in range(sched.num_slots):
+            owners = sched.owners_of_slot(slot)
+            if owners and all(dist[0, o] > 3.0 for o in owners):
+                assert sched.owner_in_neighborhood(slot, 0) is None
+                break
+
+    def test_deterministic(self):
+        dep = uniform_deployment(60, 10, 10, rng=5)
+        s1 = NodeSchedule(dep.positions, 3.0, dep.source_index)
+        s2 = NodeSchedule(dep.positions, 3.0, dep.source_index)
+        assert [s1.slot_of_node(i) for i in range(60)] == [s2.slot_of_node(i) for i in range(60)]
+
+    def test_phases_per_slot_configurable(self):
+        dep = uniform_deployment(30, 8, 8, rng=2)
+        sched = NodeSchedule(dep.positions, 3.0, dep.source_index, phases_per_slot=1)
+        assert sched.phases_per_slot == 1
+        assert sched.rounds_per_cycle == sched.num_slots
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=1000))
+    def test_conflict_freedom_property(self, n, seed):
+        dep = uniform_deployment(n, 8, 8, rng=seed)
+        sched = NodeSchedule(dep.positions, radius=2.0, source_index=dep.source_index, separation=4.0)
+        dist = pairwise_distances(dep.positions, norm="l2")
+        for a in range(n):
+            for b in range(a + 1, n):
+                if dist[a, b] <= 4.0:
+                    assert sched.slot_of_node(a) != sched.slot_of_node(b)

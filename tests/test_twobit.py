@@ -1,0 +1,218 @@
+"""Unit tests for the 2Bit-Protocol state machines (repro.core.twobit).
+
+The tests drive the sender/receiver/blocker state machines directly through a
+tiny single-hop channel harness, covering the honest exchange for every bit
+pair and the Theorem 1 properties under hand-crafted adversarial interference.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.twobit import (
+    NUM_PHASES,
+    TwoBitBlocker,
+    TwoBitOutcome,
+    TwoBitReceiver,
+    TwoBitSender,
+)
+
+
+def run_single_hop(sender, receivers, adversary_broadcasts=None, blockers=None):
+    """Drive one 2Bit exchange on an ideal single-hop channel.
+
+    ``adversary_broadcasts`` is a set of phases during which a Byzantine device
+    broadcasts; everyone shares one collision domain, so a round is busy for a
+    participant iff someone *else* broadcast during it.
+    """
+    adversary_broadcasts = set(adversary_broadcasts or ())
+    blockers = list(blockers or ())
+    participants = [sender] + list(receivers) + blockers
+    for phase in range(NUM_PHASES):
+        transmitted = {id(p) for p in participants if p.action(phase)}
+        adversary_on = phase in adversary_broadcasts
+        for p in participants:
+            if id(p) in transmitted:
+                continue  # a broadcasting device does not listen in the same round
+            others_busy = adversary_on or any(t != id(p) for t in transmitted)
+            p.observe(phase, others_busy)
+
+
+class TestHonestExchange:
+    @pytest.mark.parametrize("b1,b2", list(itertools.product((0, 1), repeat=2)))
+    def test_all_pairs_delivered(self, b1, b2):
+        sender = TwoBitSender(b1, b2)
+        receivers = [TwoBitReceiver() for _ in range(3)]
+        run_single_hop(sender, receivers)
+        assert sender.outcome() is TwoBitOutcome.SUCCESS
+        for r in receivers:
+            assert r.outcome() is TwoBitOutcome.SUCCESS
+            assert r.result() == (b1, b2)
+
+    def test_single_receiver(self):
+        sender = TwoBitSender(1, 0)
+        receiver = TwoBitReceiver()
+        run_single_hop(sender, [receiver])
+        assert receiver.result() == (1, 0)
+
+    def test_sender_does_not_veto_on_clean_run(self):
+        sender = TwoBitSender(1, 1)
+        run_single_hop(sender, [TwoBitReceiver()])
+        assert not sender.veto_sent
+
+    def test_outcome_pending_before_completion(self):
+        sender = TwoBitSender(1, 1)
+        receiver = TwoBitReceiver()
+        assert sender.outcome() is TwoBitOutcome.PENDING
+        assert receiver.outcome() is TwoBitOutcome.PENDING
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            TwoBitSender(2, 0)
+        with pytest.raises(ValueError):
+            TwoBitSender(0, -1)
+
+
+class TestListenDeclarations:
+    def test_sender_listens_on_ack_and_final_rounds(self):
+        sender = TwoBitSender(0, 0)
+        assert [sender.listens(p) for p in range(NUM_PHASES)] == [False, True, False, True, False, True]
+
+    def test_receiver_listens_on_data_and_veto_rounds(self):
+        receiver = TwoBitReceiver()
+        assert [receiver.listens(p) for p in range(NUM_PHASES)] == [True, False, True, False, True, False]
+
+    def test_blocker_listens_before_veto(self):
+        blocker = TwoBitBlocker(always=False)
+        assert [blocker.listens(p) for p in range(NUM_PHASES)] == [True, True, True, True, False, False]
+
+
+class TestAdversarialInterference:
+    """Theorem 1: authenticity and the failure/energy trade-off."""
+
+    def test_spoofed_zero_bit_causes_failure_not_corruption(self):
+        # Sender sends (0, 0); adversary broadcasts during R1 to fake a '1'.
+        sender = TwoBitSender(0, 0)
+        receivers = [TwoBitReceiver() for _ in range(2)]
+        run_single_hop(sender, receivers, adversary_broadcasts={0})
+        # The receivers ack, the sender notices the unexpected ack and vetoes.
+        assert sender.veto_sent
+        for r in receivers:
+            assert r.outcome() is TwoBitOutcome.FAILURE
+            assert r.result() is None
+
+    def test_spoofed_second_bit_causes_failure(self):
+        sender = TwoBitSender(1, 0)
+        receivers = [TwoBitReceiver()]
+        run_single_hop(sender, receivers, adversary_broadcasts={2})
+        assert receivers[0].outcome() is TwoBitOutcome.FAILURE
+
+    def test_jammed_ack_causes_sender_detectable_failure(self):
+        # Adversary suppresses nothing (it cannot), but jamming the veto round
+        # makes every receiver fail and be aware of it.
+        sender = TwoBitSender(1, 1)
+        receivers = [TwoBitReceiver() for _ in range(2)]
+        run_single_hop(sender, receivers, adversary_broadcasts={4})
+        for r in receivers:
+            assert r.outcome() is TwoBitOutcome.FAILURE
+        # The receivers relay the veto, so the sender fails as well (termination
+        # property: the sender only succeeds if every honest receiver did).
+        assert sender.outcome() is TwoBitOutcome.FAILURE
+
+    def test_jammed_final_round_hurts_only_the_sender(self):
+        sender = TwoBitSender(1, 1)
+        receivers = [TwoBitReceiver()]
+        run_single_hop(sender, receivers, adversary_broadcasts={5})
+        # Receivers already decided by round 5; they keep the correct bits.
+        assert receivers[0].result() == (1, 1)
+        # The sender conservatively retries, which is safe (receivers ignore
+        # the repetition thanks to the parity bit of the 1Hop layer).
+        assert sender.outcome() is TwoBitOutcome.FAILURE
+
+    def test_forged_ack_on_silent_bit_triggers_sender_veto(self):
+        # Sender sends (0, 1): adversary forges an ack in R2 for the silent bit.
+        sender = TwoBitSender(0, 1)
+        receivers = [TwoBitReceiver()]
+        run_single_hop(sender, receivers, adversary_broadcasts={1})
+        assert sender.veto_sent
+        assert receivers[0].outcome() is TwoBitOutcome.FAILURE
+
+    @pytest.mark.parametrize("b1,b2", list(itertools.product((0, 1), repeat=2)))
+    @pytest.mark.parametrize("attack_phases", [(0,), (1,), (2,), (3,), (4,), (0, 2), (1, 3), (0, 1, 2, 3, 4)])
+    def test_authenticity_under_any_single_attack(self, b1, b2, attack_phases):
+        """A receiver that succeeds always reports exactly the sent pair."""
+        sender = TwoBitSender(b1, b2)
+        receivers = [TwoBitReceiver() for _ in range(3)]
+        run_single_hop(sender, receivers, adversary_broadcasts=set(attack_phases))
+        for r in receivers:
+            if r.outcome() is TwoBitOutcome.SUCCESS:
+                assert r.result() == (b1, b2)
+
+    @pytest.mark.parametrize("b1,b2", list(itertools.product((0, 1), repeat=2)))
+    @pytest.mark.parametrize("attack_phases", [(0,), (3,), (4,), (5,), (2, 4)])
+    def test_termination_sender_success_implies_receiver_success(self, b1, b2, attack_phases):
+        sender = TwoBitSender(b1, b2)
+        receivers = [TwoBitReceiver() for _ in range(3)]
+        run_single_hop(sender, receivers, adversary_broadcasts=set(attack_phases))
+        if sender.outcome() is TwoBitOutcome.SUCCESS:
+            for r in receivers:
+                assert r.outcome() is TwoBitOutcome.SUCCESS
+                assert r.result() == (b1, b2)
+
+    def test_energy_failure_requires_adversarial_broadcast(self):
+        """Without any Byzantine broadcast the exchange always succeeds."""
+        for b1, b2 in itertools.product((0, 1), repeat=2):
+            sender = TwoBitSender(b1, b2)
+            receivers = [TwoBitReceiver() for _ in range(4)]
+            run_single_hop(sender, receivers)
+            assert sender.outcome() is TwoBitOutcome.SUCCESS
+            assert all(r.outcome() is TwoBitOutcome.SUCCESS for r in receivers)
+
+
+class TestBlocker:
+    def test_always_blocker_vetoes_both_rounds(self):
+        blocker = TwoBitBlocker(always=True)
+        actions = [blocker.action(p) for p in range(NUM_PHASES)]
+        assert actions == [False, False, False, False, True, True]
+        assert blocker.blocked
+
+    def test_conditional_blocker_stays_silent_when_channel_silent(self):
+        blocker = TwoBitBlocker(always=False)
+        for phase in range(4):
+            blocker.observe(phase, False)
+        assert not blocker.action(4)
+        assert not blocker.action(5)
+        assert not blocker.blocked
+
+    def test_conditional_blocker_vetoes_after_activity(self):
+        blocker = TwoBitBlocker(always=False)
+        blocker.observe(0, True)
+        assert blocker.action(4)
+        assert blocker.action(5)
+
+    def test_blocker_defeats_rogue_sender(self):
+        """A sender sharing a square with a blocker cannot push data through."""
+        rogue = TwoBitSender(1, 0)
+        receivers = [TwoBitReceiver() for _ in range(2)]
+        blocker = TwoBitBlocker(always=False)
+        run_single_hop(rogue, receivers, blockers=[blocker])
+        assert blocker.blocked
+        for r in receivers:
+            assert r.outcome() is TwoBitOutcome.FAILURE
+        assert rogue.outcome() is TwoBitOutcome.FAILURE
+
+    def test_idle_blocker_prevents_silent_slot_acceptance(self):
+        """With only a blocker present, receivers never accept anything."""
+        blocker = TwoBitBlocker(always=True)
+        receivers = [TwoBitReceiver()]
+        # no sender at all: run the phases manually
+        participants = [blocker] + receivers
+        for phase in range(NUM_PHASES):
+            transmitted = {id(p) for p in participants if p.action(phase)}
+            for p in participants:
+                if id(p) in transmitted:
+                    continue
+                p.observe(phase, any(t != id(p) for t in transmitted))
+        assert receivers[0].outcome() is TwoBitOutcome.FAILURE

@@ -1,0 +1,97 @@
+"""Property-based tests of Theorem 1 (the 2Bit-Protocol) using hypothesis.
+
+The adversary in these tests controls, independently for the sender side and
+for every receiver, which rounds appear busy *in addition to* the honest
+transmissions (Byzantine devices can add energy anywhere but can never erase
+it).  Theorem 1's properties must hold for every such interference pattern:
+
+* Authenticity  — a successful receiver reports exactly the pair sent;
+* Termination   — if the sender succeeds, every honest receiver succeeded;
+* Energy        — if anyone fails, the adversary broadcast at least once.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.twobit import NUM_PHASES, TwoBitOutcome, TwoBitReceiver, TwoBitSender
+
+# The adversary chooses, per device, the set of phases it pollutes with energy.
+interference = st.lists(
+    st.sets(st.integers(min_value=0, max_value=NUM_PHASES - 1)), min_size=1, max_size=4
+)
+sender_interference = st.sets(st.integers(min_value=0, max_value=NUM_PHASES - 1))
+bits = st.tuples(st.integers(0, 1), st.integers(0, 1))
+
+
+def run_with_local_interference(b1, b2, receiver_noise, sender_noise):
+    """One 2Bit exchange where the adversary injects energy per-device.
+
+    ``receiver_noise[i]`` is the set of phases during which receiver ``i``
+    perceives extra energy (e.g. from a nearby Byzantine device the others do
+    not hear); ``sender_noise`` plays the same role for the sender.  Honest
+    broadcasts are heard by everyone (single collision domain).
+    """
+    sender = TwoBitSender(b1, b2)
+    receivers = [TwoBitReceiver() for _ in receiver_noise]
+    participants = [("s", sender, sender_noise)] + [
+        (f"r{i}", r, noise) for i, (r, noise) in enumerate(zip(receivers, receiver_noise))
+    ]
+    for phase in range(NUM_PHASES):
+        transmitted = set()
+        for name, device, _noise in participants:
+            if device.action(phase):
+                transmitted.add(name)
+        for name, device, noise in participants:
+            if name in transmitted:
+                continue
+            busy = (phase in noise) or any(t != name for t in transmitted)
+            device.observe(phase, busy)
+    return sender, receivers
+
+
+class TestTheoremOneProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(bits, interference, sender_interference)
+    def test_authenticity(self, pair, receiver_noise, sender_noise):
+        b1, b2 = pair
+        _sender, receivers = run_with_local_interference(b1, b2, receiver_noise, sender_noise)
+        for r in receivers:
+            if r.outcome() is TwoBitOutcome.SUCCESS:
+                assert r.result() == (b1, b2)
+
+    @settings(max_examples=300, deadline=None)
+    @given(bits, interference)
+    def test_termination_with_shared_interference(self, pair, receiver_noise):
+        """When all devices share the collision domain with the adversary
+        (identical noise), sender success implies every receiver succeeded."""
+        b1, b2 = pair
+        shared = receiver_noise[0]
+        noise = [shared for _ in receiver_noise]
+        sender, receivers = run_with_local_interference(b1, b2, noise, shared)
+        if sender.outcome() is TwoBitOutcome.SUCCESS:
+            assert all(r.outcome() is TwoBitOutcome.SUCCESS for r in receivers)
+            assert all(r.result() == (b1, b2) for r in receivers)
+
+    @settings(max_examples=300, deadline=None)
+    @given(bits, st.integers(min_value=1, max_value=4))
+    def test_energy_no_interference_no_failure(self, pair, num_receivers):
+        """Failures require the adversary to have spent at least one broadcast."""
+        b1, b2 = pair
+        noise = [set() for _ in range(num_receivers)]
+        sender, receivers = run_with_local_interference(b1, b2, noise, set())
+        assert sender.outcome() is TwoBitOutcome.SUCCESS
+        assert all(r.outcome() is TwoBitOutcome.SUCCESS for r in receivers)
+
+    @settings(max_examples=200, deadline=None)
+    @given(bits, interference, sender_interference)
+    def test_no_receiver_reports_success_with_wrong_bits(self, pair, receiver_noise, sender_noise):
+        """Stronger phrasing of authenticity: the estimate of a successful
+        receiver never differs from the transmitted pair, bit by bit."""
+        b1, b2 = pair
+        _sender, receivers = run_with_local_interference(b1, b2, receiver_noise, sender_noise)
+        for r in receivers:
+            if r.outcome() is TwoBitOutcome.SUCCESS:
+                est1, est2 = r.estimate
+                assert est1 == b1
+                assert est2 == b2
