@@ -7,13 +7,39 @@ its experiment exactly once (``benchmark.pedantic`` with one round/iteration)
 and attaches the resulting rows to ``benchmark.extra_info`` so that the JSON
 output of ``pytest benchmarks/ --benchmark-only --benchmark-json=...``
 contains the reproduced series alongside the timing.
+
+Worker knobs
+------------
+The experiment benchmarks run through a :class:`repro.sim.runner.SweepExecutor`
+built by the ``bench_executor`` fixture.  Two environment variables control it
+(environment variables rather than pytest options, so the knobs work no matter
+which directory pytest was invoked from):
+
+* ``REPRO_BENCH_WORKERS`` — worker processes for the sweeps (default ``0``:
+  serial, which keeps timings comparable across runs and machines);
+* ``REPRO_BENCH_CHUNK_SIZE`` — repetitions per worker dispatch (default ``1``).
+
+Results are bit-identical for every setting; only the wall clock moves.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis import format_table
+from repro.sim.runner import SweepExecutor
+
+
+def bench_workers() -> int:
+    """Worker-count knob for the benchmark sweeps (0 = serial)."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+
+
+def bench_chunk_size() -> int:
+    """Chunking knob for the benchmark sweeps."""
+    return int(os.environ.get("REPRO_BENCH_CHUNK_SIZE", "1"))
 
 
 def run_once(benchmark, func, *args, **kwargs):
@@ -35,3 +61,17 @@ def attach_rows(benchmark, rows, *, title: str, columns=None) -> str:
 def bench_table():
     """Fixture exposing :func:`attach_rows` with a uniform signature."""
     return attach_rows
+
+
+@pytest.fixture
+def bench_executor(benchmark) -> SweepExecutor:
+    """The sweep executor the experiment benchmarks run through.
+
+    Serial by default; set ``REPRO_BENCH_WORKERS`` to fan repetitions out over
+    processes.  The configuration is recorded in ``benchmark.extra_info`` so
+    the JSON output says what the timing was taken under.
+    """
+    with SweepExecutor(bench_workers(), chunk_size=bench_chunk_size()) as executor:
+        benchmark.extra_info["workers"] = executor.workers
+        benchmark.extra_info["chunk_size"] = executor.chunk_size
+        yield executor

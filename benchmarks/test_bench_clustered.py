@@ -14,9 +14,9 @@ from conftest import attach_rows, run_once
 from repro.experiments import ClusteredSpec, run_clustered
 
 
-def test_clustered_deployments(benchmark):
+def test_clustered_deployments(benchmark, bench_executor):
     spec = ClusteredSpec.small()
-    rows = run_once(benchmark, run_clustered, spec)
+    rows = run_once(benchmark, run_clustered, spec, executor=bench_executor)
     attach_rows(
         benchmark,
         rows,

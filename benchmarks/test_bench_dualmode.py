@@ -15,9 +15,9 @@ from conftest import attach_rows, run_once
 from repro.experiments import DualModeSpec, run_dual_mode
 
 
-def test_dual_mode_overhead(benchmark):
+def test_dual_mode_overhead(benchmark, bench_executor):
     spec = DualModeSpec.small()
-    row = run_once(benchmark, run_dual_mode, spec)
+    row = run_once(benchmark, run_dual_mode, spec, executor=bench_executor)
     attach_rows(
         benchmark,
         [row],

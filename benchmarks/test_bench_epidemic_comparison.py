@@ -13,9 +13,9 @@ from conftest import attach_rows, run_once
 from repro.experiments import EpidemicComparisonSpec, run_epidemic_comparison
 
 
-def test_epidemic_comparison_neighborwatch(benchmark):
+def test_epidemic_comparison_neighborwatch(benchmark, bench_executor):
     spec = EpidemicComparisonSpec.small()
-    rows = run_once(benchmark, run_epidemic_comparison, spec)
+    rows = run_once(benchmark, run_epidemic_comparison, spec, executor=bench_executor)
     attach_rows(
         benchmark,
         rows,
@@ -32,9 +32,9 @@ def test_epidemic_comparison_neighborwatch(benchmark):
     assert nw["completion_%"] > 95.0
 
 
-def test_epidemic_comparison_multipath(benchmark):
+def test_epidemic_comparison_multipath(benchmark, bench_executor):
     spec = EpidemicComparisonSpec.small_with_multipath()
-    rows = run_once(benchmark, run_epidemic_comparison, spec)
+    rows = run_once(benchmark, run_epidemic_comparison, spec, executor=bench_executor)
     attach_rows(
         benchmark,
         rows,

@@ -14,9 +14,9 @@ from conftest import attach_rows, run_once
 from repro.experiments import CrashResilienceSpec, run_crash_resilience
 
 
-def test_fig5_crash_resilience(benchmark):
+def test_fig5_crash_resilience(benchmark, bench_executor):
     spec = CrashResilienceSpec.small()
-    rows = run_once(benchmark, run_crash_resilience, spec)
+    rows = run_once(benchmark, run_crash_resilience, spec, executor=bench_executor)
     attach_rows(
         benchmark,
         rows,

@@ -15,9 +15,9 @@ from conftest import attach_rows, run_once
 from repro.experiments import LyingSpec, run_lying
 
 
-def test_fig6_lying_neighborwatch(benchmark):
+def test_fig6_lying_neighborwatch(benchmark, bench_executor):
     spec = LyingSpec.small()
-    rows = run_once(benchmark, run_lying, spec)
+    rows = run_once(benchmark, run_lying, spec, executor=bench_executor)
     attach_rows(
         benchmark,
         rows,
@@ -42,9 +42,9 @@ def test_fig6_lying_neighborwatch(benchmark):
     assert two_vote["correct_%"] >= plain["correct_%"] - 10.0
 
 
-def test_fig6_lying_multipath(benchmark):
+def test_fig6_lying_multipath(benchmark, bench_executor):
     spec = LyingSpec.small_multipath()
-    rows = run_once(benchmark, run_lying, spec)
+    rows = run_once(benchmark, run_lying, spec, executor=bench_executor)
     attach_rows(
         benchmark,
         rows,

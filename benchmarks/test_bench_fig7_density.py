@@ -13,9 +13,9 @@ from conftest import attach_rows, run_once
 from repro.experiments import DensityToleranceSpec, run_density_tolerance
 
 
-def test_fig7_density_tolerance(benchmark):
+def test_fig7_density_tolerance(benchmark, bench_executor):
     spec = DensityToleranceSpec.small()
-    rows = run_once(benchmark, run_density_tolerance, spec)
+    rows = run_once(benchmark, run_density_tolerance, spec, executor=bench_executor)
     attach_rows(
         benchmark,
         rows,

@@ -12,9 +12,9 @@ from conftest import attach_rows, run_once
 from repro.experiments import JammingSpec, fit_linear_trend, run_jamming
 
 
-def test_jamming_delay_scales_with_budget(benchmark):
+def test_jamming_delay_scales_with_budget(benchmark, bench_executor):
     spec = JammingSpec.small()
-    rows = run_once(benchmark, run_jamming, spec)
+    rows = run_once(benchmark, run_jamming, spec, executor=bench_executor)
     attach_rows(
         benchmark,
         rows,

@@ -11,9 +11,9 @@ from conftest import attach_rows, run_once
 from repro.experiments import MapSizeSpec, linear_scaling_error, run_map_size
 
 
-def test_mapsize_linear_scaling(benchmark):
+def test_mapsize_linear_scaling(benchmark, bench_executor):
     spec = MapSizeSpec.small()
-    rows = run_once(benchmark, run_map_size, spec)
+    rows = run_once(benchmark, run_map_size, spec, executor=bench_executor)
     attach_rows(
         benchmark,
         rows,

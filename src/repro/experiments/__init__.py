@@ -1,6 +1,7 @@
 """Reproductions of the paper's evaluation (one module per table/figure)."""
 
-from .base import PointResult, run_point
+from ..sim.runner import SweepExecutor, SweepTask
+from .base import PointResult, run_point, run_points
 from .clustered import ClusteredSpec, run_clustered
 from .crash_resilience import CrashResilienceSpec, run_crash_resilience
 from .density_tolerance import DensityToleranceSpec, run_density_tolerance
@@ -17,8 +18,11 @@ from .map_size import MapSizeSpec, linear_scaling_error, run_map_size
 from .registry import EXPERIMENTS, available_experiments, run_experiment
 
 __all__ = [
+    "SweepExecutor",
+    "SweepTask",
     "PointResult",
     "run_point",
+    "run_points",
     "ClusteredSpec",
     "run_clustered",
     "CrashResilienceSpec",

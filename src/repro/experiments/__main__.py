@@ -1,0 +1,104 @@
+"""Command-line entry point for the paper-reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments FIG5 --scale small --workers 4
+    python -m repro.experiments EPID --scale paper --workers 8 --chunk-size 2
+
+Runs one registered experiment (see ``--list`` for the identifiers), fanning
+its seeded repetitions out over ``--workers`` processes via
+:class:`~repro.sim.runner.SweepExecutor`, and prints the resulting table.
+Results are bit-identical for every worker count, so ``--workers`` is purely
+a throughput knob.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from ..analysis.tables import format_table
+from ..sim.runner import SweepExecutor
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run one of the paper-reproduction experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment identifier (e.g. FIG5; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the registered experiments and exit"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="spec to run: 'small' (seconds-to-minutes) or 'paper' (hours)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the sweep (0/1 = serial; results are identical)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1,
+        help="repetitions each worker picks up at a time (amortises overhead)",
+    )
+    return parser
+
+
+def _list_experiments() -> str:
+    width = max(len(key) for key in EXPERIMENTS)
+    lines = [f"{key.ljust(width)}  {description}" for key, (description, _) in EXPERIMENTS.items()]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        print(_list_experiments())
+        return 0
+
+    # Validate the knobs and resolve the experiment id up front, so usage
+    # errors exit cleanly with code 2 while genuine failures inside a running
+    # experiment still surface with a full traceback.
+    try:
+        executor = SweepExecutor(args.workers, chunk_size=args.chunk_size)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with executor:
+        try:
+            started = time.perf_counter()
+            rows, description = run_experiment(
+                args.experiment, scale=args.scale, executor=executor
+            )
+            elapsed = time.perf_counter() - started
+        except KeyError as exc:
+            print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+            return 2
+
+    print(f"{args.experiment.upper()} — {description}")
+    print(f"scale={args.scale} workers={args.workers} elapsed={elapsed:.1f}s\n")
+    print(format_table(list(rows), title=None))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

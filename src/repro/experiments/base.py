@@ -6,32 +6,35 @@ Every experiment module follows the same pattern:
   the paper's evaluation as closely as is practical in pure Python) and
   ``small()`` (a scaled-down configuration with the same qualitative shape,
   used by the test suite and the benchmark harness);
-* a ``run_*`` function that sweeps the experiment's independent variable,
-  repeats each point over several seeds, aggregates the metrics and returns a
-  list of row dictionaries (one per sweep point);
+* a ``run_*`` function that builds one :class:`~repro.sim.runner.SweepTask`
+  per sweep point (one x-value of a figure), executes them — serially or in
+  parallel — through a :class:`~repro.sim.runner.SweepExecutor`, aggregates
+  the metrics and returns a list of row dictionaries;
 * the rows render to text via :func:`repro.analysis.tables.format_table` and
   are recorded in EXPERIMENTS.md.
 
-This module provides the shared sweep-point runner.
+This module provides the shared sweep-point runners.  :func:`run_point` runs
+a single point; :func:`run_points` runs a whole batch at once, which is what
+lets an executor with ``workers > 1`` overlap repetitions *across* sweep
+points, not just within one.  Because every repetition derives all of its
+randomness from ``base_seed + i``, the results are bit-identical regardless
+of the worker count (see :mod:`repro.sim.runner`).
+
+Factories handed to these helpers must be picklable when a parallel executor
+is used — use the dataclass factories in :mod:`repro.experiments.factories`
+rather than closures.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..analysis.stats import Aggregate, summarize_runs
-from ..sim.builder import run_scenario
-from ..sim.config import FaultPlan, ScenarioConfig
 from ..sim.results import RunResult
-from ..topology.deployment import Deployment
+from ..sim.runner import DeploymentFactory, FaultFactory, SweepExecutor, SweepTask
 
-__all__ = ["PointResult", "run_point"]
-
-#: A deployment factory receives the repetition seed and returns a deployment.
-DeploymentFactory = Callable[[int], Deployment]
-#: A fault factory receives the deployment and the repetition seed.
-FaultFactory = Callable[[Deployment, int], FaultPlan]
+__all__ = ["PointResult", "run_point", "run_points"]
 
 
 @dataclass(slots=True)
@@ -83,15 +86,39 @@ class PointResult:
         return row
 
 
+def _point_from_runs(task: SweepTask, runs: list[RunResult]) -> PointResult:
+    return PointResult(
+        label=task.label,
+        repetitions=task.repetitions,
+        aggregates=summarize_runs(runs),
+        runs=runs,
+    )
+
+
+def run_points(
+    tasks: Sequence[SweepTask], *, executor: Optional[SweepExecutor] = None
+) -> list[PointResult]:
+    """Run a batch of sweep points and aggregate each one.
+
+    With a parallel ``executor`` every ``(point, repetition)`` pair of the
+    batch is fanned out at once; results come back in task order either way.
+    """
+    tasks = list(tasks)
+    executor = executor if executor is not None else SweepExecutor(0)
+    runs_per_task = executor.run(tasks)
+    return [_point_from_runs(task, runs) for task, runs in zip(tasks, runs_per_task)]
+
+
 def run_point(
     label: str,
     deployment_factory: DeploymentFactory,
-    config: ScenarioConfig,
+    config,
     *,
     fault_factory: Optional[FaultFactory] = None,
     repetitions: int = 3,
     base_seed: int = 0,
     max_rounds: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> PointResult:
     """Run one sweep point: ``repetitions`` independent simulations, aggregated.
 
@@ -99,30 +126,13 @@ def run_point(
     scenario seed from ``base_seed + i`` so the whole experiment is
     reproducible from its spec alone.
     """
-    if repetitions < 1:
-        raise ValueError("repetitions must be >= 1")
-    runs: list[RunResult] = []
-    for rep in range(repetitions):
-        seed = base_seed + rep
-        deployment = deployment_factory(seed)
-        faults = fault_factory(deployment, seed) if fault_factory is not None else FaultPlan()
-        scenario = ScenarioConfig(
-            protocol=config.protocol,
-            radius=config.radius,
-            message_length=config.message_length,
-            message=config.message,
-            norm=config.norm,
-            channel=config.channel,
-            capture_probability=config.capture_probability,
-            loss_probability=config.loss_probability,
-            square_side=config.square_side,
-            multipath_tolerance=config.multipath_tolerance,
-            schedule_separation=config.schedule_separation,
-            epidemic_separation=config.epidemic_separation,
-            idle_veto=config.idle_veto,
-            max_rounds=config.max_rounds,
-            seed=seed,
-        )
-        runs.append(run_scenario(deployment, scenario, faults, max_rounds=max_rounds))
-    aggregates = summarize_runs(runs)
-    return PointResult(label=label, repetitions=repetitions, aggregates=aggregates, runs=runs)
+    task = SweepTask(
+        label=label,
+        deployment_factory=deployment_factory,
+        config=config,
+        fault_factory=fault_factory,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        max_rounds=max_rounds,
+    )
+    return run_points([task], executor=executor)[0]

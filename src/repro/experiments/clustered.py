@@ -13,13 +13,14 @@ lying devices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
-from ..adversary.placement import fraction_to_count, random_fault_selection
-from ..sim.config import FaultPlan, ProtocolName, ScenarioConfig
+from ..adversary.placement import fraction_to_count
+from ..sim.config import ProtocolName, ScenarioConfig
+from ..sim.runner import SweepExecutor, SweepTask
 from ..topology.connectivity import connectivity_report
-from ..topology.deployment import clustered_deployment, uniform_deployment
-from .base import run_point
+from .base import run_points
+from .factories import ClusteredDeploymentFactory, RandomLiarFactory, UniformDeploymentFactory
 
 __all__ = ["ClusteredSpec", "run_clustered"]
 
@@ -55,57 +56,47 @@ class ClusteredSpec:
         )
 
 
-def run_clustered(spec: ClusteredSpec) -> list[dict]:
+def run_clustered(spec: ClusteredSpec, *, executor: Optional[SweepExecutor] = None) -> list[dict]:
     """Compare uniform vs clustered deployments; one row per (kind, fraction)."""
-    rows: list[dict] = []
     config = ScenarioConfig(
         protocol=ProtocolName.parse(spec.protocol),
         radius=spec.radius,
         message_length=spec.message_length,
     )
+    factories = {
+        "uniform": UniformDeploymentFactory(spec.num_nodes, spec.map_size, spec.map_size),
+        "clustered": ClusteredDeploymentFactory(
+            spec.num_nodes, spec.map_size, spec.map_size, num_clusters=spec.num_clusters
+        ),
+    }
 
-    for kind in ("uniform", "clustered"):
-        for fraction in spec.lying_fractions:
-            num_liars = fraction_to_count(spec.num_nodes, fraction)
+    tasks = [
+        SweepTask(
+            label=f"{kind}@{fraction:.0%}",
+            deployment_factory=factories[kind],
+            config=config,
+            fault_factory=RandomLiarFactory(
+                fraction_to_count(spec.num_nodes, fraction), seed_offset=23
+            ),
+            repetitions=spec.repetitions,
+            base_seed=spec.base_seed,
+            extra={"deployment": kind, "byzantine_fraction": fraction},
+        )
+        for kind in ("uniform", "clustered")
+        for fraction in spec.lying_fractions
+    ]
+    points = run_points(tasks, executor=executor)
 
-            def deployment_factory(seed: int, _kind=kind):
-                if _kind == "clustered":
-                    return clustered_deployment(
-                        spec.num_nodes,
-                        spec.map_size,
-                        spec.map_size,
-                        num_clusters=spec.num_clusters,
-                        rng=seed,
-                    )
-                return uniform_deployment(spec.num_nodes, spec.map_size, spec.map_size, rng=seed)
-
-            def fault_factory(deployment, seed: int, _count=num_liars) -> FaultPlan:
-                if _count == 0:
-                    return FaultPlan()
-                liars = random_fault_selection(
-                    deployment.num_nodes, _count, exclude=[deployment.source_index], rng=seed + 23
-                )
-                return FaultPlan(liars=tuple(liars))
-
-            point = run_point(
-                f"{kind}@{fraction:.0%}",
-                deployment_factory,
-                config,
-                fault_factory=fault_factory,
-                repetitions=spec.repetitions,
-                base_seed=spec.base_seed,
+    rows: list[dict] = []
+    for task, point in zip(tasks, points):
+        # Report source-component connectivity alongside, since the paper
+        # attributes sub-100% completion to disconnected clusters.
+        sample = task.deployment_factory(spec.base_seed)
+        report = connectivity_report(sample.positions, spec.radius, sample.source_index, norm="l2")
+        rows.append(
+            point.row(
+                **task.extra,
+                reachable_from_source_pct=100.0 * report.reachable_from_source,
             )
-            # Report source-component connectivity alongside, since the paper
-            # attributes sub-100% completion to disconnected clusters.
-            sample = deployment_factory(spec.base_seed)
-            report = connectivity_report(
-                sample.positions, spec.radius, sample.source_index, norm="l2"
-            )
-            rows.append(
-                point.row(
-                    deployment=kind,
-                    byzantine_fraction=fraction,
-                    reachable_from_source_pct=100.0 * report.reachable_from_source,
-                )
-            )
+        )
     return rows

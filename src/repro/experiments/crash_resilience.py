@@ -13,13 +13,12 @@ at moderate densities.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..sim.config import ProtocolName, ScenarioConfig
-from ..adversary.crash import crashes_for_target_density
-from ..sim.config import FaultPlan
-from ..topology.deployment import uniform_deployment
-from .base import PointResult, run_point
+from ..sim.runner import SweepExecutor, SweepTask
+from .base import run_points
+from .factories import TargetDensityCrashFactory, UniformDeploymentFactory
 
 __all__ = ["CrashResilienceSpec", "run_crash_resilience"]
 
@@ -74,34 +73,30 @@ class CrashResilienceSpec:
         )
 
 
-def run_crash_resilience(spec: CrashResilienceSpec) -> list[dict]:
+def run_crash_resilience(
+    spec: CrashResilienceSpec, *, executor: Optional[SweepExecutor] = None
+) -> list[dict]:
     """Run the FIG5 sweep and return one row per (protocol, density) point."""
-    rows: list[dict] = []
     num_deployed = int(round(spec.deployed_density * spec.map_size * spec.map_size))
+    deployment_factory = UniformDeploymentFactory(num_deployed, spec.map_size, spec.map_size)
 
-    for label, protocol, tolerance in spec.protocols:
-        for density in spec.densities:
-
-            def deployment_factory(seed: int):
-                return uniform_deployment(num_deployed, spec.map_size, spec.map_size, rng=seed)
-
-            def fault_factory(deployment, seed: int, _density=density) -> FaultPlan:
-                crashed = crashes_for_target_density(deployment, _density, rng=seed + 7)
-                return FaultPlan(crashed=tuple(crashed))
-
-            config = ScenarioConfig(
+    tasks = [
+        SweepTask(
+            label=f"{label}@density={density}",
+            deployment_factory=deployment_factory,
+            config=ScenarioConfig(
                 protocol=ProtocolName.parse(protocol),
                 radius=spec.radius,
                 message_length=spec.message_length,
                 multipath_tolerance=tolerance,
-            )
-            point: PointResult = run_point(
-                f"{label}@density={density}",
-                deployment_factory,
-                config,
-                fault_factory=fault_factory,
-                repetitions=spec.repetitions,
-                base_seed=spec.base_seed,
-            )
-            rows.append(point.row(protocol=label, density=density))
-    return rows
+            ),
+            fault_factory=TargetDensityCrashFactory(density),
+            repetitions=spec.repetitions,
+            base_seed=spec.base_seed,
+            extra={"protocol": label, "density": density},
+        )
+        for label, protocol, tolerance in spec.protocols
+        for density in spec.densities
+    ]
+    points = run_points(tasks, executor=executor)
+    return [point.row(**task.extra) for task, point in zip(tasks, points)]

@@ -12,13 +12,14 @@ density 5 (ours are capped far lower; see DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
-from ..adversary.placement import fraction_to_count, random_fault_selection
+from ..adversary.placement import fraction_to_count
 from ..analysis.metrics import max_tolerated_fraction
-from ..sim.config import FaultPlan, ProtocolName, ScenarioConfig
-from ..topology.deployment import uniform_deployment
+from ..sim.config import ProtocolName, ScenarioConfig
+from ..sim.runner import SweepExecutor
 from .base import run_point
+from .factories import RandomLiarFactory, UniformDeploymentFactory
 
 __all__ = ["DensityToleranceSpec", "run_density_tolerance"]
 
@@ -68,8 +69,15 @@ class DensityToleranceSpec:
         )
 
 
-def run_density_tolerance(spec: DensityToleranceSpec) -> list[dict]:
-    """For each (protocol, density), search the largest tolerated lying fraction."""
+def run_density_tolerance(
+    spec: DensityToleranceSpec, *, executor: Optional[SweepExecutor] = None
+) -> list[dict]:
+    """For each (protocol, density), search the largest tolerated lying fraction.
+
+    The search over candidate fractions is adaptive (each evaluation depends
+    on the previous outcome), so only the repetitions *within* one evaluation
+    are fanned out over the executor.
+    """
     rows: list[dict] = []
     for label, protocol, tolerance in spec.protocols:
         for density in spec.densities:
@@ -84,29 +92,16 @@ def run_density_tolerance(spec: DensityToleranceSpec) -> list[dict]:
             evaluations: dict[float, float] = {}
 
             def evaluate(fraction: float, _num_nodes=num_nodes, _config=config) -> float:
-                num_liars = fraction_to_count(_num_nodes, fraction)
-
-                def deployment_factory(seed: int):
-                    return uniform_deployment(_num_nodes, spec.map_size, spec.map_size, rng=seed)
-
-                def fault_factory(deployment, seed: int) -> FaultPlan:
-                    if num_liars == 0:
-                        return FaultPlan()
-                    liars = random_fault_selection(
-                        deployment.num_nodes,
-                        num_liars,
-                        exclude=[deployment.source_index],
-                        rng=seed + 17,
-                    )
-                    return FaultPlan(liars=tuple(liars))
-
                 point = run_point(
                     f"{fraction:.1%}",
-                    deployment_factory,
+                    UniformDeploymentFactory(_num_nodes, spec.map_size, spec.map_size),
                     _config,
-                    fault_factory=fault_factory,
+                    fault_factory=RandomLiarFactory(
+                        fraction_to_count(_num_nodes, fraction), seed_offset=17
+                    ),
                     repetitions=spec.repetitions,
                     base_seed=spec.base_seed,
+                    executor=executor,
                 )
                 value = point.correct_delivery_fraction
                 evaluations[fraction] = value

@@ -29,11 +29,12 @@ from typing import Optional, Sequence
 from ..core.digest import polynomial_digest, recommended_digest_length
 from ..core.dualmode import DualModeResult, combine_dual_mode
 from ..analysis.metrics import slowdown_factor
-from ..sim.builder import run_scenario
 from ..sim.config import ProtocolName, ScenarioConfig
 from ..sim.results import RunResult
+from ..sim.runner import SweepExecutor, SweepTask
 from ..topology.deployment import Deployment, uniform_deployment
-from .base import run_point
+from .base import run_points
+from .factories import FixedDeploymentFactory, UniformDeploymentFactory
 
 __all__ = [
     "EpidemicComparisonSpec",
@@ -88,9 +89,10 @@ class EpidemicComparisonSpec:
         )
 
 
-def run_epidemic_comparison(spec: EpidemicComparisonSpec) -> list[dict]:
+def run_epidemic_comparison(
+    spec: EpidemicComparisonSpec, *, executor: Optional[SweepExecutor] = None
+) -> list[dict]:
     """One row per (map size, protocol), with the slowdown over the epidemic baseline."""
-    rows: list[dict] = []
     protocols: list[tuple[str, str, int]] = [
         ("epidemic", "epidemic", 0),
         ("NeighborWatchRB", "neighborwatch", 0),
@@ -98,44 +100,47 @@ def run_epidemic_comparison(spec: EpidemicComparisonSpec) -> list[dict]:
     if spec.include_multipath:
         protocols.append((f"MultiPathRB(t={spec.multipath_tolerance})", "multipath", spec.multipath_tolerance))
 
-    for size in spec.map_sizes:
-        num_nodes = max(10, int(round(spec.density * size * size)))
-
-        def deployment_factory(seed: int, _size=size, _n=num_nodes):
-            return uniform_deployment(_n, _size, _size, rng=seed)
-
-        baseline_airtime: Optional[float] = None
-        baseline_rounds: Optional[float] = None
-        for label, protocol, tolerance in protocols:
-            config = ScenarioConfig(
+    tasks = [
+        SweepTask(
+            label=f"{label}@map={size:.0f}",
+            deployment_factory=UniformDeploymentFactory(
+                max(10, int(round(spec.density * size * size))), size, size
+            ),
+            config=ScenarioConfig(
                 protocol=ProtocolName.parse(protocol),
                 radius=spec.radius,
                 message_length=spec.message_length,
                 multipath_tolerance=tolerance,
+            ),
+            repetitions=spec.repetitions,
+            base_seed=spec.base_seed,
+            extra={"map_size": size, "protocol": label, "protocol_id": protocol},
+        )
+        for size in spec.map_sizes
+        for label, protocol, tolerance in protocols
+    ]
+    points = run_points(tasks, executor=executor)
+
+    rows: list[dict] = []
+    baselines: dict[float, tuple[float, float]] = {}
+    for task, point in zip(tasks, points):
+        size = task.extra["map_size"]
+        airtime = airtime_bits(task.extra["protocol_id"], point.rounds, spec.message_length)
+        if task.extra["protocol"] == "epidemic":
+            baselines[size] = (airtime, point.rounds)
+        baseline_airtime, baseline_rounds = baselines.get(size, (None, None))
+        slowdown = airtime / baseline_airtime if baseline_airtime else float("nan")
+        raw_slowdown = point.rounds / baseline_rounds if baseline_rounds else float("nan")
+        rows.append(
+            point.row(
+                map_size=size,
+                protocol=task.extra["protocol"],
+                num_nodes=task.deployment_factory.num_nodes,
+                airtime_bits=airtime,
+                slowdown=slowdown,
+                raw_round_slowdown=raw_slowdown,
             )
-            point = run_point(
-                f"{label}@map={size:.0f}",
-                deployment_factory,
-                config,
-                repetitions=spec.repetitions,
-                base_seed=spec.base_seed,
-            )
-            airtime = airtime_bits(protocol, point.rounds, spec.message_length)
-            if label == "epidemic":
-                baseline_airtime = airtime
-                baseline_rounds = point.rounds
-            slowdown = airtime / baseline_airtime if baseline_airtime else float("nan")
-            raw_slowdown = point.rounds / baseline_rounds if baseline_rounds else float("nan")
-            rows.append(
-                point.row(
-                    map_size=size,
-                    protocol=label,
-                    num_nodes=num_nodes,
-                    airtime_bits=airtime,
-                    slowdown=slowdown,
-                    raw_round_slowdown=raw_slowdown,
-                )
-            )
+        )
     return rows
 
 
@@ -159,14 +164,15 @@ class DualModeSpec:
         return cls(map_size=9.0, density=1.5, payload_bits=10, digest_ratio=0.2)
 
 
-def run_dual_mode(spec: DualModeSpec) -> dict:
+def run_dual_mode(spec: DualModeSpec, *, executor: Optional[SweepExecutor] = None) -> dict:
     """Run the dual-mode experiment; returns a single summary row.
 
     Three runs are combined: (a) the epidemic flood of the full payload,
     (b) the NeighborWatchRB broadcast of its digest, and (c) a plain epidemic
     flood of the payload as the no-security baseline (identical to (a) here,
     kept separate for clarity).  The reported overhead is
-    ``(payload + digest rounds) / payload rounds``.
+    ``(payload + digest rounds) / payload rounds``.  The payload and digest
+    runs are independent, so a parallel executor overlaps them.
     """
     num_nodes = max(10, int(round(spec.density * spec.map_size * spec.map_size)))
     deployment: Deployment = uniform_deployment(num_nodes, spec.map_size, spec.map_size, rng=spec.seed)
@@ -189,8 +195,26 @@ def run_dual_mode(spec: DualModeSpec) -> dict:
         message=digest,
         seed=spec.seed + 1,
     )
-    payload_result: RunResult = run_scenario(deployment, payload_config)
-    digest_result: RunResult = run_scenario(deployment, digest_config)
+    factory = FixedDeploymentFactory(deployment)
+    tasks = [
+        SweepTask(
+            label="payload-flood",
+            deployment_factory=factory,
+            config=payload_config,
+            repetitions=1,
+            base_seed=spec.seed,
+        ),
+        SweepTask(
+            label="digest-broadcast",
+            deployment_factory=factory,
+            config=digest_config,
+            repetitions=1,
+            base_seed=spec.seed + 1,
+        ),
+    ]
+    payload_point, digest_point = run_points(tasks, executor=executor)
+    payload_result: RunResult = payload_point.runs[0]
+    digest_result: RunResult = digest_point.runs[0]
     combined: DualModeResult = combine_dual_mode(payload, payload_result, digest_result)
 
     payload_airtime = airtime_bits("epidemic", payload_result.completion_rounds, spec.payload_bits)

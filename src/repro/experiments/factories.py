@@ -1,0 +1,124 @@
+"""Picklable deployment and fault factories for the sweep runner.
+
+The parallel :class:`~repro.sim.runner.SweepExecutor` ships every sweep task
+to worker processes, so the callables a task carries must survive pickling.
+Closures — which the experiment modules historically used — do not.  These
+small frozen dataclasses capture the same parameters explicitly and are the
+canonical factories the experiments build their tasks from.
+
+Each fault factory keeps the experiment's historical ``seed_offset`` (the
+constant added to the repetition seed before drawing fault placements), so a
+refactored experiment reproduces the exact same runs as its closure-based
+predecessor, seed for seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..adversary.crash import crashes_for_target_density
+from ..adversary.placement import random_fault_selection
+from ..sim.config import FaultPlan
+from ..topology.deployment import Deployment, clustered_deployment, uniform_deployment
+
+__all__ = [
+    "UniformDeploymentFactory",
+    "ClusteredDeploymentFactory",
+    "FixedDeploymentFactory",
+    "TargetDensityCrashFactory",
+    "BudgetedJammerFactory",
+    "RandomLiarFactory",
+]
+
+
+# -- deployment factories ---------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class UniformDeploymentFactory:
+    """Uniformly random deployment of ``num_nodes`` on a ``width x height`` map."""
+
+    num_nodes: int
+    width: float
+    height: float
+
+    def __call__(self, seed: int) -> Deployment:
+        return uniform_deployment(self.num_nodes, self.width, self.height, rng=seed)
+
+
+@dataclass(frozen=True, slots=True)
+class ClusteredDeploymentFactory:
+    """Clustered deployment (random cluster centers, normal spread)."""
+
+    num_nodes: int
+    width: float
+    height: float
+    num_clusters: int
+
+    def __call__(self, seed: int) -> Deployment:
+        return clustered_deployment(
+            self.num_nodes, self.width, self.height, num_clusters=self.num_clusters, rng=seed
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FixedDeploymentFactory:
+    """Always returns the same pre-built deployment (seed is ignored)."""
+
+    deployment: Deployment
+
+    def __call__(self, seed: int) -> Deployment:
+        return self.deployment
+
+
+# -- fault factories --------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class TargetDensityCrashFactory:
+    """Crash devices until the *active* density reaches ``density``."""
+
+    density: float
+    seed_offset: int = 7
+
+    def __call__(self, deployment: Deployment, seed: int) -> FaultPlan:
+        crashed = crashes_for_target_density(deployment, self.density, rng=seed + self.seed_offset)
+        return FaultPlan(crashed=tuple(crashed))
+
+
+@dataclass(frozen=True, slots=True)
+class BudgetedJammerFactory:
+    """``count`` randomly placed jammers with a per-device broadcast budget."""
+
+    count: int
+    budget: int
+    jam_probability: float
+    seed_offset: int = 13
+
+    def __call__(self, deployment: Deployment, seed: int) -> FaultPlan:
+        jammers = random_fault_selection(
+            deployment.num_nodes,
+            self.count,
+            exclude=[deployment.source_index],
+            rng=seed + self.seed_offset,
+        )
+        return FaultPlan(
+            jammers=tuple(jammers),
+            jammer_budget=int(self.budget),
+            jam_probability=self.jam_probability,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RandomLiarFactory:
+    """``count`` randomly placed lying devices (no faults when ``count`` is 0)."""
+
+    count: int
+    seed_offset: int = 31
+
+    def __call__(self, deployment: Deployment, seed: int) -> FaultPlan:
+        if self.count == 0:
+            return FaultPlan()
+        liars = random_fault_selection(
+            deployment.num_nodes,
+            self.count,
+            exclude=[deployment.source_index],
+            rng=seed + self.seed_offset,
+        )
+        return FaultPlan(liars=tuple(liars))

@@ -11,14 +11,15 @@ series; the benchmark additionally fits a line and checks the residual.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from ..adversary.placement import fraction_to_count, random_fault_selection
-from ..sim.config import FaultPlan, ProtocolName, ScenarioConfig
-from ..topology.deployment import uniform_deployment
-from .base import run_point
+from ..adversary.placement import fraction_to_count
+from ..sim.config import ProtocolName, ScenarioConfig
+from ..sim.runner import SweepExecutor, SweepTask
+from .base import run_points
+from .factories import BudgetedJammerFactory, UniformDeploymentFactory
 
 __all__ = ["JammingSpec", "run_jamming", "fit_linear_trend"]
 
@@ -54,41 +55,32 @@ class JammingSpec:
         )
 
 
-def run_jamming(spec: JammingSpec) -> list[dict]:
+def run_jamming(spec: JammingSpec, *, executor: Optional[SweepExecutor] = None) -> list[dict]:
     """Run the jamming sweep and return one row per budget value."""
-    rows: list[dict] = []
     num_jammers = fraction_to_count(spec.num_nodes, spec.jammer_fraction)
+    deployment_factory = UniformDeploymentFactory(spec.num_nodes, spec.map_size, spec.map_size)
+    config = ScenarioConfig(
+        protocol=ProtocolName.parse(spec.protocol),
+        radius=spec.radius,
+        message_length=spec.message_length,
+    )
 
-    for budget in spec.budgets:
-
-        def deployment_factory(seed: int):
-            return uniform_deployment(spec.num_nodes, spec.map_size, spec.map_size, rng=seed)
-
-        def fault_factory(deployment, seed: int, _budget=budget) -> FaultPlan:
-            jammers = random_fault_selection(
-                deployment.num_nodes, num_jammers, exclude=[deployment.source_index], rng=seed + 13
-            )
-            return FaultPlan(
-                jammers=tuple(jammers),
-                jammer_budget=int(_budget) if _budget > 0 else 0,
-                jam_probability=spec.jam_probability,
-            )
-
-        config = ScenarioConfig(
-            protocol=ProtocolName.parse(spec.protocol),
-            radius=spec.radius,
-            message_length=spec.message_length,
-        )
-        point = run_point(
-            f"budget={budget}",
-            deployment_factory,
-            config,
-            fault_factory=fault_factory,
+    tasks = [
+        SweepTask(
+            label=f"budget={budget}",
+            deployment_factory=deployment_factory,
+            config=config,
+            fault_factory=BudgetedJammerFactory(
+                num_jammers, int(budget), spec.jam_probability
+            ),
             repetitions=spec.repetitions,
             base_seed=spec.base_seed,
+            extra={"budget": budget},
         )
-        rows.append(point.row(budget=budget))
-    return rows
+        for budget in spec.budgets
+    ]
+    points = run_points(tasks, executor=executor)
+    return [point.row(**task.extra) for task, point in zip(tasks, points)]
 
 
 def fit_linear_trend(rows: Sequence[dict], x_key: str = "budget", y_key: str = "rounds") -> tuple[float, float, float]:

@@ -16,12 +16,13 @@ a function of the fraction of malicious devices, for NeighborWatchRB, its
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
-from ..adversary.placement import fraction_to_count, random_fault_selection
-from ..sim.config import FaultPlan, ProtocolName, ScenarioConfig
-from ..topology.deployment import clustered_deployment, uniform_deployment
-from .base import run_point
+from ..adversary.placement import fraction_to_count
+from ..sim.config import ProtocolName, ScenarioConfig
+from ..sim.runner import SweepExecutor, SweepTask
+from .base import run_points
+from .factories import ClusteredDeploymentFactory, RandomLiarFactory, UniformDeploymentFactory
 
 __all__ = ["LyingSpec", "run_lying"]
 
@@ -80,41 +81,32 @@ class LyingSpec:
         )
 
 
-def run_lying(spec: LyingSpec) -> list[dict]:
+def run_lying(spec: LyingSpec, *, executor: Optional[SweepExecutor] = None) -> list[dict]:
     """Run the FIG6 sweep and return one row per (protocol, fraction) point."""
-    rows: list[dict] = []
-    for label, protocol, tolerance in spec.protocols:
-        for fraction in spec.fractions:
-            num_liars = fraction_to_count(spec.num_nodes, fraction)
+    if spec.clustered:
+        deployment_factory = ClusteredDeploymentFactory(
+            spec.num_nodes, spec.map_size, spec.map_size, num_clusters=8
+        )
+    else:
+        deployment_factory = UniformDeploymentFactory(spec.num_nodes, spec.map_size, spec.map_size)
 
-            def deployment_factory(seed: int):
-                if spec.clustered:
-                    return clustered_deployment(
-                        spec.num_nodes, spec.map_size, spec.map_size, num_clusters=8, rng=seed
-                    )
-                return uniform_deployment(spec.num_nodes, spec.map_size, spec.map_size, rng=seed)
-
-            def fault_factory(deployment, seed: int, _count=num_liars) -> FaultPlan:
-                if _count == 0:
-                    return FaultPlan()
-                liars = random_fault_selection(
-                    deployment.num_nodes, _count, exclude=[deployment.source_index], rng=seed + 31
-                )
-                return FaultPlan(liars=tuple(liars))
-
-            config = ScenarioConfig(
+    tasks = [
+        SweepTask(
+            label=f"{label}@{fraction:.1%}",
+            deployment_factory=deployment_factory,
+            config=ScenarioConfig(
                 protocol=ProtocolName.parse(protocol),
                 radius=spec.radius,
                 message_length=spec.message_length,
                 multipath_tolerance=tolerance,
-            )
-            point = run_point(
-                f"{label}@{fraction:.1%}",
-                deployment_factory,
-                config,
-                fault_factory=fault_factory,
-                repetitions=spec.repetitions,
-                base_seed=spec.base_seed,
-            )
-            rows.append(point.row(protocol=label, byzantine_fraction=fraction))
-    return rows
+            ),
+            fault_factory=RandomLiarFactory(fraction_to_count(spec.num_nodes, fraction)),
+            repetitions=spec.repetitions,
+            base_seed=spec.base_seed,
+            extra={"protocol": label, "byzantine_fraction": fraction},
+        )
+        for label, protocol, tolerance in spec.protocols
+        for fraction in spec.fractions
+    ]
+    points = run_points(tasks, executor=executor)
+    return [point.row(**task.extra) for task, point in zip(tasks, points)]

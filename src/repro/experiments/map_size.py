@@ -10,14 +10,15 @@ constant, and so should broadcasts per device.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..sim.config import ProtocolName, ScenarioConfig
+from ..sim.runner import SweepExecutor, SweepTask
 from ..topology.connectivity import connectivity_report
-from ..topology.deployment import uniform_deployment
-from .base import run_point
+from .base import run_points
+from .factories import UniformDeploymentFactory
 
 __all__ = ["MapSizeSpec", "run_map_size", "linear_scaling_error"]
 
@@ -43,33 +44,37 @@ class MapSizeSpec:
         return cls(map_sizes=(8.0, 12.0), density=1.5, message_length=2, repetitions=2)
 
 
-def run_map_size(spec: MapSizeSpec) -> list[dict]:
+def run_map_size(spec: MapSizeSpec, *, executor: Optional[SweepExecutor] = None) -> list[dict]:
     """Run the sweep; one row per map size, with diameter-normalised columns."""
-    rows: list[dict] = []
     config = ScenarioConfig(
         protocol=ProtocolName.parse(spec.protocol),
         radius=spec.radius,
         message_length=spec.message_length,
     )
-    for size in spec.map_sizes:
-        num_nodes = max(10, int(round(spec.density * size * size)))
-
-        def deployment_factory(seed: int, _size=size, _n=num_nodes):
-            return uniform_deployment(_n, _size, _size, rng=seed)
-
-        point = run_point(
-            f"map={size:.0f}",
-            deployment_factory,
-            config,
+    tasks = [
+        SweepTask(
+            label=f"map={size:.0f}",
+            deployment_factory=UniformDeploymentFactory(
+                max(10, int(round(spec.density * size * size))), size, size
+            ),
+            config=config,
             repetitions=spec.repetitions,
             base_seed=spec.base_seed,
+            extra={"map_size": size},
         )
-        sample = deployment_factory(spec.base_seed)
+        for size in spec.map_sizes
+    ]
+    points = run_points(tasks, executor=executor)
+
+    rows: list[dict] = []
+    for task, point in zip(tasks, points):
+        num_nodes = task.deployment_factory.num_nodes
+        sample = task.deployment_factory(spec.base_seed)
         report = connectivity_report(sample.positions, spec.radius, sample.source_index)
         diameter = max(report.diameter_hops_from_source, 1)
         rows.append(
             point.row(
-                map_size=size,
+                map_size=task.extra["map_size"],
                 num_nodes=num_nodes,
                 diameter_hops=diameter,
                 rounds_per_hop=point.rounds / diameter,

@@ -1,15 +1,17 @@
 """Registry mapping the experiment identifiers of DESIGN.md to runnable entry points.
 
 Each entry returns ``(rows, description)`` when called with the chosen scale
-(``"small"`` or ``"paper"``); the command-line helper in ``examples/`` and the
+(``"small"`` or ``"paper"``) and a :class:`~repro.sim.runner.SweepExecutor`;
+the command-line entry point (``python -m repro.experiments``) and the
 benchmark harness both go through this registry so there is exactly one place
 where an experiment id is bound to code.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
+from ..sim.runner import SweepExecutor
 from .clustered import ClusteredSpec, run_clustered
 from .crash_resilience import CrashResilienceSpec, run_crash_resilience
 from .density_tolerance import DensityToleranceSpec, run_density_tolerance
@@ -34,39 +36,39 @@ def _spec_for(spec_cls, scale: str):
     raise ValueError(f"unknown scale {scale!r}; expected 'small' or 'paper'")
 
 
-def _run_fig5(scale: str) -> Sequence[dict]:
-    return run_crash_resilience(_spec_for(CrashResilienceSpec, scale))
+def _run_fig5(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
+    return run_crash_resilience(_spec_for(CrashResilienceSpec, scale), executor=executor)
 
 
-def _run_jam(scale: str) -> Sequence[dict]:
-    return run_jamming(_spec_for(JammingSpec, scale))
+def _run_jam(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
+    return run_jamming(_spec_for(JammingSpec, scale), executor=executor)
 
 
-def _run_fig6(scale: str) -> Sequence[dict]:
-    return run_lying(_spec_for(LyingSpec, scale))
+def _run_fig6(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
+    return run_lying(_spec_for(LyingSpec, scale), executor=executor)
 
 
-def _run_fig7(scale: str) -> Sequence[dict]:
-    return run_density_tolerance(_spec_for(DensityToleranceSpec, scale))
+def _run_fig7(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
+    return run_density_tolerance(_spec_for(DensityToleranceSpec, scale), executor=executor)
 
 
-def _run_clust(scale: str) -> Sequence[dict]:
-    return run_clustered(_spec_for(ClusteredSpec, scale))
+def _run_clust(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
+    return run_clustered(_spec_for(ClusteredSpec, scale), executor=executor)
 
 
-def _run_mapsz(scale: str) -> Sequence[dict]:
-    return run_map_size(_spec_for(MapSizeSpec, scale))
+def _run_mapsz(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
+    return run_map_size(_spec_for(MapSizeSpec, scale), executor=executor)
 
 
-def _run_epid(scale: str) -> Sequence[dict]:
-    return run_epidemic_comparison(_spec_for(EpidemicComparisonSpec, scale))
+def _run_epid(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
+    return run_epidemic_comparison(_spec_for(EpidemicComparisonSpec, scale), executor=executor)
 
 
-def _run_dual(scale: str) -> Sequence[dict]:
-    return [run_dual_mode(_spec_for(DualModeSpec, scale))]
+def _run_dual(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
+    return [run_dual_mode(_spec_for(DualModeSpec, scale), executor=executor)]
 
 
-EXPERIMENTS: Mapping[str, tuple[str, Callable[[str], Sequence[dict]]]] = {
+EXPERIMENTS: Mapping[str, tuple[str, Callable[[str, Optional[SweepExecutor]], Sequence[dict]]]] = {
     "FIG5": ("Crash resilience: completion vs active-device density (Fig. 5)", _run_fig5),
     "JAM": ("Jamming: completion time vs adversarial budget (Sec. 6.1)", _run_jam),
     "FIG6": ("Lying devices: correctness vs Byzantine fraction (Fig. 6)", _run_fig6),
@@ -83,10 +85,24 @@ def available_experiments() -> list[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str, scale: str = "small") -> tuple[Sequence[dict], str]:
-    """Run one experiment by id; returns ``(rows, description)``."""
+def run_experiment(
+    experiment_id: str,
+    scale: str = "small",
+    *,
+    workers: int = 0,
+    chunk_size: int = 1,
+    executor: Optional[SweepExecutor] = None,
+) -> tuple[Sequence[dict], str]:
+    """Run one experiment by id; returns ``(rows, description)``.
+
+    ``workers``/``chunk_size`` construct a :class:`SweepExecutor` (0 or 1
+    workers run serially); pass ``executor`` to reuse one instead.
+    """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}")
     description, runner = EXPERIMENTS[key]
-    return runner(scale), description
+    if executor is not None:
+        return runner(scale, executor), description
+    with SweepExecutor(workers, chunk_size=chunk_size) as owned_executor:
+        return runner(scale, owned_executor), description

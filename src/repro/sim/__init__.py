@@ -8,8 +8,13 @@ from .node import SimNode
 from .radio import Channel, FriisChannel, Transmission, UnitDiskChannel
 from .results import NodeOutcome, RunResult
 from .rng import RngFactory
+from .runner import SweepExecutor, SweepTask, resolve_workers, run_repetition
 
 __all__ = [
+    "SweepExecutor",
+    "SweepTask",
+    "resolve_workers",
+    "run_repetition",
     "build_channel",
     "build_schedule",
     "build_simulation",

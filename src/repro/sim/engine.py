@@ -17,10 +17,29 @@ together with any adversary that decided to transmit during the slot.  This is
 sound because a device that neither transmits nor interprets a slot cannot
 have its protocol state affected by it, and it follows the guide-recommended
 pattern of spending Python time only where the algorithm needs it.
+
+Cached slot fast path
+---------------------
+Two further quantities are invariant across the (many) cycles of a run and
+are computed once at construction instead of per slot:
+
+* the per-slot participant tuples (deduplicated, in declaration order), so no
+  per-slot list rebuilding happens unless a flexible transmitter joins in;
+* the channel's pairwise link state (audibility sets for the unit-disk model,
+  a received-power matrix for Friis), cached per ``(channel, positions)`` pair
+  in a small module-level LRU so that repeated simulations over the same
+  deployment — e.g. a sweep comparing protocols seed-for-seed — reuse it.  Per
+  round the engine resolves observations from the precomputed state instead of
+  recomputing a distance matrix.
+
+Deliveries are stamped with the exact round at the end of the slot in which
+they happened (not at the next periodic check), so ``delivery_round`` and the
+latency metrics derived from it are accurate to one slot.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional, Sequence
 
 import numpy as np
@@ -33,6 +52,31 @@ from .radio import Channel, Transmission
 from .results import NodeOutcome, RunResult
 
 __all__ = ["Simulation"]
+
+#: Bounded cache of channel link states (audibility sets / power matrices),
+#: keyed by the channel's link signature and the (immutable) bytes of the
+#: position array.  A handful of entries is enough: within one process the
+#: same deployment is typically re-simulated back-to-back (protocol
+#: comparisons, repeated seeds).
+_LINK_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
+_LINK_CACHE_MAX_ENTRIES = 8
+
+
+def _cached_link_state(channel: Channel, positions: np.ndarray) -> Optional[object]:
+    """The channel's link state for ``positions``, via the module-level cache."""
+    signature = channel.link_signature()
+    if signature is None:
+        return None
+    key = (signature, positions.shape, positions.tobytes())
+    cached = _LINK_CACHE.get(key)
+    if cached is None:
+        cached = channel.link_state(positions)
+        _LINK_CACHE[key] = cached
+        while len(_LINK_CACHE) > _LINK_CACHE_MAX_ENTRIES:
+            _LINK_CACHE.popitem(last=False)
+    else:
+        _LINK_CACHE.move_to_end(key)
+    return cached
 
 
 class Simulation:
@@ -79,25 +123,38 @@ class Simulation:
         self.round_index = 0
 
         self._positions = np.asarray([n.position for n in self.nodes], dtype=float)
-        self._interest_map: dict[int, list[int]] = {}
+        self._interest_map: dict[int, tuple[int, ...]] = {}
+        self._interest_sets: dict[int, frozenset[int]] = {}
         self._flex_transmitters: list[int] = []
         self._build_interest_map()
+        self._link_state = _cached_link_state(channel, self._positions)
 
     # -- construction helpers -----------------------------------------------------------
     def _build_interest_map(self) -> None:
+        interest_lists: dict[int, list[int]] = {}
         for node in self.nodes:
             proto = node.protocol
             if proto is None:
                 continue
+            declared: set[int] = set()
             for slot in proto.interests():
                 if not (0 <= slot < self.schedule.num_slots):
                     raise ValueError(
                         f"node {node.node_id} declared interest in slot {slot}, "
                         f"but the schedule only has {self.schedule.num_slots} slots"
                     )
-                self._interest_map.setdefault(int(slot), []).append(node.node_id)
+                # Deduplicate (order-preserving): a protocol that declares the
+                # same slot twice must still act and observe once per phase.
+                slot = int(slot)
+                if slot in declared:
+                    continue
+                declared.add(slot)
+                interest_lists.setdefault(slot, []).append(node.node_id)
             if getattr(proto, "may_transmit_anywhere", False):
                 self._flex_transmitters.append(node.node_id)
+        # Freeze the per-slot participant arrays: they are reused every cycle.
+        self._interest_map = {slot: tuple(ids) for slot, ids in interest_lists.items()}
+        self._interest_sets = {slot: frozenset(ids) for slot, ids in interest_lists.items()}
 
     # -- execution ------------------------------------------------------------------------
     def run(
@@ -111,16 +168,21 @@ class Simulation:
 
         The run stops early once every active honest device has delivered the
         message (checked every ``check_interval_slots`` slots; by default once
-        per schedule cycle).
+        per schedule cycle).  Deliveries themselves are stamped with the exact
+        round at which they happened regardless of the check interval, so the
+        interval only affects how promptly the run *stops*, never the recorded
+        ``delivery_round`` of any device.
         """
         if max_rounds <= 0:
             raise ValueError("max_rounds must be positive")
+        if check_interval_slots is not None and check_interval_slots <= 0:
+            raise ValueError("check_interval_slots must be positive")
         phases = self.schedule.phases_per_slot
-        check_every = check_interval_slots if check_interval_slots else self.schedule.num_slots
+        check_every = check_interval_slots if check_interval_slots is not None else self.schedule.num_slots
         slots_since_check = 0
+        # Stamp devices that delivered before the run started (e.g. the source).
+        self._record_deliveries()
         terminated = self._all_honest_delivered()
-        if terminated:
-            self._record_deliveries()
 
         while not terminated and self.round_index + phases <= max_rounds:
             cycle, slot, _ = self.schedule.locate_round(self.round_index)
@@ -129,7 +191,6 @@ class Simulation:
             slots_since_check += 1
             if slots_since_check >= check_every:
                 slots_since_check = 0
-                self._record_deliveries()
                 if stop_when_delivered and self._all_honest_delivered():
                     terminated = True
         self._record_deliveries()
@@ -147,20 +208,24 @@ class Simulation:
 
     # -- internals -------------------------------------------------------------------------
     def _run_slot(self, cycle: int, slot: int) -> None:
-        participants = list(self._interest_map.get(slot, ()))
+        participants: Sequence[int] = self._interest_map.get(slot, ())
         if self._flex_transmitters:
-            base = set(participants)
+            base = self._interest_sets.get(slot, frozenset())
+            extras = []
             for nid in self._flex_transmitters:
                 if nid in base:
                     continue
                 proto = self.nodes[nid].protocol
                 if proto is not None and proto.wants_slot(cycle, slot):
-                    participants.append(nid)
+                    extras.append(nid)
+            if extras:
+                participants = tuple(participants) + tuple(extras)
         if not participants:
             return
 
         phases = self.schedule.phases_per_slot
         nodes = self.nodes
+        link_state = self._link_state
         for phase in range(phases):
             transmissions: list[Transmission] = []
             listeners: list[int] = []
@@ -186,20 +251,32 @@ class Simulation:
                     listeners.append(nid)
             if not listeners:
                 continue
-            if transmissions:
+            if not transmissions:
+                observations = [SILENCE] * len(listeners)
+            elif link_state is not None:
+                observations = self.channel.observe_links(
+                    listeners, link_state, transmissions, self.rng
+                )
+            else:
                 listener_positions = self._positions[listeners]
                 observations = self.channel.observe(listeners, listener_positions, transmissions, self.rng)
-            else:
-                observations = [SILENCE] * len(listeners)
             for nid, obs in zip(listeners, observations):
                 proto = nodes[nid].protocol
                 if proto is not None:
                     proto.observe(cycle, slot, phase, obs)
 
+        end_round = self.round_index + phases
         for nid in participants:
-            proto = nodes[nid].protocol
+            node = nodes[nid]
+            proto = node.protocol
             if proto is not None:
                 proto.end_slot(cycle, slot)
+                # Stamp deliveries with the exact round at which they happened
+                # (a device's state only changes in slots it participates in).
+                if node.honest and node.delivery_round is None and node.delivered:
+                    node.mark_delivered(end_round)
+                    if self.trace is not None:
+                        self.trace.record(EventKind.DELIVERY, end_round, nid)
 
     def _all_honest_delivered(self) -> bool:
         for node in self.nodes:

@@ -38,8 +38,8 @@ class SimNode:
         Number of frames the device put on the air during the run (maintained
         by the engine).
     delivery_round:
-        First round at which the engine noticed the device had delivered the
-        message (cycle granularity; ``None`` until delivery).
+        Round count at the end of the slot in which the device delivered the
+        message (exact to one slot; ``None`` until delivery).
     """
 
     node_id: int

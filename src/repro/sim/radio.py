@@ -16,6 +16,17 @@ Two propagation models are provided, mirroring the paper's two system models:
 
 Both channels operate on batches: given the listeners and the transmitters of
 one round they return one observation per listener, fully vectorised in NumPy.
+
+Precomputed link state
+----------------------
+For a static deployment the pairwise quantity a channel derives from node
+positions (audibility for the unit-disk model, received power for Friis) never
+changes during a run.  Channels therefore expose :meth:`Channel.link_state`,
+which precomputes that quantity for *all* node pairs once, and
+:meth:`Channel.observe_links`, which resolves a round from that precomputed
+state instead of recomputing distances.  The engine caches the state per
+``(channel, positions)`` pair and hands it back every round, which removes
+the per-round distance computation from the hot path entirely.
 """
 
 from __future__ import annotations
@@ -23,7 +34,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -56,6 +67,45 @@ class Channel(abc.ABC):
         rng: np.random.Generator,
     ) -> list[Observation]:
         """Observation perceived by every listener given this round's transmissions."""
+
+    def link_signature(self) -> Optional[tuple]:
+        """Hashable key identifying this channel's link-state semantics.
+
+        Channels that support precomputed link state return a tuple of the
+        parameters that determine :meth:`link_state` (used by the engine to
+        cache states across simulations over the same deployment); channels
+        without a precomputable link state return ``None``.
+        """
+        return None
+
+    def link_state(self, positions: np.ndarray) -> object:
+        """Precomputed pairwise link state for a static deployment.
+
+        ``positions`` is the ``(N, 2)`` array of all node positions; the
+        representation is channel-specific (audibility sets for
+        :class:`UnitDiskChannel`, a received-power matrix for
+        :class:`FriisChannel`) and opaque to the engine, which only passes it
+        back to :meth:`observe_links`.  Only called when
+        :meth:`link_signature` returned a key.
+        """
+        raise NotImplementedError
+
+    def observe_links(
+        self,
+        listener_ids: Sequence[int],
+        state: object,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        """Resolve one round from the precomputed link state.
+
+        Transmitters are identified by ``Transmission.sender``; callers must
+        guarantee that each transmission originates at the sender's position
+        in the array :meth:`link_state` was built from (the engine does).
+        Must produce exactly the same observations — and consume the RNG in
+        exactly the same order — as :meth:`observe` on the same round.
+        """
+        raise NotImplementedError
 
     def hears(self, listener_position: Sequence[float], transmitter_position: Sequence[float]) -> bool:
         """Whether a single transmission at ``transmitter_position`` is audible.
@@ -126,24 +176,57 @@ class UnitDiskChannel(Channel):
             d = math.hypot(lx - tx, ly - ty)
         return d <= self.radius + 1e-12
 
-    def observe(
+    def link_signature(self) -> Optional[tuple]:
+        return ("unitdisk", self.radius, self.norm)
+
+    def link_state(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean audibility mask between every pair of nodes.
+
+        Rows are computed in blocks so the transient distance matrix stays
+        small for large maps; the stored mask is one byte per pair.
+        """
+        pos = np.asarray(positions, dtype=float)
+        num_nodes = pos.shape[0]
+        audible = np.empty((num_nodes, num_nodes), dtype=bool)
+        block = 512
+        for start in range(0, num_nodes, block):
+            audible[start : start + block] = (
+                self._distances(pos[start : start + block], pos) <= self.radius + 1e-12
+            )
+        return audible
+
+    def _resolve_audible(
         self,
-        listener_ids: Sequence[int],
-        listener_positions: np.ndarray,
+        audible: np.ndarray,
         transmissions: Sequence[Transmission],
         rng: np.random.Generator,
     ) -> list[Observation]:
-        num_listeners = len(listener_ids)
-        if num_listeners == 0:
-            return []
-        if not transmissions:
-            return [SILENCE] * num_listeners
+        """Observations from a (listener, transmission) audibility mask.
 
-        tx_pos = np.asarray([t.position for t in transmissions], dtype=float)
-        listeners = np.asarray(listener_positions, dtype=float).reshape(num_listeners, 2)
-        dist = self._distances(listeners, tx_pos)
-        audible = dist <= self.radius + 1e-12
+        Shared by :meth:`observe` and :meth:`observe_links` so both consume
+        the RNG identically.
+        """
+        num_listeners = audible.shape[0]
         counts = audible.sum(axis=1)
+
+        if self.capture_probability == 0.0 and self.loss_probability == 0.0:
+            # Deterministic vectorized fast path (the default configuration):
+            # no RNG is consumed, so the round resolves without per-listener
+            # probability branches.
+            out = np.empty(num_listeners, dtype=object)
+            out[:] = _COLLISION
+            out[counts == 0] = SILENCE
+            singles = np.flatnonzero(counts == 1)
+            if singles.size:
+                tx_index = np.argmax(audible[singles], axis=1)
+                decoded: dict[int, Observation] = {}
+                for row, tx in zip(singles, tx_index):
+                    obs = decoded.get(int(tx))
+                    if obs is None:
+                        obs = Observation(ChannelState.MESSAGE, transmissions[int(tx)].frame)
+                        decoded[int(tx)] = obs
+                    out[row] = obs
+            return list(out)
 
         observations: list[Observation] = []
         for li in range(num_listeners):
@@ -169,6 +252,41 @@ class UnitDiskChannel(Channel):
             else:
                 observations.append(_COLLISION)
         return observations
+
+    def observe(
+        self,
+        listener_ids: Sequence[int],
+        listener_positions: np.ndarray,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        num_listeners = len(listener_ids)
+        if num_listeners == 0:
+            return []
+        if not transmissions:
+            return [SILENCE] * num_listeners
+
+        tx_pos = np.asarray([t.position for t in transmissions], dtype=float)
+        listeners = np.asarray(listener_positions, dtype=float).reshape(num_listeners, 2)
+        dist = self._distances(listeners, tx_pos)
+        audible = dist <= self.radius + 1e-12
+        return self._resolve_audible(audible, transmissions, rng)
+
+    def observe_links(
+        self,
+        listener_ids: Sequence[int],
+        state: object,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        if not listener_ids:
+            return []
+        if not transmissions:
+            return [SILENCE] * len(listener_ids)
+        all_audible: np.ndarray = state  # type: ignore[assignment]
+        senders = [t.sender for t in transmissions]
+        audible = all_audible[np.ix_(listener_ids, senders)]
+        return self._resolve_audible(audible, transmissions, rng)
 
 
 class FriisChannel(Channel):
@@ -235,6 +353,29 @@ class FriisChannel(Channel):
         tx, ty = float(transmitter_position[0]), float(transmitter_position[1])
         return math.hypot(lx - tx, ly - ty) <= self.sense_range + 1e-12
 
+    def link_signature(self) -> Optional[tuple]:
+        return (
+            "friis",
+            self.path_loss_exponent,
+            self.tx_power,
+            self.reference_distance,
+        )
+
+    def link_state(self, positions: np.ndarray) -> np.ndarray:
+        """Received power between every pair of nodes (row: listener, column: sender)."""
+        pos = np.asarray(positions, dtype=float)
+        num_nodes = pos.shape[0]
+        powers = np.empty((num_nodes, num_nodes), dtype=float)
+        block = 512
+        for start in range(0, num_nodes, block):
+            diff = pos[start : start + block, None, :] - pos[None, :, :]
+            dist = np.sqrt(np.sum(diff**2, axis=-1))
+            dist = np.maximum(dist, self.reference_distance)
+            powers[start : start + block] = (
+                self.tx_power * (self.reference_distance / dist) ** self.path_loss_exponent
+            )
+        return powers
+
     def observe(
         self,
         listener_ids: Sequence[int],
@@ -254,6 +395,31 @@ class FriisChannel(Channel):
         dist = np.sqrt(np.sum(diff**2, axis=-1))
         dist = np.maximum(dist, self.reference_distance)
         powers = self.tx_power * (self.reference_distance / dist) ** self.path_loss_exponent
+        return self._resolve_powers(powers, transmissions, rng)
+
+    def observe_links(
+        self,
+        listener_ids: Sequence[int],
+        state: object,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        if not listener_ids:
+            return []
+        if not transmissions:
+            return [SILENCE] * len(listener_ids)
+        all_powers: np.ndarray = state  # type: ignore[assignment]
+        senders = [t.sender for t in transmissions]
+        powers = all_powers[np.ix_(listener_ids, senders)]
+        return self._resolve_powers(powers, transmissions, rng)
+
+    def _resolve_powers(
+        self,
+        powers: np.ndarray,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        num_listeners = powers.shape[0]
         total = powers.sum(axis=1)
 
         observations: list[Observation] = []

@@ -1,0 +1,210 @@
+"""Parallel sweep execution.
+
+Every experiment of the reproduction is a *sweep*: a grid of points, each
+repeated over several seeds, where repetition ``i`` of a point derives its
+deployment, fault placement and scenario seed from ``base_seed + i`` alone.
+Repetitions are therefore mutually independent and can run in any order — or
+in different processes — without changing a single bit of the results.
+
+This module turns that property into throughput:
+
+* :class:`SweepTask` describes one sweep point declaratively (a deployment
+  factory, a :class:`~repro.sim.config.ScenarioConfig`, an optional fault
+  factory, a repetition count and a base seed).  Tasks must be *picklable*:
+  factories are module-level callables or dataclass instances (see
+  :mod:`repro.experiments.factories`), never closures.
+* :func:`run_repetition` executes one ``(task, repetition)`` pair.  The
+  scenario is cloned with :func:`dataclasses.replace`, so every config field —
+  including ones added after this module was written — survives the cloning.
+* :class:`SweepExecutor` fans all ``(task, repetition)`` pairs of a sweep out
+  over a :class:`concurrent.futures.ProcessPoolExecutor` and reassembles the
+  results in task order.  Because each pair is fully determined by its seed,
+  the output is identical to a serial run regardless of the worker count.
+
+``SweepExecutor(workers=0)`` (the default) runs everything inline in the
+current process; experiments accept an executor so callers choose the degree
+of parallelism exactly once, e.g. via ``python -m repro.experiments <name>
+--workers N``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from ..topology.deployment import Deployment
+from .builder import run_scenario
+from .config import FaultPlan, ScenarioConfig
+from .results import RunResult
+
+__all__ = [
+    "DeploymentFactory",
+    "FaultFactory",
+    "SweepTask",
+    "SweepExecutor",
+    "run_repetition",
+    "resolve_workers",
+]
+
+#: A deployment factory receives the repetition seed and returns a deployment.
+DeploymentFactory = Callable[[int], Deployment]
+#: A fault factory receives the deployment and the repetition seed.
+FaultFactory = Callable[[Deployment, int], FaultPlan]
+
+
+@dataclass(slots=True)
+class SweepTask:
+    """One sweep point: ``repetitions`` seeded, independent simulation runs.
+
+    Attributes
+    ----------
+    label:
+        Human-readable identifier of the point (becomes the row label).
+    deployment_factory / fault_factory:
+        Picklable callables deriving the deployment and the fault plan from
+        the repetition seed.
+    config:
+        The scenario template; each repetition runs a copy with only ``seed``
+        replaced (via :func:`dataclasses.replace`, so every field round-trips).
+    repetitions / base_seed:
+        Repetition ``i`` uses seed ``base_seed + i``.
+    max_rounds:
+        Optional override of the derived round cap.
+    extra:
+        Extra row columns the experiment wants attached to this point's
+        results (carried along, not interpreted).
+    """
+
+    label: str
+    deployment_factory: DeploymentFactory
+    config: ScenarioConfig
+    fault_factory: Optional[FaultFactory] = None
+    repetitions: int = 3
+    base_seed: int = 0
+    max_rounds: Optional[int] = None
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+
+    def scenario(self, seed: int) -> ScenarioConfig:
+        """The scenario of the repetition with seed ``seed``.
+
+        Uses :func:`dataclasses.replace` so that any field added to
+        :class:`ScenarioConfig` in the future is carried over automatically.
+        """
+        return replace(self.config, seed=seed)
+
+    def seeds(self) -> range:
+        return range(self.base_seed, self.base_seed + self.repetitions)
+
+
+def run_repetition(task: SweepTask, repetition: int) -> RunResult:
+    """Run one repetition of a sweep task (deterministic in the derived seed)."""
+    if not (0 <= repetition < task.repetitions):
+        raise ValueError(f"repetition {repetition} out of range for {task.repetitions} repetitions")
+    seed = task.base_seed + repetition
+    deployment = task.deployment_factory(seed)
+    faults = task.fault_factory(deployment, seed) if task.fault_factory is not None else FaultPlan()
+    return run_scenario(deployment, task.scenario(seed), faults, max_rounds=task.max_rounds)
+
+
+def _run_job(job: tuple[int, int, SweepTask]) -> tuple[int, int, RunResult]:
+    """Worker entry point: one (task index, repetition) pair."""
+    task_index, repetition, task = job
+    return task_index, repetition, run_repetition(task, repetition)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a worker-count knob: ``None`` means one per CPU, ``0``/``1`` serial."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    return int(workers)
+
+
+class SweepExecutor:
+    """Execute sweep tasks, optionally fanning repetitions out over processes.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` or ``1`` run everything inline (no processes are spawned);
+        ``N > 1`` uses a process pool of ``N`` workers; ``None`` uses one
+        worker per CPU.
+    chunk_size:
+        How many ``(task, repetition)`` jobs each worker picks up at a time.
+        ``1`` (the default) gives the best load balance; larger chunks
+        amortise pickling overhead when individual runs are very short.
+
+    The worker pool is created lazily on the first parallel :meth:`run` and
+    reused across calls, so adaptive experiments that run many small sweeps
+    back-to-back (e.g. the FIG7 tolerated-fraction search) pay the pool
+    start-up cost once, not per sweep.  Call :meth:`close` — or use the
+    executor as a context manager — to release the workers; an unclosed pool
+    is torn down at interpreter exit.
+    """
+
+    def __init__(self, workers: Optional[int] = 0, *, chunk_size: int = 1) -> None:
+        self.workers = resolve_workers(workers)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = int(chunk_size)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepExecutor(workers={self.workers}, chunk_size={self.chunk_size})"
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def close(self) -> None:
+        """Shut down the worker pool (if one was started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def run(self, tasks: Sequence[SweepTask]) -> list[list[RunResult]]:
+        """Run every repetition of every task; results in task/repetition order.
+
+        The returned list has one inner list per task, with the repetition at
+        seed ``base_seed + i`` at index ``i`` — exactly what a serial loop
+        over :func:`run_repetition` would produce.
+        """
+        tasks = list(tasks)
+        jobs = [
+            (task_index, repetition, task)
+            for task_index, task in enumerate(tasks)
+            for repetition in range(task.repetitions)
+        ]
+        results: list[list[Optional[RunResult]]] = [[None] * task.repetitions for task in tasks]
+        if not self.parallel or len(jobs) <= 1:
+            for task_index, repetition, task in jobs:
+                results[task_index][repetition] = run_repetition(task, repetition)
+        else:
+            pool = self._ensure_pool()
+            for task_index, repetition, result in pool.map(
+                _run_job, jobs, chunksize=self.chunk_size
+            ):
+                results[task_index][repetition] = result
+        return results  # type: ignore[return-value]
+
+    def run_task(self, task: SweepTask) -> list[RunResult]:
+        """Run a single task's repetitions (convenience wrapper around :meth:`run`)."""
+        return self.run([task])[0]

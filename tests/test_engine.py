@@ -211,6 +211,121 @@ class TestEngineBasics:
         assert result.total_rounds == 0
 
 
+class DoubleInterest(Protocol):
+    """Declares the same slot twice and counts how often the engine calls it."""
+
+    def __init__(self, slot: int):
+        self._slot = slot
+        self.act_calls = 0
+        self.observe_calls = 0
+        self.end_slot_calls = 0
+
+    def interests(self) -> Iterable[int]:
+        return (self._slot, self._slot)
+
+    def act(self, slot_cycle, slot, phase) -> Optional[Frame]:
+        self.act_calls += 1
+        return None
+
+    def observe(self, slot_cycle, slot, phase, observation: Observation) -> None:
+        self.observe_calls += 1
+
+    def end_slot(self, slot_cycle, slot) -> None:
+        self.end_slot_calls += 1
+
+    @property
+    def delivered(self) -> bool:
+        return True
+
+    @property
+    def delivered_message(self):
+        return (1,)
+
+
+class TestDeliveryRoundAccuracy:
+    """Regression tests: deliveries are stamped at the exact slot, not at the
+    next periodic check (which used to quantize delivery_round up to a full
+    schedule cycle and inflate latency metrics)."""
+
+    def test_delivery_round_is_exact_not_quantized(self):
+        positions = [(0, 0), (1, 0)]
+        schedule_probe = NodeSchedule(np.asarray(positions, float), 2.0, 0, phases_per_slot=1,
+                                      separation=4.0)
+        slot0 = schedule_probe.slot_of_node(0)
+        sim, sched = make_sim(positions, [Beacon(slot0, (1, 0)), Listener(slot0, 2)], message=(1, 0))
+        result = sim.run(max_rounds=10 * sched.rounds_per_cycle, check_interval_slots=sched.num_slots)
+        # The listener decodes during slot0, so its delivery is complete at
+        # the end of that slot — not at the end of the first schedule cycle.
+        exact = (slot0 + 1) * sched.phases_per_slot
+        assert exact < sched.rounds_per_cycle  # the quantized value would differ
+        assert result.outcomes[1].delivery_round == exact
+
+    def test_predelivered_node_stamped_at_round_zero(self):
+        positions = [(0, 0), (1, 0)]
+        sim, _ = make_sim(positions, [Beacon(0), Listener(0)])
+        result = sim.run(max_rounds=20)
+        # The beacon reports delivered from the start, so it is stamped before
+        # the first slot runs.
+        assert result.outcomes[0].delivery_round == 0
+
+    def test_check_interval_does_not_change_delivery_round(self):
+        positions = [(0, 0), (1, 0)]
+        schedule_probe = NodeSchedule(np.asarray(positions, float), 2.0, 0, phases_per_slot=1,
+                                      separation=4.0)
+        slot0 = schedule_probe.slot_of_node(0)
+        stamped = []
+        for interval in (1, 3, None):
+            sim, sched = make_sim(positions, [Beacon(slot0, (1, 0)), Listener(slot0, 2)], message=(1, 0))
+            result = sim.run(max_rounds=10 * sched.rounds_per_cycle, check_interval_slots=interval)
+            stamped.append(result.outcomes[1].delivery_round)
+        assert stamped[0] == stamped[1] == stamped[2]
+
+    def test_check_interval_zero_rejected(self):
+        positions = [(0, 0), (1, 0)]
+        sim, _ = make_sim(positions, [Beacon(0), Listener(0)])
+        with pytest.raises(ValueError):
+            sim.run(max_rounds=20, check_interval_slots=0)
+
+    def test_check_interval_negative_rejected(self):
+        positions = [(0, 0), (1, 0)]
+        sim, _ = make_sim(positions, [Beacon(0), Listener(0)])
+        with pytest.raises(ValueError):
+            sim.run(max_rounds=20, check_interval_slots=-3)
+
+
+class TestInterestDeduplication:
+    def test_duplicate_interest_acts_once_per_phase(self):
+        positions = [(0, 0), (1, 0)]
+        proto = DoubleInterest(0)
+        sim, sched = make_sim(positions, [None, proto])
+        sim.run_slots(sched.num_slots)  # one full cycle
+        assert proto.act_calls == sched.phases_per_slot
+        assert proto.observe_calls == sched.phases_per_slot
+        assert proto.end_slot_calls == 1
+
+    def test_duplicate_interest_single_broadcast(self):
+        positions = [(0, 0), (1, 0)]
+
+        class ChattyDoubleBeacon(Beacon):
+            """Transmits in every phase of its slot; duplicate interests."""
+
+            def interests(self):
+                return (self._slot, self._slot)
+
+            def act(self, slot_cycle, slot, phase):
+                if slot == self._slot:
+                    return Frame(FrameKind.PAYLOAD, self.context.node_id, self._payload)
+                return None
+
+        beacon = ChattyDoubleBeacon(0, (1,))
+        listener = Listener(0)
+        sim, sched = make_sim(positions, [beacon, listener])
+        sim.run_slots(1)
+        # Before deduplication the node appeared twice in the participant
+        # list and its frame was put on the air twice per phase.
+        assert sim.nodes[0].broadcasts == sched.phases_per_slot
+
+
 class TestFlexTransmitters:
     def test_adversary_outside_interests_can_jam(self):
         from repro.adversary.jammer import ContinuousJammer

@@ -159,3 +159,57 @@ class TestFriisChannel:
         chan = FriisChannel(reception_range=4.0)
         assert chan._power_at(4.0) == pytest.approx(chan.reception_threshold)
         assert chan._power_at(4.5) < chan.reception_threshold
+
+
+class TestLinkStateEquivalence:
+    """observe_links over a precomputed link state must reproduce observe()
+    exactly — same observations, same RNG consumption — for every channel."""
+
+    @staticmethod
+    def _random_round(rng, num_nodes=40, num_tx=3):
+        positions = rng.uniform(0, 10, size=(num_nodes, 2))
+        tx_ids = list(rng.choice(num_nodes, size=num_tx, replace=False))
+        listener_ids = [i for i in range(num_nodes) if i not in tx_ids]
+        transmissions = [
+            Transmission(int(t), (float(positions[t, 0]), float(positions[t, 1])),
+                         Frame(FrameKind.DATA_BIT, int(t)))
+            for t in tx_ids
+        ]
+        return positions, listener_ids, transmissions
+
+    @pytest.mark.parametrize(
+        "channel_factory",
+        [
+            lambda: UnitDiskChannel(3.0),
+            lambda: UnitDiskChannel(3.0, norm="linf"),
+            lambda: UnitDiskChannel(3.0, capture_probability=0.5, loss_probability=0.3),
+            lambda: FriisChannel(reception_range=3.0, loss_probability=0.3),
+        ],
+    )
+    def test_observe_links_matches_observe(self, channel_factory):
+        setup_rng = np.random.default_rng(7)
+        chan = channel_factory()
+        for trial in range(5):
+            positions, listener_ids, transmissions = self._random_round(setup_rng)
+            state = chan.link_state(positions)
+            direct = chan.observe(
+                listener_ids, positions[listener_ids], transmissions, np.random.default_rng(trial)
+            )
+            via_links = chan.observe_links(
+                listener_ids, state, transmissions, np.random.default_rng(trial)
+            )
+            assert direct == via_links
+
+    def test_link_signature_distinguishes_parameters(self):
+        assert UnitDiskChannel(3.0).link_signature() != UnitDiskChannel(4.0).link_signature()
+        assert UnitDiskChannel(3.0).link_signature() != UnitDiskChannel(3.0, norm="linf").link_signature()
+        assert FriisChannel(3.0).link_signature() is not None
+
+    def test_link_state_blocked_construction_matches_direct(self):
+        # Exercise the block boundary: more nodes than one 512-row block.
+        rng = np.random.default_rng(3)
+        positions = rng.uniform(0, 40, size=(600, 2))
+        chan = UnitDiskChannel(3.0)
+        state = chan.link_state(positions)
+        expected = chan._distances(positions, positions) <= 3.0 + 1e-12
+        assert np.array_equal(state, expected)
