@@ -17,7 +17,12 @@ which directory pytest was invoked from):
 
 * ``REPRO_BENCH_WORKERS`` — worker processes for the sweeps (default ``0``:
   serial, which keeps timings comparable across runs and machines);
-* ``REPRO_BENCH_CHUNK_SIZE`` — repetitions per worker dispatch (default ``1``).
+* ``REPRO_BENCH_CHUNK_SIZE`` — repetitions per worker dispatch (default ``1``);
+* ``REPRO_BENCH_CACHE_DIR`` — when set, route every sweep through a
+  :class:`repro.store.ResultStore` rooted there.  A warm cache answers
+  repetitions from disk, which turns the benchmark into a measurement of the
+  experiment's *non-simulation* overhead; the cache hit/miss split is
+  recorded in ``extra_info`` so a timing is never mistaken for a cold run.
 
 Results are bit-identical for every setting; only the wall clock moves.
 """
@@ -42,6 +47,11 @@ def bench_chunk_size() -> int:
     return int(os.environ.get("REPRO_BENCH_CHUNK_SIZE", "1"))
 
 
+def bench_cache_dir() -> str | None:
+    """Result-store knob for the benchmark sweeps (unset = no cache)."""
+    return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+
+
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
@@ -64,14 +74,25 @@ def bench_table():
 
 
 @pytest.fixture
-def bench_executor(benchmark) -> SweepExecutor:
+def bench_executor(benchmark):
     """The sweep executor the experiment benchmarks run through.
 
     Serial by default; set ``REPRO_BENCH_WORKERS`` to fan repetitions out over
-    processes.  The configuration is recorded in ``benchmark.extra_info`` so
-    the JSON output says what the timing was taken under.
+    processes and ``REPRO_BENCH_CACHE_DIR`` to reuse/persist results through
+    the on-disk store.  The configuration — and, when caching, the hit/miss
+    split — is recorded in ``benchmark.extra_info`` so the JSON output says
+    what the timing was taken under.
     """
     with SweepExecutor(bench_workers(), chunk_size=bench_chunk_size()) as executor:
         benchmark.extra_info["workers"] = executor.workers
         benchmark.extra_info["chunk_size"] = executor.chunk_size
-        yield executor
+        cache_dir = bench_cache_dir()
+        if cache_dir is None:
+            yield executor
+        else:
+            from repro.store import CachingSweepExecutor, ResultStore
+
+            store = ResultStore(cache_dir)
+            benchmark.extra_info["cache_dir"] = cache_dir
+            yield CachingSweepExecutor(store, executor)
+            benchmark.extra_info["cache_stats"] = store.stats.snapshot()

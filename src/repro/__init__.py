@@ -10,6 +10,8 @@ The package provides:
 * :mod:`repro.topology` — grid, uniform and clustered deployments;
 * :mod:`repro.adversary` — crash, jamming, lying and spoofing fault models;
 * :mod:`repro.analysis` — metrics, theoretical bounds and result aggregation;
+* :mod:`repro.store` — content-addressed on-disk cache of sweep results
+  (serializable, resumable, incremental experiments);
 * :mod:`repro.experiments` — one module per table/figure of the paper's
   evaluation (see DESIGN.md for the experiment index).
 
@@ -45,6 +47,7 @@ from .sim import (
     build_simulation,
     run_scenario,
 )
+from .store import CachingSweepExecutor, ResultStore
 from .topology import (
     Deployment,
     GridSpec,
@@ -75,6 +78,8 @@ __all__ = [
     "Simulation",
     "build_simulation",
     "run_scenario",
+    "CachingSweepExecutor",
+    "ResultStore",
     "Deployment",
     "GridSpec",
     "GridTopology",

@@ -8,6 +8,7 @@ confidence intervals (mean +/- t * s / sqrt(n), via scipy).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -47,8 +48,13 @@ def discard_outliers(values: Sequence[float], *, z_threshold: float = 3.0) -> li
     """Drop values more than ``z_threshold`` standard deviations from the mean.
 
     With fewer than four samples nothing is discarded (the paper's runs keep
-    at least a handful of repetitions).
+    at least a handful of repetitions).  The result is never empty: every
+    sample within the threshold of the mean survives, and at least the
+    samples closest to the mean always are — a degenerate threshold that
+    would discard everything returns the input unchanged instead.
     """
+    if z_threshold <= 0:
+        raise ValueError("z_threshold must be positive")
     vals = [float(v) for v in values]
     if len(vals) < 4:
         return vals
@@ -57,14 +63,31 @@ def discard_outliers(values: Sequence[float], *, z_threshold: float = 3.0) -> li
     if std == 0:
         return vals
     keep = np.abs(arr - mean) <= z_threshold * std
+    if not keep.any():  # pragma: no cover - unreachable for finite z >= 1, kept as a guard
+        return vals
     return [float(v) for v in arr[keep]]
 
 
 def aggregate(values: Sequence[float], *, confidence: float = 0.95, drop_outliers: bool = True) -> Aggregate:
-    """Aggregate a list of metric values into an :class:`Aggregate`."""
+    """Aggregate a list of metric values into an :class:`Aggregate`.
+
+    Edge cases are explicit rather than silently propagated:
+
+    * an empty sequence raises ``ValueError`` (there is no meaningful mean);
+    * non-finite samples (NaN/inf) raise ``ValueError`` — a NaN would
+      otherwise poison every downstream statistic without a trace of where
+      it entered;
+    * a single value aggregates to a zero-width interval
+      (``std == 0``, ``ci_low == mean == ci_high``);
+    * constant values likewise give ``std == 0`` and a zero-width interval,
+      with no samples discarded as outliers.
+    """
     vals = [float(v) for v in values]
     if not vals:
         raise ValueError("cannot aggregate an empty list of values")
+    if not all(math.isfinite(v) for v in vals):
+        bad = [v for v in vals if not math.isfinite(v)]
+        raise ValueError(f"cannot aggregate non-finite values: {bad[:5]}")
     if drop_outliers:
         vals = discard_outliers(vals)
     arr = np.asarray(vals, dtype=float)

@@ -5,22 +5,37 @@ Usage::
     python -m repro.experiments --list
     python -m repro.experiments FIG5 --scale small --workers 4
     python -m repro.experiments EPID --scale paper --workers 8 --chunk-size 2
+    python -m repro.experiments FIG7 --scale small --cache-dir ~/.cache/repro
+    python -m repro.experiments FIG7 --scale small --cache-dir ~/.cache/repro --resume
+    python -m repro.experiments JAM --scale small --export csv > jam.csv
 
 Runs one registered experiment (see ``--list`` for the identifiers), fanning
 its seeded repetitions out over ``--workers`` processes via
-:class:`~repro.sim.runner.SweepExecutor`, and prints the resulting table.
-Results are bit-identical for every worker count, so ``--workers`` is purely
-a throughput knob.
+:class:`~repro.sim.runner.SweepExecutor`.  Results are bit-identical for
+every worker count, so ``--workers`` is purely a throughput knob.
+
+``--cache-dir`` routes the sweep through the content-addressed
+:class:`~repro.store.ResultStore`: repetitions already on disk are read back
+instead of re-simulated (the summary line reports the hit/miss split), new
+ones are persisted as they complete, and an interrupted run resumes from
+whatever landed.  A warm-cache rerun prints byte-identical rows while
+dispatching zero simulations.  ``--resume`` is the explicit spelling of that
+resumption: it requires the cache directory to exist already.  ``--no-cache``
+ignores an inherited cache dir for one invocation.
+
+``--export {json,csv}`` writes the machine-readable rows to stdout (status
+lines move to stderr), so two invocations can be compared byte for byte.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional, Sequence
 
-from ..analysis.tables import format_table
+from ..analysis.tables import format_table, to_csv
 from ..sim.runner import SweepExecutor
 from .registry import EXPERIMENTS, run_experiment
 
@@ -58,6 +73,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="repetitions each worker picks up at a time (amortises overhead)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the content-addressed result store; cached repetitions "
+        "are reused, new ones persisted (results are identical either way)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir for this invocation (simulate everything)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run from --cache-dir (errors if the cache "
+        "directory does not exist yet)",
+    )
+    parser.add_argument(
+        "--export",
+        choices=("json", "csv"),
+        default=None,
+        help="write the result rows to stdout as JSON or CSV instead of a table "
+        "(status lines go to stderr)",
+    )
     return parser
 
 
@@ -65,6 +104,26 @@ def _list_experiments() -> str:
     width = max(len(key) for key in EXPERIMENTS)
     lines = [f"{key.ljust(width)}  {description}" for key, (description, _) in EXPERIMENTS.items()]
     return "\n".join(lines)
+
+
+def _build_store(args):
+    """The ResultStore the run should use, or None; raises ValueError on misuse."""
+    if args.no_cache or args.cache_dir is None:
+        if args.resume and args.cache_dir is None:
+            raise ValueError("--resume requires --cache-dir")
+        if args.resume and args.no_cache:
+            raise ValueError("--resume and --no-cache are contradictory")
+        return None
+    from pathlib import Path
+
+    from ..store import ResultStore
+
+    if args.resume and not Path(args.cache_dir).is_dir():
+        raise ValueError(
+            f"--resume: cache directory {args.cache_dir!r} does not exist; "
+            "nothing to resume from (drop --resume to start fresh)"
+        )
+    return ResultStore(args.cache_dir)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -80,6 +139,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # experiment still surface with a full traceback.
     try:
         executor = SweepExecutor(args.workers, chunk_size=args.chunk_size)
+        store = _build_store(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -87,16 +147,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             started = time.perf_counter()
             rows, description = run_experiment(
-                args.experiment, scale=args.scale, executor=executor
+                args.experiment, scale=args.scale, executor=executor, store=store
             )
             elapsed = time.perf_counter() - started
         except KeyError as exc:
             print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
             return 2
 
-    print(f"{args.experiment.upper()} — {description}")
-    print(f"scale={args.scale} workers={args.workers} elapsed={elapsed:.1f}s\n")
-    print(format_table(list(rows), title=None))
+    # With --export the rows own stdout; human-facing status moves to stderr.
+    status = sys.stderr if args.export else sys.stdout
+    print(f"{args.experiment.upper()} — {description}", file=status)
+    summary = f"scale={args.scale} workers={args.workers} elapsed={elapsed:.1f}s"
+    if store is not None:
+        summary += (
+            f" cache-dir={args.cache_dir}"
+            f" cache-hits={store.stats.hits} cache-misses={store.stats.misses}"
+        )
+    print(summary + "\n", file=status)
+
+    rows = list(rows)
+    if args.export == "json":
+        print(json.dumps(rows, indent=2))
+    elif args.export == "csv":
+        sys.stdout.write(to_csv(rows))
+    else:
+        print(format_table(rows, title=None))
     return 0
 
 

@@ -23,18 +23,24 @@ of the worker count (see :mod:`repro.sim.runner`).
 Factories handed to these helpers must be picklable when a parallel executor
 is used — use the dataclass factories in :mod:`repro.experiments.factories`
 rather than closures.
+
+Passing a :class:`~repro.store.ResultStore` (the ``store`` argument accepted
+here and by every experiment's ``run_*`` function) routes the sweep through a
+:class:`~repro.store.CachingSweepExecutor`: repetitions already on disk are
+not re-simulated, misses are persisted as they complete, and the resulting
+rows are byte-identical to an uncached run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 from ..analysis.stats import Aggregate, summarize_runs
-from ..sim.results import RunResult
+from ..sim.results import RECORD_VERSION, RunResult
 from ..sim.runner import DeploymentFactory, FaultFactory, SweepExecutor, SweepTask
 
-__all__ = ["PointResult", "run_point", "run_points"]
+__all__ = ["PointResult", "run_point", "run_points", "resolve_executor"]
 
 
 @dataclass(slots=True)
@@ -85,6 +91,52 @@ class PointResult:
         row.update(extra)
         return row
 
+    # -- serialization ----------------------------------------------------------------
+    def to_record(self, *, aggregate_only: bool = False) -> dict:
+        """A JSON-compatible dictionary; lossless unless ``aggregate_only``.
+
+        The lossless form embeds every repetition's full
+        :meth:`~repro.sim.results.RunResult.to_record`, so a whole figure's
+        points — and everything derivable from them — round-trip through
+        :meth:`from_record`.  ``aggregate_only`` keeps just the per-metric
+        aggregates (compact, but not reconstructible).
+        """
+        return {
+            "version": RECORD_VERSION,
+            "label": self.label,
+            "repetitions": self.repetitions,
+            "aggregates": {metric: agg.as_dict() for metric, agg in self.aggregates.items()},
+            "runs": [run.to_record(aggregate_only=aggregate_only) for run in self.runs],
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "PointResult":
+        """Rebuild a point from a lossless :meth:`to_record` dictionary."""
+        version = record.get("version")
+        if version != RECORD_VERSION:
+            raise ValueError(
+                f"cannot read PointResult record version {version!r} "
+                f"(this build reads version {RECORD_VERSION})"
+            )
+        aggregates = {
+            metric: Aggregate(
+                mean=float(fields["mean"]),
+                std=float(fields["std"]),
+                count=int(fields["count"]),
+                minimum=float(fields["min"]),
+                maximum=float(fields["max"]),
+                ci_low=float(fields["ci_low"]),
+                ci_high=float(fields["ci_high"]),
+            )
+            for metric, fields in record["aggregates"].items()
+        }
+        return cls(
+            label=str(record["label"]),
+            repetitions=int(record["repetitions"]),
+            aggregates=aggregates,
+            runs=[RunResult.from_record(r) for r in record["runs"]],
+        )
+
 
 def _point_from_runs(task: SweepTask, runs: list[RunResult]) -> PointResult:
     return PointResult(
@@ -95,17 +147,40 @@ def _point_from_runs(task: SweepTask, runs: list[RunResult]) -> PointResult:
     )
 
 
+def resolve_executor(executor=None, store=None):
+    """The executor a sweep should actually run through.
+
+    ``None``/``None`` gives a serial :class:`SweepExecutor`; a ``store`` wraps
+    whatever executor was chosen in a
+    :class:`~repro.store.CachingSweepExecutor` (unless the executor is
+    already one, in which case it is used as-is — its own store wins).
+    """
+    if executor is None:
+        executor = SweepExecutor(0)
+    if store is None:
+        return executor
+    from ..store import CachingSweepExecutor
+
+    if isinstance(executor, CachingSweepExecutor):
+        return executor
+    return CachingSweepExecutor(store, executor)
+
+
 def run_points(
-    tasks: Sequence[SweepTask], *, executor: Optional[SweepExecutor] = None
+    tasks: Sequence[SweepTask],
+    *,
+    executor: Optional[SweepExecutor] = None,
+    store=None,
 ) -> list[PointResult]:
     """Run a batch of sweep points and aggregate each one.
 
     With a parallel ``executor`` every ``(point, repetition)`` pair of the
     batch is fanned out at once; results come back in task order either way.
+    With a ``store`` (a :class:`~repro.store.ResultStore`) repetitions
+    already cached are returned from disk and fresh ones are persisted.
     """
     tasks = list(tasks)
-    executor = executor if executor is not None else SweepExecutor(0)
-    runs_per_task = executor.run(tasks)
+    runs_per_task = resolve_executor(executor, store).run(tasks)
     return [_point_from_runs(task, runs) for task, runs in zip(tasks, runs_per_task)]
 
 
@@ -119,6 +194,7 @@ def run_point(
     base_seed: int = 0,
     max_rounds: Optional[int] = None,
     executor: Optional[SweepExecutor] = None,
+    store=None,
 ) -> PointResult:
     """Run one sweep point: ``repetitions`` independent simulations, aggregated.
 
@@ -135,4 +211,4 @@ def run_point(
         base_seed=base_seed,
         max_rounds=max_rounds,
     )
-    return run_points([task], executor=executor)[0]
+    return run_points([task], executor=executor, store=store)[0]

@@ -56,7 +56,9 @@ class ClusteredSpec:
         )
 
 
-def run_clustered(spec: ClusteredSpec, *, executor: Optional[SweepExecutor] = None) -> list[dict]:
+def run_clustered(
+    spec: ClusteredSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> list[dict]:
     """Compare uniform vs clustered deployments; one row per (kind, fraction)."""
     config = ScenarioConfig(
         protocol=ProtocolName.parse(spec.protocol),
@@ -85,7 +87,7 @@ def run_clustered(spec: ClusteredSpec, *, executor: Optional[SweepExecutor] = No
         for kind in ("uniform", "clustered")
         for fraction in spec.lying_fractions
     ]
-    points = run_points(tasks, executor=executor)
+    points = run_points(tasks, executor=executor, store=store)
 
     rows: list[dict] = []
     for task, point in zip(tasks, points):

@@ -74,7 +74,7 @@ class CrashResilienceSpec:
 
 
 def run_crash_resilience(
-    spec: CrashResilienceSpec, *, executor: Optional[SweepExecutor] = None
+    spec: CrashResilienceSpec, *, executor: Optional[SweepExecutor] = None, store=None
 ) -> list[dict]:
     """Run the FIG5 sweep and return one row per (protocol, density) point."""
     num_deployed = int(round(spec.deployed_density * spec.map_size * spec.map_size))
@@ -98,5 +98,5 @@ def run_crash_resilience(
         for label, protocol, tolerance in spec.protocols
         for density in spec.densities
     ]
-    points = run_points(tasks, executor=executor)
+    points = run_points(tasks, executor=executor, store=store)
     return [point.row(**task.extra) for task, point in zip(tasks, points)]

@@ -70,7 +70,7 @@ class DensityToleranceSpec:
 
 
 def run_density_tolerance(
-    spec: DensityToleranceSpec, *, executor: Optional[SweepExecutor] = None
+    spec: DensityToleranceSpec, *, executor: Optional[SweepExecutor] = None, store=None
 ) -> list[dict]:
     """For each (protocol, density), search the largest tolerated lying fraction.
 
@@ -102,6 +102,7 @@ def run_density_tolerance(
                     repetitions=spec.repetitions,
                     base_seed=spec.base_seed,
                     executor=executor,
+                    store=store,
                 )
                 value = point.correct_delivery_fraction
                 evaluations[fraction] = value

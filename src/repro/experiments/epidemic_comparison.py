@@ -90,7 +90,7 @@ class EpidemicComparisonSpec:
 
 
 def run_epidemic_comparison(
-    spec: EpidemicComparisonSpec, *, executor: Optional[SweepExecutor] = None
+    spec: EpidemicComparisonSpec, *, executor: Optional[SweepExecutor] = None, store=None
 ) -> list[dict]:
     """One row per (map size, protocol), with the slowdown over the epidemic baseline."""
     protocols: list[tuple[str, str, int]] = [
@@ -119,7 +119,7 @@ def run_epidemic_comparison(
         for size in spec.map_sizes
         for label, protocol, tolerance in protocols
     ]
-    points = run_points(tasks, executor=executor)
+    points = run_points(tasks, executor=executor, store=store)
 
     rows: list[dict] = []
     baselines: dict[float, tuple[float, float]] = {}
@@ -164,7 +164,9 @@ class DualModeSpec:
         return cls(map_size=9.0, density=1.5, payload_bits=10, digest_ratio=0.2)
 
 
-def run_dual_mode(spec: DualModeSpec, *, executor: Optional[SweepExecutor] = None) -> dict:
+def run_dual_mode(
+    spec: DualModeSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> dict:
     """Run the dual-mode experiment; returns a single summary row.
 
     Three runs are combined: (a) the epidemic flood of the full payload,
@@ -212,7 +214,7 @@ def run_dual_mode(spec: DualModeSpec, *, executor: Optional[SweepExecutor] = Non
             base_seed=spec.seed + 1,
         ),
     ]
-    payload_point, digest_point = run_points(tasks, executor=executor)
+    payload_point, digest_point = run_points(tasks, executor=executor, store=store)
     payload_result: RunResult = payload_point.runs[0]
     digest_result: RunResult = digest_point.runs[0]
     combined: DualModeResult = combine_dual_mode(payload, payload_result, digest_result)

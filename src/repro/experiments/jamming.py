@@ -55,7 +55,9 @@ class JammingSpec:
         )
 
 
-def run_jamming(spec: JammingSpec, *, executor: Optional[SweepExecutor] = None) -> list[dict]:
+def run_jamming(
+    spec: JammingSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> list[dict]:
     """Run the jamming sweep and return one row per budget value."""
     num_jammers = fraction_to_count(spec.num_nodes, spec.jammer_fraction)
     deployment_factory = UniformDeploymentFactory(spec.num_nodes, spec.map_size, spec.map_size)
@@ -79,7 +81,7 @@ def run_jamming(spec: JammingSpec, *, executor: Optional[SweepExecutor] = None) 
         )
         for budget in spec.budgets
     ]
-    points = run_points(tasks, executor=executor)
+    points = run_points(tasks, executor=executor, store=store)
     return [point.row(**task.extra) for task, point in zip(tasks, points)]
 
 

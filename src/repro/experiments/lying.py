@@ -81,7 +81,9 @@ class LyingSpec:
         )
 
 
-def run_lying(spec: LyingSpec, *, executor: Optional[SweepExecutor] = None) -> list[dict]:
+def run_lying(
+    spec: LyingSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> list[dict]:
     """Run the FIG6 sweep and return one row per (protocol, fraction) point."""
     if spec.clustered:
         deployment_factory = ClusteredDeploymentFactory(
@@ -108,5 +110,5 @@ def run_lying(spec: LyingSpec, *, executor: Optional[SweepExecutor] = None) -> l
         for label, protocol, tolerance in spec.protocols
         for fraction in spec.fractions
     ]
-    points = run_points(tasks, executor=executor)
+    points = run_points(tasks, executor=executor, store=store)
     return [point.row(**task.extra) for task, point in zip(tasks, points)]

@@ -44,7 +44,9 @@ class MapSizeSpec:
         return cls(map_sizes=(8.0, 12.0), density=1.5, message_length=2, repetitions=2)
 
 
-def run_map_size(spec: MapSizeSpec, *, executor: Optional[SweepExecutor] = None) -> list[dict]:
+def run_map_size(
+    spec: MapSizeSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> list[dict]:
     """Run the sweep; one row per map size, with diameter-normalised columns."""
     config = ScenarioConfig(
         protocol=ProtocolName.parse(spec.protocol),
@@ -64,7 +66,7 @@ def run_map_size(spec: MapSizeSpec, *, executor: Optional[SweepExecutor] = None)
         )
         for size in spec.map_sizes
     ]
-    points = run_points(tasks, executor=executor)
+    points = run_points(tasks, executor=executor, store=store)
 
     rows: list[dict] = []
     for task, point in zip(tasks, points):

@@ -36,39 +36,39 @@ def _spec_for(spec_cls, scale: str):
     raise ValueError(f"unknown scale {scale!r}; expected 'small' or 'paper'")
 
 
-def _run_fig5(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
-    return run_crash_resilience(_spec_for(CrashResilienceSpec, scale), executor=executor)
+def _run_fig5(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
+    return run_crash_resilience(_spec_for(CrashResilienceSpec, scale), executor=executor, store=store)
 
 
-def _run_jam(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
-    return run_jamming(_spec_for(JammingSpec, scale), executor=executor)
+def _run_jam(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
+    return run_jamming(_spec_for(JammingSpec, scale), executor=executor, store=store)
 
 
-def _run_fig6(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
-    return run_lying(_spec_for(LyingSpec, scale), executor=executor)
+def _run_fig6(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
+    return run_lying(_spec_for(LyingSpec, scale), executor=executor, store=store)
 
 
-def _run_fig7(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
-    return run_density_tolerance(_spec_for(DensityToleranceSpec, scale), executor=executor)
+def _run_fig7(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
+    return run_density_tolerance(_spec_for(DensityToleranceSpec, scale), executor=executor, store=store)
 
 
-def _run_clust(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
-    return run_clustered(_spec_for(ClusteredSpec, scale), executor=executor)
+def _run_clust(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
+    return run_clustered(_spec_for(ClusteredSpec, scale), executor=executor, store=store)
 
 
-def _run_mapsz(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
-    return run_map_size(_spec_for(MapSizeSpec, scale), executor=executor)
+def _run_mapsz(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
+    return run_map_size(_spec_for(MapSizeSpec, scale), executor=executor, store=store)
 
 
-def _run_epid(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
-    return run_epidemic_comparison(_spec_for(EpidemicComparisonSpec, scale), executor=executor)
+def _run_epid(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
+    return run_epidemic_comparison(_spec_for(EpidemicComparisonSpec, scale), executor=executor, store=store)
 
 
-def _run_dual(scale: str, executor: Optional[SweepExecutor]) -> Sequence[dict]:
-    return [run_dual_mode(_spec_for(DualModeSpec, scale), executor=executor)]
+def _run_dual(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
+    return [run_dual_mode(_spec_for(DualModeSpec, scale), executor=executor, store=store)]
 
 
-EXPERIMENTS: Mapping[str, tuple[str, Callable[[str, Optional[SweepExecutor]], Sequence[dict]]]] = {
+EXPERIMENTS: Mapping[str, tuple[str, Callable[..., Sequence[dict]]]] = {
     "FIG5": ("Crash resilience: completion vs active-device density (Fig. 5)", _run_fig5),
     "JAM": ("Jamming: completion time vs adversarial budget (Sec. 6.1)", _run_jam),
     "FIG6": ("Lying devices: correctness vs Byzantine fraction (Fig. 6)", _run_fig6),
@@ -92,17 +92,20 @@ def run_experiment(
     workers: int = 0,
     chunk_size: int = 1,
     executor: Optional[SweepExecutor] = None,
+    store=None,
 ) -> tuple[Sequence[dict], str]:
     """Run one experiment by id; returns ``(rows, description)``.
 
     ``workers``/``chunk_size`` construct a :class:`SweepExecutor` (0 or 1
-    workers run serially); pass ``executor`` to reuse one instead.
+    workers run serially); pass ``executor`` to reuse one instead.  ``store``
+    (a :class:`~repro.store.ResultStore`) makes the run incremental: cached
+    repetitions are read back instead of re-simulated, new ones persisted.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}")
     description, runner = EXPERIMENTS[key]
     if executor is not None:
-        return runner(scale, executor), description
+        return runner(scale, executor, store=store), description
     with SweepExecutor(workers, chunk_size=chunk_size) as owned_executor:
-        return runner(scale, owned_executor), description
+        return runner(scale, owned_executor, store=store), description

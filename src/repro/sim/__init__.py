@@ -2,7 +2,7 @@
 
 from .builder import build_channel, build_schedule, build_simulation, run_scenario
 from .config import ChannelName, FaultPlan, ProtocolName, ScenarioConfig, default_message
-from .engine import Simulation
+from .engine import Simulation, clear_link_cache, link_cache_info
 from .events import Event, EventKind, EventLog
 from .node import SimNode
 from .radio import Channel, FriisChannel, Transmission, UnitDiskChannel
@@ -25,6 +25,8 @@ __all__ = [
     "ScenarioConfig",
     "default_message",
     "Simulation",
+    "clear_link_cache",
+    "link_cache_info",
     "Event",
     "EventKind",
     "EventLog",

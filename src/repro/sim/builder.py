@@ -28,7 +28,7 @@ from .config import ChannelName, FaultPlan, ProtocolName, ScenarioConfig
 from .engine import Simulation
 from .events import EventLog
 from .radio import Channel, FriisChannel, UnitDiskChannel
-from .results import RunResult
+from .results import RunResult, validate_metadata
 from .rng import RngFactory
 from .node import SimNode
 
@@ -196,20 +196,25 @@ def run_scenario(
             bits_per_hop=bits_per_hop,
         )
     result = simulation.run(max_rounds)
+    # The metadata schema is closed: every key written here is declared in
+    # repro.sim.results.METADATA_FIELDS, and validate_metadata rejects drift
+    # so that serialized records keep a stable shape.
     result.metadata.update(
-        {
-            "protocol": ProtocolName.parse(config.protocol).value,
-            "radius": config.radius,
-            "message_length": config.message_length,
-            "num_nodes": deployment.num_nodes,
-            "density": deployment.density,
-            "seed": config.seed,
-            "max_rounds": max_rounds,
-            "rounds_per_cycle": simulation.schedule.rounds_per_cycle,
-            "num_slots": simulation.schedule.num_slots,
-            "num_crashed": len(faults.crashed),
-            "num_jammers": len(faults.jammers),
-            "num_liars": len(faults.liars),
-        }
+        validate_metadata(
+            {
+                "protocol": ProtocolName.parse(config.protocol).value,
+                "radius": float(config.radius),
+                "message_length": config.message_length,
+                "num_nodes": deployment.num_nodes,
+                "density": deployment.density,
+                "seed": config.seed,
+                "max_rounds": int(max_rounds),
+                "rounds_per_cycle": simulation.schedule.rounds_per_cycle,
+                "num_slots": simulation.schedule.num_slots,
+                "num_crashed": len(faults.crashed),
+                "num_jammers": len(faults.jammers),
+                "num_liars": len(faults.liars),
+            }
+        )
     )
     return result

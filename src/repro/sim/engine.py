@@ -51,30 +51,65 @@ from .node import SimNode
 from .radio import Channel, Transmission
 from .results import NodeOutcome, RunResult
 
-__all__ = ["Simulation"]
+__all__ = ["Simulation", "link_cache_info", "clear_link_cache"]
 
 #: Bounded cache of channel link states (audibility sets / power matrices),
 #: keyed by the channel's link signature and the (immutable) bytes of the
 #: position array.  A handful of entries is enough: within one process the
 #: same deployment is typically re-simulated back-to-back (protocol
-#: comparisons, repeated seeds).
+#: comparisons, repeated seeds).  Introspect with :func:`link_cache_info`,
+#: reset with :func:`clear_link_cache` — tests that assert on cache behaviour
+#: must clear it first or they observe each other's entries.
 _LINK_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
 _LINK_CACHE_MAX_ENTRIES = 8
+_LINK_CACHE_HITS = 0
+_LINK_CACHE_MISSES = 0
+
+
+def link_cache_info() -> dict:
+    """A snapshot of the module-level link-state cache.
+
+    Returns ``{"entries", "max_entries", "hits", "misses"}``; the counters
+    are cumulative since the last :func:`clear_link_cache`.
+    """
+    return {
+        "entries": len(_LINK_CACHE),
+        "max_entries": _LINK_CACHE_MAX_ENTRIES,
+        "hits": _LINK_CACHE_HITS,
+        "misses": _LINK_CACHE_MISSES,
+    }
+
+
+def clear_link_cache() -> None:
+    """Drop every cached link state and zero the hit/miss counters.
+
+    Cached entries are keyed by channel parameters and positions, so stale
+    entries are never *wrong* — but tests that measure caching (and
+    long-lived processes that sweep many deployments) want a known-empty
+    starting state.
+    """
+    global _LINK_CACHE_HITS, _LINK_CACHE_MISSES
+    _LINK_CACHE.clear()
+    _LINK_CACHE_HITS = 0
+    _LINK_CACHE_MISSES = 0
 
 
 def _cached_link_state(channel: Channel, positions: np.ndarray) -> Optional[object]:
     """The channel's link state for ``positions``, via the module-level cache."""
+    global _LINK_CACHE_HITS, _LINK_CACHE_MISSES
     signature = channel.link_signature()
     if signature is None:
         return None
     key = (signature, positions.shape, positions.tobytes())
     cached = _LINK_CACHE.get(key)
     if cached is None:
+        _LINK_CACHE_MISSES += 1
         cached = channel.link_state(positions)
         _LINK_CACHE[key] = cached
         while len(_LINK_CACHE) > _LINK_CACHE_MAX_ENTRIES:
             _LINK_CACHE.popitem(last=False)
     else:
+        _LINK_CACHE_HITS += 1
         _LINK_CACHE.move_to_end(key)
     return cached
 

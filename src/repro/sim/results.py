@@ -5,16 +5,88 @@ broadcast took to terminate, the percentage of devices that completed the
 protocol, the number of broadcasts needed, and the percentage of completed
 devices that received the *correct* message.  :class:`RunResult` records the
 raw per-device outcomes of one run and derives those four quantities.
+
+Serialization
+-------------
+Both classes round-trip losslessly through plain JSON-compatible dictionaries
+(:meth:`NodeOutcome.to_record` / :meth:`RunResult.to_record` and the matching
+``from_record`` constructors), which is what the on-disk result store in
+:mod:`repro.store` persists.  ``RunResult.to_record(aggregate_only=True)``
+produces a compact form that keeps only the headline metrics — useful for
+logs and exports, but not reconstructible into a full :class:`RunResult`.
+
+``RunResult.metadata`` is *not* free-form: the keys the scenario builder
+writes are declared in :data:`METADATA_FIELDS` and checked by
+:func:`validate_metadata`, so that serialized records have a stable schema.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Any, Mapping, Optional
 
 from ..core.messages import Bits
 
-__all__ = ["NodeOutcome", "RunResult"]
+__all__ = [
+    "NodeOutcome",
+    "RunResult",
+    "METADATA_FIELDS",
+    "RECORD_VERSION",
+    "validate_metadata",
+]
+
+#: Version of the ``to_record`` dictionary layout.  Bump when the shape of the
+#: serialized records changes incompatibly; the result store refuses to read
+#: records written under a different version.
+RECORD_VERSION = 1
+
+#: The metadata keys a :class:`RunResult` may carry, with their value types.
+#: ``run_scenario`` writes exactly these keys; experiments must not invent
+#: others (``validate_metadata`` enforces it), so the serialized record schema
+#: is closed and future readers know what to expect.
+METADATA_FIELDS: Mapping[str, type] = {
+    "protocol": str,          # ProtocolName.value of the simulated protocol
+    "radius": float,          # communication radius R
+    "message_length": int,    # bits of the application message
+    "num_nodes": int,         # deployed devices (honest + faulty)
+    "density": float,         # devices per unit area
+    "seed": int,              # root seed of the run
+    "max_rounds": int,        # round cap the run was given
+    "rounds_per_cycle": int,  # schedule geometry
+    "num_slots": int,         # schedule geometry
+    "num_crashed": int,       # fault-plan composition
+    "num_jammers": int,       # fault-plan composition
+    "num_liars": int,         # fault-plan composition
+}
+
+
+def validate_metadata(metadata: Mapping[str, Any], *, strict: bool = True) -> dict:
+    """Check run metadata against :data:`METADATA_FIELDS` and return a copy.
+
+    ``strict`` rejects keys outside the declared schema; non-strict validation
+    (used when deserializing records written by future versions) keeps unknown
+    keys but still type-checks the known ones.  Ints are accepted where floats
+    are declared (they serialize identically through JSON).
+    """
+    out: dict = {}
+    for key, value in metadata.items():
+        expected = METADATA_FIELDS.get(key)
+        if expected is None:
+            if strict:
+                raise ValueError(
+                    f"unknown RunResult metadata key {key!r}; declared keys: "
+                    f"{', '.join(METADATA_FIELDS)}"
+                )
+            out[key] = value
+            continue
+        if expected is float and isinstance(value, int) and not isinstance(value, bool):
+            value = float(value)
+        if not isinstance(value, expected) or (isinstance(value, bool) and expected is not bool):
+            raise ValueError(
+                f"metadata key {key!r} must be {expected.__name__}, got {type(value).__name__}"
+            )
+        out[key] = value
+    return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,6 +105,33 @@ class NodeOutcome:
     def completed(self) -> bool:
         """Whether the device completed the protocol (delivered some message)."""
         return self.delivered
+
+    def to_record(self) -> dict:
+        """A JSON-compatible dictionary that round-trips through :meth:`from_record`."""
+        return {
+            "node_id": self.node_id,
+            "honest": self.honest,
+            "active": self.active,
+            "delivered": self.delivered,
+            "correct": self.correct,
+            "delivery_round": self.delivery_round,
+            "broadcasts": self.broadcasts,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "NodeOutcome":
+        """Rebuild an outcome from a :meth:`to_record` dictionary."""
+        return cls(
+            node_id=int(record["node_id"]),
+            honest=bool(record["honest"]),
+            active=bool(record["active"]),
+            delivered=bool(record["delivered"]),
+            correct=None if record["correct"] is None else bool(record["correct"]),
+            delivery_round=(
+                None if record["delivery_round"] is None else int(record["delivery_round"])
+            ),
+            broadcasts=int(record["broadcasts"]),
+        )
 
 
 @dataclass(slots=True)
@@ -121,6 +220,56 @@ class RunResult:
     def any_incorrect_delivery(self) -> bool:
         """Whether any honest device accepted a message the source did not send."""
         return any(o.delivered and o.correct is False for o in self._honest_active())
+
+    # -- serialization ----------------------------------------------------------------
+    def to_record(self, *, aggregate_only: bool = False) -> dict:
+        """A JSON-compatible dictionary describing this run.
+
+        The default form is lossless: :meth:`from_record` rebuilds an equal
+        :class:`RunResult` from it, per-device outcomes included.  With
+        ``aggregate_only=True`` the outcomes are replaced by the
+        :meth:`summary` metrics — roughly ``num_nodes`` times smaller, but no
+        longer reconstructible (``from_record`` rejects such records).
+        """
+        record: dict = {
+            "version": RECORD_VERSION,
+            "message": [int(b) for b in self.message],
+            "total_rounds": self.total_rounds,
+            "terminated": self.terminated,
+            "metadata": validate_metadata(self.metadata, strict=False),
+        }
+        if aggregate_only:
+            record["summary"] = dict(self.summary())
+        else:
+            record["outcomes"] = [
+                self.outcomes[node_id].to_record() for node_id in sorted(self.outcomes)
+            ]
+        return record
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a run from a lossless :meth:`to_record` dictionary."""
+        version = record.get("version")
+        if version != RECORD_VERSION:
+            raise ValueError(
+                f"cannot read RunResult record version {version!r} "
+                f"(this build reads version {RECORD_VERSION})"
+            )
+        if "outcomes" not in record:
+            raise ValueError(
+                "record is aggregate-only (no per-device outcomes); "
+                "only records from to_record(aggregate_only=False) round-trip"
+            )
+        outcomes = {
+            int(o["node_id"]): NodeOutcome.from_record(o) for o in record["outcomes"]
+        }
+        return cls(
+            message=tuple(int(b) for b in record["message"]),
+            total_rounds=int(record["total_rounds"]),
+            terminated=bool(record["terminated"]),
+            outcomes=outcomes,
+            metadata=validate_metadata(record.get("metadata", {}), strict=False),
+        )
 
     # -- presentation -----------------------------------------------------------------
     def summary(self) -> Mapping[str, float]:

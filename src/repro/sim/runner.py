@@ -29,10 +29,16 @@ of parallelism exactly once, e.g. via ``python -m repro.experiments <name>
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
+import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
+
+import numpy as np
 
 from ..topology.deployment import Deployment
 from .builder import run_scenario
@@ -46,12 +52,66 @@ __all__ = [
     "SweepExecutor",
     "run_repetition",
     "resolve_workers",
+    "fingerprint_payload",
 ]
 
 #: A deployment factory receives the repetition seed and returns a deployment.
 DeploymentFactory = Callable[[int], Deployment]
 #: A fault factory receives the deployment and the repetition seed.
 FaultFactory = Callable[[Deployment, int], FaultPlan]
+
+
+def fingerprint_payload(obj) -> object:
+    """Reduce ``obj`` to a canonical JSON-compatible value for fingerprinting.
+
+    The reduction is *stable across processes and interpreter runs*: it never
+    relies on ``hash()`` (randomized), ``id()`` or dict insertion order.
+    Dataclasses are reduced to their qualified class name plus their fields,
+    enums to their values, NumPy arrays to a digest of their raw bytes.  Plain
+    module-level functions reduce to their qualified name.  Anything else —
+    lambdas, bound methods, arbitrary objects — is rejected, because its
+    identity cannot be captured stably; factories must be the dataclass kind
+    of :mod:`repro.experiments.factories` (which also makes them picklable).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips floats exactly; json.dumps uses the same encoding.
+        return obj
+    if isinstance(obj, enum.Enum):
+        return fingerprint_payload(obj.value)
+    if isinstance(obj, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest(),
+            "shape": list(obj.shape),
+            "dtype": str(obj.dtype),
+        }
+    if isinstance(obj, np.generic):
+        return fingerprint_payload(obj.item())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        return {
+            "__type__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                f.name: fingerprint_payload(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, (list, tuple)):
+        return [fingerprint_payload(v) for v in obj]
+    if isinstance(obj, dict):
+        return {
+            str(k): fingerprint_payload(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    qualname = getattr(obj, "__qualname__", None)
+    module = getattr(obj, "__module__", None)
+    if callable(obj) and qualname and module and "<" not in qualname:
+        return {"__callable__": f"{module}.{qualname}"}
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!s} objects stably; "
+        "use dataclass factories (repro.experiments.factories) or module-level functions"
+    )
 
 
 @dataclass(slots=True)
@@ -101,6 +161,39 @@ class SweepTask:
     def seeds(self) -> range:
         return range(self.base_seed, self.base_seed + self.repetitions)
 
+    def fingerprint(self, repetition: int) -> str:
+        """Stable content hash identifying one ``(task, repetition)`` pair.
+
+        The fingerprint covers everything that determines the bits of the
+        repetition's :class:`RunResult`: the scenario config, the deployment
+        and fault factories (by class and parameters, arrays by content), the
+        round-cap override and the derived repetition seed.  Presentation-only
+        attributes (``label``, ``extra``) and the repetition *count* are
+        deliberately excluded, so re-labelling a sweep or growing its
+        repetitions reuses every run already computed.  The hash is a hex
+        SHA-256 over a canonical JSON encoding — identical across processes,
+        platforms and interpreter restarts, which is what lets
+        :class:`repro.store.ResultStore` key its on-disk cache by it.
+        """
+        if not (0 <= repetition < self.repetitions):
+            raise ValueError(
+                f"repetition {repetition} out of range for {self.repetitions} repetitions"
+            )
+        seed = self.base_seed + repetition
+        payload = {
+            "kind": "repro.sweep_repetition",
+            # The *effective* scenario (template with the repetition seed
+            # substituted), so two tasks differing only in template seed but
+            # producing the same runs share cache entries.
+            "config": fingerprint_payload(self.scenario(seed)),
+            "deployment_factory": fingerprint_payload(self.deployment_factory),
+            "fault_factory": fingerprint_payload(self.fault_factory),
+            "max_rounds": self.max_rounds,
+            "seed": seed,
+        }
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf8")).hexdigest()
+
 
 def run_repetition(task: SweepTask, repetition: int) -> RunResult:
     """Run one repetition of a sweep task (deterministic in the derived seed)."""
@@ -112,10 +205,9 @@ def run_repetition(task: SweepTask, repetition: int) -> RunResult:
     return run_scenario(deployment, task.scenario(seed), faults, max_rounds=task.max_rounds)
 
 
-def _run_job(job: tuple[int, int, SweepTask]) -> tuple[int, int, RunResult]:
-    """Worker entry point: one (task index, repetition) pair."""
-    task_index, repetition, task = job
-    return task_index, repetition, run_repetition(task, repetition)
+def _run_chunk(chunk: Sequence[tuple[int, SweepTask, int]]) -> list[tuple[int, RunResult]]:
+    """Worker entry point: a chunk of positioned (task, repetition) pairs."""
+    return [(position, run_repetition(task, repetition)) for position, task, repetition in chunk]
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -180,6 +272,31 @@ class SweepExecutor:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
+    def iter_jobs(
+        self, jobs: Sequence[tuple[SweepTask, int]]
+    ) -> Iterator[tuple[int, RunResult]]:
+        """Run ``(task, repetition)`` jobs, yielding ``(position, result)`` pairs.
+
+        Serial executors yield in job order; parallel executors yield in
+        *completion* order (at ``chunk_size`` granularity), so a slow job
+        never delays the delivery of jobs that finished after it.  That is
+        what lets :class:`repro.store.CachingSweepExecutor` persist
+        completions as they land: an interrupted parallel sweep keeps every
+        repetition that finished, not just the prefix before the slowest job.
+        Callers reassemble order from the yielded positions.
+        """
+        jobs = list(jobs)
+        if not self.parallel or len(jobs) <= 1:
+            for position, (task, repetition) in enumerate(jobs):
+                yield position, run_repetition(task, repetition)
+            return
+        pool = self._ensure_pool()
+        indexed = [(position, task, repetition) for position, (task, repetition) in enumerate(jobs)]
+        chunks = [indexed[i : i + self.chunk_size] for i in range(0, len(indexed), self.chunk_size)]
+        futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+        for future in as_completed(futures):
+            yield from future.result()
+
     def run(self, tasks: Sequence[SweepTask]) -> list[list[RunResult]]:
         """Run every repetition of every task; results in task/repetition order.
 
@@ -188,21 +305,16 @@ class SweepExecutor:
         over :func:`run_repetition` would produce.
         """
         tasks = list(tasks)
-        jobs = [
-            (task_index, repetition, task)
+        slots = [
+            (task_index, repetition)
             for task_index, task in enumerate(tasks)
             for repetition in range(task.repetitions)
         ]
+        jobs = [(tasks[task_index], repetition) for task_index, repetition in slots]
         results: list[list[Optional[RunResult]]] = [[None] * task.repetitions for task in tasks]
-        if not self.parallel or len(jobs) <= 1:
-            for task_index, repetition, task in jobs:
-                results[task_index][repetition] = run_repetition(task, repetition)
-        else:
-            pool = self._ensure_pool()
-            for task_index, repetition, result in pool.map(
-                _run_job, jobs, chunksize=self.chunk_size
-            ):
-                results[task_index][repetition] = result
+        for position, result in self.iter_jobs(jobs):
+            task_index, repetition = slots[position]
+            results[task_index][repetition] = result
         return results  # type: ignore[return-value]
 
     def run_task(self, task: SweepTask) -> list[RunResult]:

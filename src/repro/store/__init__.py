@@ -1,0 +1,23 @@
+"""Content-addressed result store and the caching sweep executor.
+
+Every experiment of the reproduction is a sweep of seeded, bit-reproducible
+``(task, repetition)`` pairs (:mod:`repro.sim.runner`).  This package turns
+that determinism into incrementality:
+
+* :class:`ResultStore` — an on-disk, schema-versioned cache of serialized
+  :class:`~repro.sim.results.RunResult` records, keyed by
+  :meth:`~repro.sim.runner.SweepTask.fingerprint` and sharded into JSON-lines
+  files under a cache directory;
+* :class:`CachingSweepExecutor` — a drop-in executor that answers repetitions
+  from the store and persists misses as they complete, making every sweep
+  resumable and every rerun incremental.
+
+See ROADMAP.md ("Infrastructure notes") for the fingerprint scheme and the
+cache layout, and ``python -m repro.experiments <ID> --cache-dir PATH`` for
+the command-line entry point.
+"""
+
+from .executor import CachingSweepExecutor
+from .store import SCHEMA_VERSION, ResultStore, StoreStats
+
+__all__ = ["CachingSweepExecutor", "ResultStore", "StoreStats", "SCHEMA_VERSION"]

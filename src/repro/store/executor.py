@@ -1,0 +1,105 @@
+"""A sweep executor that answers from the result store before simulating.
+
+:class:`CachingSweepExecutor` wraps a plain
+:class:`~repro.sim.runner.SweepExecutor` and a :class:`~repro.store.store.ResultStore`.
+For every ``(task, repetition)`` pair of a sweep it first checks the store by
+the pair's :meth:`~repro.sim.runner.SweepTask.fingerprint`; only the misses
+are dispatched (serially or over the wrapped executor's process pool), and
+each miss is persisted the moment its result lands.  Interrupting a sweep —
+Ctrl-C, crash, OOM-kill — therefore loses only in-flight repetitions, and the
+next invocation resumes from everything already on disk.
+
+Because repetitions are bit-identical in their seed, a warm cache returns
+results byte-identical to what the wrapped executor would compute, for every
+worker count; the cache is purely a latency knob, exactly like ``--workers``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..sim.results import RunResult
+from ..sim.runner import SweepExecutor, SweepTask
+from .store import ResultStore
+
+__all__ = ["CachingSweepExecutor"]
+
+
+class CachingSweepExecutor:
+    """Drop-in :class:`SweepExecutor` front end backed by a :class:`ResultStore`.
+
+    Parameters
+    ----------
+    store:
+        The result store consulted before — and fed after — every simulation.
+    executor:
+        The executor that runs cache misses; a serial ``SweepExecutor(0)`` is
+        created when omitted.  The wrapped executor is *borrowed*: closing
+        this object closes it only when it was created here.
+    """
+
+    def __init__(
+        self, store: ResultStore, executor: Optional[SweepExecutor] = None
+    ) -> None:
+        self.store = store
+        self._owns_executor = executor is None
+        self.executor = executor if executor is not None else SweepExecutor(0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CachingSweepExecutor(store={self.store!r}, executor={self.executor!r})"
+
+    # -- SweepExecutor-compatible surface ------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self.executor.workers
+
+    @property
+    def chunk_size(self) -> int:
+        return self.executor.chunk_size
+
+    @property
+    def parallel(self) -> bool:
+        return self.executor.parallel
+
+    def close(self) -> None:
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "CachingSweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------------------
+    def run(self, tasks: Sequence[SweepTask]) -> list[list[RunResult]]:
+        """Run every repetition of every task, reusing stored results.
+
+        Returns exactly what ``SweepExecutor.run`` would: one inner list per
+        task, repetitions in seed order.  Misses are persisted to the store
+        as they complete.
+        """
+        tasks = list(tasks)
+        results: list[list[Optional[RunResult]]] = [
+            [None] * task.repetitions for task in tasks
+        ]
+        miss_jobs: list[tuple[SweepTask, int]] = []
+        miss_slots: list[tuple[int, int, str]] = []
+        for task_index, task in enumerate(tasks):
+            for repetition in range(task.repetitions):
+                fingerprint = task.fingerprint(repetition)
+                cached = self.store.get(fingerprint)
+                if cached is not None:
+                    results[task_index][repetition] = cached
+                else:
+                    miss_jobs.append((task, repetition))
+                    miss_slots.append((task_index, repetition, fingerprint))
+        for position, result in self.executor.iter_jobs(miss_jobs):
+            task_index, repetition, fingerprint = miss_slots[position]
+            self.store.put(fingerprint, result)
+            results[task_index][repetition] = result
+        return results  # type: ignore[return-value]
+
+    def run_task(self, task: SweepTask) -> list[RunResult]:
+        """Run a single task's repetitions (convenience wrapper around :meth:`run`)."""
+        return self.run([task])[0]

@@ -1,0 +1,299 @@
+"""Content-addressed, on-disk store of simulation results.
+
+The store maps the :meth:`repro.sim.runner.SweepTask.fingerprint` of a
+``(task, repetition)`` pair to the serialized :class:`~repro.sim.results.RunResult`
+of that repetition.  Because every repetition is bit-identical in its seed, a
+stored result is *the* result — re-running the simulation can only reproduce
+the same bytes — so experiments, benchmarks and protocol comparisons can all
+share one cache and an interrupted paper-scale sweep resumes from whatever
+repetitions already landed on disk.
+
+On-disk layout
+--------------
+::
+
+    <cache_dir>/
+        store-meta.json          # {"schema_version": 1}
+        shards/
+            <fp[:2]>.jsonl       # one JSON object per line
+
+Records are sharded by the first two hex digits of the fingerprint (256
+shards) so that no single file grows unboundedly and prune rewrites stay
+small.  Each line is ``{"v": 1, "fp": ..., "ts": ..., "record": {...}}``;
+appends are single ``write`` calls on files opened in append mode, so
+concurrent writers interleave whole lines, and the loader skips any torn or
+foreign line instead of failing.  The metadata file is written atomically
+(temp file + ``os.replace``); so are shard rewrites during :meth:`ResultStore.prune`.
+
+Versioning
+----------
+``SCHEMA_VERSION`` covers the line format *and* the embedded
+``RunResult.to_record`` layout.  A cache directory created under a different
+schema version is refused at open time rather than silently misread; records
+whose per-line version differs are treated as absent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..sim.results import RunResult
+
+__all__ = ["SCHEMA_VERSION", "StoreStats", "ResultStore"]
+
+#: Version of the on-disk layout (line shape + embedded record layout).
+SCHEMA_VERSION = 1
+
+_META_NAME = "store-meta.json"
+_SHARD_DIR = "shards"
+
+
+@dataclass(slots=True)
+class StoreStats:
+    """Cumulative counters of one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def snapshot(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+
+@dataclass(slots=True)
+class _Entry:
+    record: dict
+    stored_at: float
+    last_used: float = field(default=0.0)
+
+
+class ResultStore:
+    """A content-addressed cache of :class:`RunResult` records.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the store (created on first write if missing).
+    readonly:
+        Refuse writes (useful for sharing a reference cache).
+
+    The store keeps an in-memory index per shard, loaded lazily on first
+    access, so repeated :meth:`get` calls after warm-up cost a dict lookup.
+    ``hits``/``misses``/``writes`` are tracked in :attr:`stats`.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike, *, readonly: bool = False) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.readonly = bool(readonly)
+        self.stats = StoreStats()
+        self._shards: dict[str, dict[str, _Entry]] = {}
+        self._check_schema()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.cache_dir)!r}, entries={len(self)})"
+
+    # -- schema handling ---------------------------------------------------------------
+    def _check_schema(self) -> None:
+        meta_path = self.cache_dir / _META_NAME
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ValueError(f"unreadable store metadata at {meta_path}: {exc}") from exc
+            version = meta.get("schema_version")
+            if version != SCHEMA_VERSION:
+                raise ValueError(
+                    f"result store at {self.cache_dir} has schema version {version!r}; "
+                    f"this build reads version {SCHEMA_VERSION} — use a fresh --cache-dir"
+                )
+
+    def _write_meta(self) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        meta_path = self.cache_dir / _META_NAME
+        if meta_path.exists():
+            return
+        tmp_path = meta_path.with_suffix(".json.tmp")
+        tmp_path.write_text(
+            json.dumps({"schema_version": SCHEMA_VERSION}, indent=2) + "\n", encoding="utf8"
+        )
+        os.replace(tmp_path, meta_path)
+
+    # -- shard handling ----------------------------------------------------------------
+    @staticmethod
+    def _shard_key(fingerprint: str) -> str:
+        if len(fingerprint) < 2:
+            raise ValueError(f"fingerprint too short: {fingerprint!r}")
+        return fingerprint[:2].lower()
+
+    def _shard_path(self, shard: str) -> Path:
+        return self.cache_dir / _SHARD_DIR / f"{shard}.jsonl"
+
+    def _load_shard(self, shard: str) -> dict[str, _Entry]:
+        cached = self._shards.get(shard)
+        if cached is not None:
+            return cached
+        entries: dict[str, _Entry] = {}
+        path = self._shard_path(shard)
+        if path.exists():
+            with open(path, "r", encoding="utf8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        obj = json.loads(line)
+                    except json.JSONDecodeError:
+                        # Torn line from an interrupted append: skip, the
+                        # repetition simply counts as uncached.
+                        continue
+                    if not isinstance(obj, dict) or obj.get("v") != SCHEMA_VERSION:
+                        continue
+                    fingerprint = obj.get("fp")
+                    record = obj.get("record")
+                    if not isinstance(fingerprint, str) or not isinstance(record, dict):
+                        continue
+                    # Later lines win: a duplicated fingerprint (two processes
+                    # racing the same repetition) stores identical bits anyway.
+                    entries[fingerprint] = _Entry(
+                        record=record, stored_at=float(obj.get("ts", 0.0))
+                    )
+        self._shards[shard] = entries
+        return entries
+
+    # -- the mapping API ---------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[RunResult]:
+        """The stored result for ``fingerprint``, or ``None`` (counted in stats)."""
+        entry = self._load_shard(self._shard_key(fingerprint)).get(fingerprint)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        entry.last_used = time.time()
+        self.stats.hits += 1
+        return RunResult.from_record(entry.record)
+
+    def put(self, fingerprint: str, result: RunResult) -> None:
+        """Persist ``result`` under ``fingerprint`` (append, durable per call)."""
+        if self.readonly:
+            raise PermissionError(f"result store at {self.cache_dir} is read-only")
+        record = result.to_record()
+        now = time.time()
+        self._write_meta()
+        shard = self._shard_key(fingerprint)
+        path = self._shard_path(shard)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            {"v": SCHEMA_VERSION, "fp": fingerprint, "ts": now, "record": record},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        # One os.write of the whole encoded line on an O_APPEND descriptor —
+        # not a buffered text handle, whose ~8 KB buffer would split large
+        # records into several writes that concurrent appenders could
+        # interleave.  On local filesystems an O_APPEND write lands whole,
+        # so parallel processes sharing a cache dir interleave lines, not
+        # bytes; the torn-line skip on load covers a crash mid-write.
+        data = (line + "\n").encode("utf8")
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+        entries = self._load_shard(shard)
+        entries[fingerprint] = _Entry(record=record, stored_at=now, last_used=now)
+        self.stats.writes += 1
+
+    def contains(self, fingerprint: str) -> bool:
+        """Whether a result is stored for ``fingerprint`` (does not touch stats)."""
+        return fingerprint in self._load_shard(self._shard_key(fingerprint))
+
+    def fingerprints(self) -> Iterator[str]:
+        """Iterate over every stored fingerprint (loads all shards)."""
+        self._load_all_shards()
+        for entries in self._shards.values():
+            yield from entries
+
+    def __len__(self) -> int:
+        self._load_all_shards()
+        return sum(len(entries) for entries in self._shards.values())
+
+    def _load_all_shards(self) -> None:
+        shard_dir = self.cache_dir / _SHARD_DIR
+        if shard_dir.is_dir():
+            for path in shard_dir.glob("*.jsonl"):
+                self._load_shard(path.stem)
+
+    # -- maintenance -------------------------------------------------------------------
+    def prune(self, max_entries: int) -> int:
+        """Shrink the store to at most ``max_entries`` results; returns the count removed.
+
+        Eviction is LRU-style: entries are ranked by the later of their write
+        time and their last in-process read, oldest evicted first.  (Reads
+        from other processes are not tracked — the ranking degrades to
+        insertion order for entries this process never touched.)  Survivors
+        are rewritten shard-by-shard through a temp file and ``os.replace``,
+        so a crash mid-prune leaves every shard either old or new, never torn.
+        """
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        self._load_all_shards()
+        ranked = [
+            (max(entry.stored_at, entry.last_used), shard, fingerprint)
+            for shard, entries in self._shards.items()
+            for fingerprint, entry in entries.items()
+        ]
+        excess = len(ranked) - max_entries
+        if excess <= 0:
+            return 0
+        if self.readonly:
+            raise PermissionError(f"result store at {self.cache_dir} is read-only")
+        ranked.sort()
+        doomed: dict[str, set[str]] = {}
+        for _, shard, fingerprint in ranked[:excess]:
+            doomed.setdefault(shard, set()).add(fingerprint)
+        for shard, fingerprints in doomed.items():
+            entries = self._shards[shard]
+            for fingerprint in fingerprints:
+                del entries[fingerprint]
+            self._rewrite_shard(shard)
+        return excess
+
+    def _rewrite_shard(self, shard: str) -> None:
+        path = self._shard_path(shard)
+        entries = self._shards.get(shard, {})
+        if not entries:
+            if path.exists():
+                os.unlink(path)
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_path = path.with_suffix(".jsonl.tmp")
+        with open(tmp_path, "w", encoding="utf8") as handle:
+            for fingerprint, entry in entries.items():
+                handle.write(
+                    json.dumps(
+                        {
+                            "v": SCHEMA_VERSION,
+                            "fp": fingerprint,
+                            "ts": entry.stored_at,
+                            "record": entry.record,
+                        },
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+        os.replace(tmp_path, path)
+
+    def clear(self) -> None:
+        """Drop every stored result (the directory and meta file survive)."""
+        if self.readonly:
+            raise PermissionError(f"result store at {self.cache_dir} is read-only")
+        shard_dir = self.cache_dir / _SHARD_DIR
+        if shard_dir.is_dir():
+            for path in shard_dir.glob("*.jsonl"):
+                os.unlink(path)
+        self._shards = {}

@@ -6,7 +6,21 @@ import numpy as np
 import pytest
 
 from repro.sim.config import ScenarioConfig
+from repro.sim.engine import clear_link_cache
 from repro.topology.deployment import Deployment, grid_jittered_deployment, uniform_deployment
+
+
+@pytest.fixture(autouse=True)
+def _isolated_link_cache():
+    """Start every test with an empty engine link-state cache.
+
+    The cache is module-level and keyed by (channel, positions); entries are
+    never semantically stale, but tests that assert on hit/miss counts or on
+    cached-channel behaviour would otherwise observe entries left behind by
+    whichever test happened to run before them.
+    """
+    clear_link_cache()
+    yield
 
 
 @pytest.fixture

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -122,6 +124,36 @@ class TestStats:
     def test_aggregate_mean_within_range(self, values):
         agg = aggregate(values, drop_outliers=False)
         assert agg.minimum - 1e-6 <= agg.mean <= agg.maximum + 1e-6
+
+    def test_aggregate_rejects_nan_instead_of_propagating(self):
+        """A NaN sample must fail loudly, not poison the mean downstream."""
+        with pytest.raises(ValueError, match="non-finite"):
+            aggregate([1.0, float("nan"), 3.0])
+        with pytest.raises(ValueError, match="non-finite"):
+            aggregate([float("inf")])
+
+    def test_aggregate_constant_values_zero_width_interval(self):
+        agg = aggregate([7.5] * 10)
+        assert agg.mean == 7.5
+        assert agg.std == 0.0
+        assert agg.count == 10  # nothing mistaken for an outlier
+        assert agg.ci_low == agg.ci_high == 7.5
+
+    def test_aggregate_extreme_outlier_never_empties_the_sample(self):
+        """Even with one sample vastly off, aggregation keeps a usable core."""
+        values = [10.0, 11.0, 9.0, 10.5, 9.5] * 3 + [1e12]
+        agg = aggregate(values)
+        assert agg.count == len(values) - 1  # the outlier went, the core stayed
+        assert agg.mean == pytest.approx(10.0, abs=1.0)
+        assert math.isfinite(agg.mean)
+
+    def test_discard_outliers_never_returns_empty(self):
+        for values in ([1.0], [1.0, 2.0, 3.0, 4.0], [0.0, 0.0, 0.0, 1e9]):
+            assert discard_outliers(values)
+
+    def test_discard_outliers_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            discard_outliers([1.0, 2.0, 3.0, 4.0], z_threshold=0.0)
 
 
 def _result(rounds=10, delivered=True, correct=True):

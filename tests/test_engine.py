@@ -10,7 +10,7 @@ import pytest
 from repro.core.messages import Frame, FrameKind
 from repro.core.protocol import Observation, Protocol
 from repro.core.schedule import NodeSchedule
-from repro.sim.engine import Simulation
+from repro.sim.engine import Simulation, clear_link_cache, link_cache_info
 from repro.sim.events import EventKind, EventLog
 from repro.sim.node import SimNode
 from repro.sim.radio import UnitDiskChannel
@@ -341,3 +341,52 @@ class TestFlexTransmitters:
         assert not result.outcomes[1].delivered
         assert result.outcomes[2].broadcasts > 0
         assert result.adversary_broadcasts > 0
+
+
+class TestLinkCacheIntrospection:
+    """The module-level link-state cache is observable and resettable, so
+    cached-channel tests cannot contaminate each other (the autouse
+    ``_isolated_link_cache`` fixture clears it before every test)."""
+
+    def test_starts_empty_thanks_to_isolation_fixture(self):
+        info = link_cache_info()
+        assert info["entries"] == 0
+        assert info["hits"] == 0 and info["misses"] == 0
+        assert info["max_entries"] >= 1
+
+    def test_counts_misses_then_hits_for_same_deployment(self):
+        positions = [(0, 0), (1, 0), (2, 0)]
+        make_sim(positions, [Beacon(0), Listener(0), Listener(0)])
+        after_first = link_cache_info()
+        assert after_first["entries"] == 1
+        assert after_first["misses"] == 1 and after_first["hits"] == 0
+        # Same channel parameters + same positions: served from the cache.
+        make_sim(positions, [Beacon(0), Listener(0), Listener(0)])
+        after_second = link_cache_info()
+        assert after_second["entries"] == 1
+        assert after_second["misses"] == 1 and after_second["hits"] == 1
+
+    def test_distinct_positions_get_distinct_entries(self):
+        make_sim([(0, 0), (1, 0)], [Beacon(0), Listener(0)])
+        make_sim([(0, 0), (1.5, 0)], [Beacon(0), Listener(0)])
+        info = link_cache_info()
+        assert info["entries"] == 2
+        assert info["misses"] == 2
+
+    def test_clear_resets_entries_and_counters(self):
+        make_sim([(0, 0), (1, 0)], [Beacon(0), Listener(0)])
+        make_sim([(0, 0), (1, 0)], [Beacon(0), Listener(0)])
+        assert link_cache_info()["hits"] == 1
+        clear_link_cache()
+        info = link_cache_info()
+        assert info == {**info, "entries": 0, "hits": 0, "misses": 0}
+        # The next identical construction is a miss again: a recompute, not
+        # a stale read.
+        make_sim([(0, 0), (1, 0)], [Beacon(0), Listener(0)])
+        assert link_cache_info()["misses"] == 1
+
+    def test_bounded_by_max_entries(self):
+        for k in range(link_cache_info()["max_entries"] + 3):
+            make_sim([(0, 0), (1 + 0.01 * k, 0)], [Beacon(0), Listener(0)])
+        info = link_cache_info()
+        assert info["entries"] <= info["max_entries"]
