@@ -1,0 +1,27 @@
+# Convenience entry points; every target assumes the repo root as cwd.
+PYTHON ?= python
+PR ?= 3
+export PYTHONPATH := src
+
+.PHONY: test bench bench-baseline bench-smoke profile
+
+# Tier-1 verification (unit/property tests only; benchmarks excluded).
+test:
+	$(PYTHON) -m pytest -x -q tests
+
+# Capture a post-change benchmark run into BENCH_$(PR).json (merges with the
+# stored baseline and computes speedups; fails on series-hash drift).
+bench:
+	$(PYTHON) benchmarks/capture.py --pr $(PR) --label current
+
+# Capture the pre-change baseline (run this before starting a perf change).
+bench-baseline:
+	$(PYTHON) benchmarks/capture.py --pr $(PR) --label baseline
+
+# CI smoke: verify BENCH_$(PR).json exists and its suite hashes reproduce.
+bench-smoke:
+	$(PYTHON) benchmarks/capture.py --check BENCH_$(PR).json
+
+# Profile one experiment's sweep (top cumulative hot spots to stderr).
+profile:
+	$(PYTHON) -m repro.experiments FIG7 --scale small --profile

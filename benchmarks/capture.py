@@ -1,0 +1,313 @@
+"""Capture the repository's performance trajectory into ``BENCH_<pr>.json``.
+
+Every perf-focused PR needs two things the pytest-benchmark harness does not
+give us directly: a *persistent* record of how long the experiment suite took
+before and after the change, and a content hash of the produced series so a
+"speedup" can never silently come from computing different numbers.  This
+script provides both:
+
+* the **suite** section runs every registered experiment at ``--suite-scale``
+  (default ``small``) through a serial executor, recording wall-clock time and
+  a canonical SHA-256 over the exported rows;
+* the **macros** section runs a few representative *paper-scale* single
+  simulations (the cold hot-path cost PR 3 targets: dense deployments on both
+  channel models), recording wall-clock time, total rounds and a canonical
+  SHA-256 over the full :meth:`~repro.sim.results.RunResult.to_record`.
+
+Runs are stored under a label (``baseline`` / ``current`` by convention) and
+merged into the same JSON file, so one file documents the before/after of a
+PR.  When both labels are present the script computes per-entry speedups and
+**fails loudly if any series hash moved** — a perf PR must not change a single
+exported byte.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/capture.py --pr 3 --label baseline
+    PYTHONPATH=src python benchmarks/capture.py --pr 3 --label current
+    PYTHONPATH=src python benchmarks/capture.py --pr 3 --label current --suite-only
+    PYTHONPATH=src python benchmarks/capture.py --check BENCH_3.json
+
+``--check`` re-runs the (quick) suite and verifies the stored hashes of the
+newest run still reproduce — the CI smoke job uses it so a drifted series can
+never hide behind a stale JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+#: Experiments whose small-scale runs form the quick "suite" section.  Kept
+#: explicit (not ``EXPERIMENTS.keys()``) so adding an experiment is a
+#: deliberate decision to grow the capture time.
+SUITE_EXPERIMENTS = ("FIG5", "JAM", "FIG6", "FIG7", "CLUST", "MAPSZ", "EPID", "DUAL")
+
+#: Representative paper-scale single simulations (the serial cold-repetition
+#: cost).  Densities/sizes follow Fig. 7 of the paper (20x20 map, density
+#: 1.5-3.0); both channel models are exercised because their hot paths differ
+#: (audibility mask vs received-power matrix).
+MACROS = (
+    {
+        "name": "nw-unitdisk-1200",
+        "protocol": "neighborwatch",
+        "channel": "unitdisk",
+        "num_nodes": 1200,
+        "map_size": 20.0,
+        "radius": 4.0,
+        "message_length": 4,
+        "seed": 5,
+    },
+    {
+        "name": "nw-friis-600",
+        "protocol": "neighborwatch",
+        "channel": "friis",
+        "num_nodes": 600,
+        "map_size": 20.0,
+        "radius": 4.0,
+        "message_length": 4,
+        "seed": 5,
+    },
+    {
+        "name": "epidemic-friis-1200",
+        "protocol": "epidemic",
+        "channel": "friis",
+        "num_nodes": 1200,
+        "map_size": 20.0,
+        "radius": 4.0,
+        "message_length": 4,
+        "seed": 5,
+    },
+)
+
+
+def _canonical(value):
+    """Reduce a result row/record to canonical JSON-compatible data."""
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.generic):
+        return _canonical(value.item())
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for hashing")
+
+
+def series_hash(value) -> str:
+    """Stable SHA-256 over a canonical JSON encoding of ``value``."""
+    encoded = json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf8")).hexdigest()
+
+
+def capture_suite(scale: str, cache_dir: Optional[str], log) -> dict:
+    """Run every suite experiment serially; timings, hashes and cache stats."""
+    from repro.experiments.registry import run_experiment
+    from repro.sim.runner import SweepExecutor
+
+    store = None
+    if cache_dir is not None:
+        from repro.store import ResultStore
+
+        store = ResultStore(cache_dir)
+
+    section: dict = {}
+    with SweepExecutor(0) as executor:
+        for experiment in SUITE_EXPERIMENTS:
+            if store is not None:
+                store.stats.reset()
+            started = time.perf_counter()
+            rows, _description = run_experiment(
+                experiment, scale=scale, executor=executor, store=store
+            )
+            elapsed = time.perf_counter() - started
+            entry = {
+                "elapsed_s": round(elapsed, 4),
+                "rows_sha256": series_hash(list(rows)),
+            }
+            if store is not None:
+                entry["cache"] = store.stats.snapshot()
+            section[experiment] = entry
+            log(f"  suite {experiment:<6} {elapsed:8.2f}s  {entry['rows_sha256'][:12]}")
+    return section
+
+
+def capture_macros(log) -> dict:
+    """Run the representative paper-scale single simulations serially."""
+    from repro.experiments.factories import UniformDeploymentFactory
+    from repro.sim.builder import run_scenario
+    from repro.sim.config import ProtocolName, ScenarioConfig
+
+    section: dict = {}
+    for macro in MACROS:
+        deployment = UniformDeploymentFactory(
+            macro["num_nodes"], macro["map_size"], macro["map_size"]
+        )(macro["seed"])
+        config = ScenarioConfig(
+            protocol=ProtocolName.parse(macro["protocol"]),
+            radius=macro["radius"],
+            message_length=macro["message_length"],
+            seed=macro["seed"],
+            channel=macro["channel"],
+        )
+        started = time.perf_counter()
+        result = run_scenario(deployment, config)
+        elapsed = time.perf_counter() - started
+        entry = {
+            "elapsed_s": round(elapsed, 4),
+            "result_sha256": series_hash(result.to_record()),
+            "total_rounds": result.total_rounds,
+            "num_nodes": macro["num_nodes"],
+            "channel": macro["channel"],
+            "protocol": macro["protocol"],
+        }
+        section[macro["name"]] = entry
+        log(f"  macro {macro['name']:<22} {elapsed:8.2f}s  {entry['result_sha256'][:12]}")
+    return section
+
+
+def _load(path: Path) -> dict:
+    if path.exists():
+        with path.open("r", encoding="utf8") as handle:
+            return json.load(handle)
+    return {"schema": SCHEMA_VERSION, "pr": None, "runs": {}}
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "captured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def compute_speedups(document: dict) -> dict:
+    """Per-entry baseline/current speedups; raises on series-hash drift."""
+    runs = document.get("runs", {})
+    if "baseline" not in runs or "current" not in runs:
+        return {}
+    baseline, current = runs["baseline"], runs["current"]
+    speedups: dict = {}
+    for section, hash_key in (("suite", "rows_sha256"), ("macros", "result_sha256")):
+        base_section = baseline.get(section, {})
+        cur_section = current.get(section, {})
+        for name in sorted(set(base_section) & set(cur_section)):
+            before, after = base_section[name], cur_section[name]
+            if before[hash_key] != after[hash_key]:
+                raise SystemExit(
+                    f"series hash drift in {section}/{name}: "
+                    f"{before[hash_key][:16]} (baseline) != {after[hash_key][:16]} (current); "
+                    "a perf PR must not change exported results"
+                )
+            if after["elapsed_s"] > 0:
+                speedups[f"{section}/{name}"] = round(
+                    before["elapsed_s"] / after["elapsed_s"], 3
+                )
+    return speedups
+
+
+def check(path: Path, scale: str, log) -> int:
+    """Re-run the suite and verify the newest stored run's hashes reproduce."""
+    document = _load(path)
+    runs = document.get("runs", {})
+    if not runs:
+        log(f"error: {path} is missing or has no recorded runs")
+        return 1
+    if "current" in runs:
+        label = "current"
+    else:
+        # Fall back to the newest capture by timestamp, and say so — a file
+        # holding only a pre-change baseline should be conspicuous in CI logs.
+        label = max(runs, key=lambda name: runs[name].get("environment", {}).get("captured_at", ""))
+        log(f"warning: no 'current' run recorded; checking newest run {label!r}")
+    stored = runs[label].get("suite", {})
+    if not stored:
+        log(f"error: run {label!r} in {path} has no suite section")
+        return 1
+    fresh = capture_suite(scale, None, log)
+    failures = 0
+    for name, entry in sorted(stored.items()):
+        if name not in fresh:
+            continue
+        if fresh[name]["rows_sha256"] != entry["rows_sha256"]:
+            log(
+                f"error: suite/{name} drifted: stored {entry['rows_sha256'][:16]} "
+                f"!= fresh {fresh[name]['rows_sha256'][:16]}"
+            )
+            failures += 1
+    if failures:
+        return 1
+    log(f"ok: {len(stored)} suite series match {path}:{label}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pr", type=int, default=3, help="PR number (names the output file)")
+    parser.add_argument(
+        "--label",
+        default="current",
+        help="run label to store under (convention: 'baseline' before a change, "
+        "'current' after)",
+    )
+    parser.add_argument("--output", default=None, help="output path (default BENCH_<pr>.json)")
+    parser.add_argument("--suite-scale", default="small", choices=("small", "paper"))
+    parser.add_argument("--suite-only", action="store_true", help="skip the paper-scale macros")
+    parser.add_argument("--macros-only", action="store_true", help="skip the experiment suite")
+    parser.add_argument(
+        "--cache-dir", default=None, help="route suite sweeps through a ResultStore"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="JSON",
+        default=None,
+        help="verify the stored suite hashes of JSON reproduce, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    if args.check is not None:
+        return check(Path(args.check), args.suite_scale, log)
+
+    path = Path(args.output) if args.output else Path(f"BENCH_{args.pr}.json")
+    document = _load(path)
+    document["schema"] = SCHEMA_VERSION
+    document["pr"] = args.pr
+
+    run: dict = {"environment": _environment(), "suite_scale": args.suite_scale}
+    log(f"capturing {args.label!r} -> {path}")
+    if not args.macros_only:
+        run["suite"] = capture_suite(args.suite_scale, args.cache_dir, log)
+    if not args.suite_only:
+        run["macros"] = capture_macros(log)
+    document.setdefault("runs", {})[args.label] = run
+
+    speedups = compute_speedups(document)
+    if speedups:
+        document["speedups"] = speedups
+        for name, factor in sorted(speedups.items()):
+            log(f"  speedup {name:<30} {factor:6.2f}x")
+
+    with path.open("w", encoding="utf8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    log(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

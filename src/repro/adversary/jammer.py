@@ -76,7 +76,7 @@ class VetoJammer(Adversary):
             return None
         if not self.budget.spend():
             return None
-        return Frame(FrameKind.JAM, self.context.node_id)
+        return self._interned_frame(FrameKind.JAM)
 
     def observe(self, slot_cycle: int, slot: int, phase: int, observation: Observation) -> None:
         # A veto jammer does not adapt to what it hears.
@@ -100,4 +100,4 @@ class ContinuousJammer(Adversary):
     def act(self, slot_cycle: int, slot: int, phase: int) -> Optional[Frame]:
         if not self.budget.spend():
             return None
-        return Frame(FrameKind.JAM, self.context.node_id)
+        return self._interned_frame(FrameKind.JAM)

@@ -102,6 +102,10 @@ class EpidemicNode(Protocol):
         return Frame(FrameKind.PAYLOAD, self.context.node_id, tuple(self._message))
 
     def observe(self, slot_cycle: int, slot: int, phase: int, observation: Observation) -> None:
+        if self._message is not None:
+            # Already adopted: nothing below can change any state (_adopt is a
+            # no-op), so skip the per-observation payload validation.
+            return
         frame = observation.decoded
         if frame is None or frame.kind is not FrameKind.PAYLOAD:
             return

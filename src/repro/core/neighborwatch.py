@@ -205,7 +205,7 @@ class NeighborWatchNode(Protocol):
             kind = FrameKind.ACK if phase in (1, 3) else FrameKind.VETO
         if not transmit:
             return None
-        return Frame(kind, self.context.node_id)
+        return self._interned_frame(kind)
 
     def observe(self, slot_cycle: int, slot: int, phase: int, observation: Observation) -> None:
         busy = observation.busy

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import abc
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from .messages import Bits, Frame
@@ -59,24 +59,28 @@ class ChannelState(enum.IntEnum):
 
 @dataclass(frozen=True, slots=True)
 class Observation:
-    """Per-round channel observation delivered to a listening device."""
+    """Per-round channel observation delivered to a listening device.
+
+    ``busy`` and ``decoded`` are precomputed at construction rather than being
+    properties: protocols consult them once per listened round, and because
+    observation objects are interned (``SILENCE``, the shared collision, one
+    object per decoded frame) a property would re-derive the same answer
+    millions of times per run.
+
+    ``busy`` — true when the device "receives a message or detects a
+    collision"; the predicate the 2Bit-Protocol's acknowledgement and veto
+    rules are written in terms of.  ``decoded`` — the decoded frame, if any.
+    """
 
     state: ChannelState
     frame: Optional[Frame] = None
+    busy: bool = field(init=False, repr=False, compare=False, default=False)
+    decoded: Optional[Frame] = field(init=False, repr=False, compare=False, default=None)
 
-    @property
-    def busy(self) -> bool:
-        """True when the device "receives a message or detects a collision".
-
-        This is the predicate the 2Bit-Protocol's acknowledgement and veto
-        rules are written in terms of.
-        """
-        return self.state is not ChannelState.SILENT
-
-    @property
-    def decoded(self) -> Optional[Frame]:
-        """The decoded frame, if any."""
-        return self.frame if self.state is ChannelState.MESSAGE else None
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "busy", self.state is not ChannelState.SILENT)
+        if self.state is ChannelState.MESSAGE:
+            object.__setattr__(self, "decoded", self.frame)
 
 
 #: Shared immutable "nothing happened" observation (avoids per-round allocation).
@@ -123,6 +127,9 @@ class Protocol(abc.ABC):
     #: Set by the simulator; convenient for tracing.
     context: NodeContext
 
+    #: Lazily-built per-instance cache for :meth:`_interned_frame`.
+    _frame_cache: Optional[dict] = None
+
     #: Whether the device may transmit during slots it declared no interest in.
     #: Honest protocols never do; jamming adversaries set this to ``True`` so
     #: the engine asks them (via :meth:`wants_slot`) about every slot.
@@ -145,6 +152,25 @@ class Protocol(abc.ABC):
         the default returns ``False``.
         """
         return False
+
+    def _interned_frame(self, kind) -> Frame:
+        """The device's payload-less frame of ``kind``, allocated once.
+
+        Hot-path helper: protocols that broadcast bare ``Frame(kind, id)``
+        frames (data bits, acks, vetoes, jam noise) put the same few values on
+        the air millions of times per run; interning replaces the per-round
+        dataclass construction with a dict lookup.  Frames compare by value,
+        so sharing instances is observationally identical.
+        """
+        cache = self._frame_cache
+        if cache is None:
+            cache = {}
+            self._frame_cache = cache
+        frame = cache.get(kind)
+        if frame is None:
+            frame = Frame(kind, self.context.node_id)
+            cache[kind] = frame
+        return frame
 
     # -- per-round behaviour ---------------------------------------------------
     @abc.abstractmethod

@@ -91,6 +91,25 @@ class Schedule(abc.ABC):
         """Number of complete slots that finished strictly before ``round_index``."""
         return round_index // self.phases_per_slot
 
+    def iter_slot_starts(self, start_round: int = 0):
+        """Yield ``(cycle, slot)`` for consecutive slots, forever.
+
+        This is the engine's replacement for calling :meth:`locate_round` once
+        per slot: advancing the generator is a pair of integer operations
+        instead of two divmods.  ``start_round`` must be slot-aligned (the
+        engine always advances in whole slots).
+        """
+        cycle, slot, phase = self.locate_round(start_round)
+        if phase != 0:
+            raise ValueError("start_round must be aligned to a slot boundary")
+        num_slots = self.num_slots
+        while True:
+            yield cycle, slot
+            slot += 1
+            if slot == num_slots:
+                slot = 0
+                cycle += 1
+
     # -- ownership ---------------------------------------------------------------
     @abc.abstractmethod
     def slot_of_node(self, node_id: int) -> int:
@@ -252,15 +271,18 @@ class NodeSchedule(Schedule):
             dist = pairwise_distances(self.positions, norm=norm)
             conflict = dist <= self.separation
             np.fill_diagonal(conflict, False)
+            source = self.source_index
             for node in range(n):
-                if node == self.source_index:
+                if node == source:
                     slots[node] = SOURCE_SLOT
                     continue
-                used = set()
+                # Colour greedily against already-coloured conflict neighbors
+                # (ids below ours, plus the pre-assigned source).  The mask
+                # arithmetic replaces a per-neighbor Python loop but assigns
+                # exactly the same slots.
                 neighbors = np.nonzero(conflict[node])[0]
-                for nb in neighbors:
-                    if nb < node or nb == self.source_index:
-                        used.add(int(slots[nb]))
+                decided = neighbors[(neighbors < node) | (neighbors == source)]
+                used = set(slots[decided].tolist())
                 used.add(SOURCE_SLOT)
                 slot = 1
                 while slot in used:
@@ -276,6 +298,7 @@ class NodeSchedule(Schedule):
         for node in range(n):
             grouped.setdefault(int(slots[node]), []).append(node)
         self._owners = {slot: tuple(ids) for slot, ids in grouped.items()}
+        self._neighbor_slot_tables: dict[float, list[list[int]]] = {}
 
     # -- Schedule interface ---------------------------------------------------------
     def slot_of_node(self, node_id: int) -> int:
@@ -285,18 +308,28 @@ class NodeSchedule(Schedule):
         return self._owners.get(slot, tuple())
 
     def neighbor_slots_of_node(self, node_id: int, listen_radius: float | None = None) -> list[int]:
-        """Slots of devices within communication range of ``node_id`` (plus the source slot)."""
+        """Slots of devices within communication range of ``node_id`` (plus the source slot).
+
+        Every device queries this during protocol setup, so the answers for a
+        given radius are computed for all nodes in one vectorised pass over
+        the pairwise distance matrix and cached; subsequent calls are a list
+        copy.  The cached answers are identical to the per-node computation
+        (the distance arithmetic is the same elementwise expression).
+        """
         r = self.radius if listen_radius is None else listen_radius
-        pos = self.positions
-        if self.norm == "linf":
-            d = np.max(np.abs(pos - pos[node_id][None, :]), axis=1)
-        else:
-            d = np.sqrt(np.sum((pos - pos[node_id][None, :]) ** 2, axis=1))
-        nearby = np.nonzero(d <= r)[0]
-        slots = {SOURCE_SLOT}
-        for nb in nearby:
-            slots.add(int(self._slots[nb]))
-        return sorted(slots)
+        table = self._neighbor_slot_tables.get(r)
+        if table is None:
+            dist = pairwise_distances(self.positions, norm=self.norm)
+            within = dist <= r
+            slots = self._slots
+            table = []
+            for node in range(self.positions.shape[0]):
+                nearby = np.nonzero(within[node])[0]
+                node_slots = set(slots[nearby].tolist())
+                node_slots.add(SOURCE_SLOT)
+                table.append(sorted(node_slots))
+            self._neighbor_slot_tables[r] = table
+        return list(table[node_id])
 
     def owner_in_neighborhood(self, slot: int, node_id: int, listen_radius: float | None = None) -> int | None:
         """The unique owner of ``slot`` within range of ``node_id``, if any.

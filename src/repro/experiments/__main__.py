@@ -8,6 +8,12 @@ Usage::
     python -m repro.experiments FIG7 --scale small --cache-dir ~/.cache/repro
     python -m repro.experiments FIG7 --scale small --cache-dir ~/.cache/repro --resume
     python -m repro.experiments JAM --scale small --export csv > jam.csv
+    python -m repro.experiments FIG7 --scale small --profile
+
+``--profile`` wraps the sweep in :mod:`cProfile` and dumps the top 25
+cumulative entries to stderr, so perf work can locate hot paths without
+ad-hoc scripts (serial runs only see meaningful data; worker processes are
+outside the profiler).
 
 Runs one registered experiment (see ``--list`` for the identifiers), fanning
 its seeded repetitions out over ``--workers`` processes via
@@ -97,6 +103,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the result rows to stdout as JSON or CSV instead of a table "
         "(status lines go to stderr)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the sweep under cProfile and dump the top-25 cumulative "
+        "entries to stderr (results are unchanged; use with --workers 0, "
+        "subprocess work is invisible to the profiler)",
+    )
     return parser
 
 
@@ -143,16 +156,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        if executor.parallel:
+            print(
+                "warning: --profile only sees the coordinating process; "
+                "use --workers 0 to profile the simulations themselves",
+                file=sys.stderr,
+            )
+        profiler = cProfile.Profile()
     with executor:
         try:
             started = time.perf_counter()
+            if profiler is not None:
+                profiler.enable()
             rows, description = run_experiment(
                 args.experiment, scale=args.scale, executor=executor, store=store
             )
+            if profiler is not None:
+                profiler.disable()
             elapsed = time.perf_counter() - started
         except KeyError as exc:
             print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
             return 2
+    if profiler is not None:
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
 
     # With --export the rows own stdout; human-facing status moves to stderr.
     status = sys.stderr if args.export else sys.stdout

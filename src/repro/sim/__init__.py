@@ -5,7 +5,8 @@ from .config import ChannelName, FaultPlan, ProtocolName, ScenarioConfig, defaul
 from .engine import Simulation, clear_link_cache, link_cache_info
 from .events import Event, EventKind, EventLog
 from .node import SimNode
-from .radio import Channel, FriisChannel, Transmission, UnitDiskChannel
+from .plan import SlotPlan
+from .radio import Channel, FriisChannel, Transmission, UnitDiskChannel, message_observation
 from .results import NodeOutcome, RunResult
 from .rng import RngFactory
 from .runner import SweepExecutor, SweepTask, resolve_workers, run_repetition
@@ -31,10 +32,12 @@ __all__ = [
     "EventKind",
     "EventLog",
     "SimNode",
+    "SlotPlan",
     "Channel",
     "FriisChannel",
     "Transmission",
     "UnitDiskChannel",
+    "message_observation",
     "NodeOutcome",
     "RunResult",
     "RngFactory",

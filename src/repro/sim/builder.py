@@ -121,8 +121,12 @@ def build_simulation(
     liars = set(faults.liars)
 
     nodes: list[SimNode] = []
+    # One bulk conversion to Python floats instead of per-node NumPy scalar
+    # extraction (identical values; tolist round-trips float64 exactly).
+    position_rows = deployment.positions.tolist()
     for node_id in range(deployment.num_nodes):
-        position = (float(deployment.positions[node_id, 0]), float(deployment.positions[node_id, 1]))
+        row = position_rows[node_id]
+        position = (row[0], row[1])
         protocol: Optional[Protocol]
         honest = True
         if node_id in crashed:

@@ -18,19 +18,25 @@ sound because a device that neither transmits nor interprets a slot cannot
 have its protocol state affected by it, and it follows the guide-recommended
 pattern of spending Python time only where the algorithm needs it.
 
-Cached slot fast path
----------------------
-Two further quantities are invariant across the (many) cycles of a run and
-are computed once at construction instead of per slot:
+Compiled slot plans
+-------------------
+Everything static about a run is compiled once at construction into a
+:class:`~repro.sim.plan.SlotPlan`: per-slot participant records with bound
+protocol methods, frozen participant id arrays, flex-candidate lists for
+opportunistic transmitters, interned transmissions, an LRU of link-state
+submatrices keyed by ``(slot occurrence, sender set)``, and — for channels
+whose resolution consumes no RNG — a memo of whole resolved rounds keyed by
+``(slot occurrence, senders, frames)``.  Together with the channel's pairwise
+link state (cached per ``(channel, positions)`` pair in a small module-level
+LRU so repeated simulations over the same deployment reuse it), the steady
+state of a run resolves each round with a handful of dict lookups instead of
+distance computations and per-listener Python loops.  ``Schedule.iter_slot_starts``
+replaces the per-slot divmod arithmetic of ``locate_round``.
 
-* the per-slot participant tuples (deduplicated, in declaration order), so no
-  per-slot list rebuilding happens unless a flexible transmitter joins in;
-* the channel's pairwise link state (audibility sets for the unit-disk model,
-  a received-power matrix for Friis), cached per ``(channel, positions)`` pair
-  in a small module-level LRU so that repeated simulations over the same
-  deployment — e.g. a sweep comparing protocols seed-for-seed — reuse it.  Per
-  round the engine resolves observations from the precomputed state instead of
-  recomputing a distance matrix.
+The RNG contract is strict: stochastic channel configurations bypass the
+round memo entirely and consume the generator exactly as the scalar reference
+kernels would, so every result — including the content-addressed store
+fingerprints of :mod:`repro.store` — is bit-identical to the pre-plan engine.
 
 Deliveries are stamped with the exact round at the end of the slot in which
 they happened (not at the next periodic check), so ``delivery_round`` and the
@@ -44,10 +50,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.protocol import Observation, Protocol, SILENCE
+from ..core.protocol import Observation, SILENCE
 from ..core.schedule import Schedule
 from .events import EventKind, EventLog
 from .node import SimNode
+from .plan import REC_ID, REC_NODE, REC_ACT, REC_OBSERVE, REC_END_SLOT, REC_HONEST, REC_POSITION, SlotPlan
 from .radio import Channel, Transmission
 from .results import NodeOutcome, RunResult
 
@@ -158,38 +165,21 @@ class Simulation:
         self.round_index = 0
 
         self._positions = np.asarray([n.position for n in self.nodes], dtype=float)
-        self._interest_map: dict[int, tuple[int, ...]] = {}
-        self._interest_sets: dict[int, frozenset[int]] = {}
-        self._flex_transmitters: list[int] = []
-        self._build_interest_map()
+        self.plan = SlotPlan(self.nodes, schedule)
+        # Kept as aliases of the plan's compiled structures (they used to be
+        # built here directly and are handy for debugging/tests).
+        self._interest_map = self.plan.interest_map
+        self._interest_sets = self.plan.interest_sets
+        self._flex_transmitters = list(self.plan.flex_transmitters)
         self._link_state = _cached_link_state(channel, self._positions)
+        # Whole-round memoization is only sound when resolving a round cannot
+        # consume RNG (otherwise replaying a cached round would desynchronise
+        # the generator relative to the scalar reference execution).
+        self._memo_rounds = self._link_state is not None and not channel.consumes_rng()
 
-    # -- construction helpers -----------------------------------------------------------
-    def _build_interest_map(self) -> None:
-        interest_lists: dict[int, list[int]] = {}
-        for node in self.nodes:
-            proto = node.protocol
-            if proto is None:
-                continue
-            declared: set[int] = set()
-            for slot in proto.interests():
-                if not (0 <= slot < self.schedule.num_slots):
-                    raise ValueError(
-                        f"node {node.node_id} declared interest in slot {slot}, "
-                        f"but the schedule only has {self.schedule.num_slots} slots"
-                    )
-                # Deduplicate (order-preserving): a protocol that declares the
-                # same slot twice must still act and observe once per phase.
-                slot = int(slot)
-                if slot in declared:
-                    continue
-                declared.add(slot)
-                interest_lists.setdefault(slot, []).append(node.node_id)
-            if getattr(proto, "may_transmit_anywhere", False):
-                self._flex_transmitters.append(node.node_id)
-        # Freeze the per-slot participant arrays: they are reused every cycle.
-        self._interest_map = {slot: tuple(ids) for slot, ids in interest_lists.items()}
-        self._interest_sets = {slot: frozenset(ids) for slot, ids in interest_lists.items()}
+    def plan_cache_info(self) -> dict:
+        """Snapshot of the compiled plan's per-simulation caches."""
+        return self.plan.cache_info()
 
     # -- execution ------------------------------------------------------------------------
     def run(
@@ -219,8 +209,9 @@ class Simulation:
         self._record_deliveries()
         terminated = self._all_honest_delivered()
 
+        slot_starts = self.schedule.iter_slot_starts(self.round_index)
         while not terminated and self.round_index + phases <= max_rounds:
-            cycle, slot, _ = self.schedule.locate_round(self.round_index)
+            cycle, slot = next(slot_starts)
             self._run_slot(cycle, slot)
             self.round_index += phases
             slots_since_check += 1
@@ -235,83 +226,113 @@ class Simulation:
     def run_slots(self, num_slots: int) -> None:
         """Advance the simulation by exactly ``num_slots`` slots (testing helper)."""
         phases = self.schedule.phases_per_slot
+        slot_starts = self.schedule.iter_slot_starts(self.round_index)
         for _ in range(num_slots):
-            cycle, slot, _ = self.schedule.locate_round(self.round_index)
+            cycle, slot = next(slot_starts)
             self._run_slot(cycle, slot)
             self.round_index += phases
         self._record_deliveries()
 
     # -- internals -------------------------------------------------------------------------
     def _run_slot(self, cycle: int, slot: int) -> None:
-        participants: Sequence[int] = self._interest_map.get(slot, ())
-        if self._flex_transmitters:
-            base = self._interest_sets.get(slot, frozenset())
-            extras = []
-            for nid in self._flex_transmitters:
-                if nid in base:
-                    continue
-                proto = self.nodes[nid].protocol
-                if proto is not None and proto.wants_slot(cycle, slot):
-                    extras.append(nid)
+        plan = self.plan
+        records: tuple = plan.slot_records.get(slot, ())
+        occurrence_key: object = slot
+        flex = plan.flex_candidates.get(slot)
+        if flex is not None:
+            # wants_slot may consume the adversary's private RNG, so the query
+            # order (declaration order, skipping interest-set members — they
+            # are never in the candidate list) must match the historical scan.
+            extras = [record for wants_slot, record in flex if wants_slot(cycle, slot)]
             if extras:
-                participants = tuple(participants) + tuple(extras)
-        if not participants:
+                records = records + tuple(extras)
+                occurrence_key = (slot, tuple(r[REC_ID] for r in extras))
+        if not records:
             return
 
         phases = self.schedule.phases_per_slot
-        nodes = self.nodes
-        link_state = self._link_state
+        trace = self.trace
         for phase in range(phases):
             transmissions: list[Transmission] = []
             listeners: list[int] = []
-            for nid in participants:
-                node = nodes[nid]
-                proto = node.protocol
-                if proto is None:
-                    continue
-                frame = proto.act(cycle, slot, phase)
-                if frame is not None:
-                    transmissions.append(Transmission(nid, node.position, frame))
-                    node.broadcasts += 1
-                    if self.trace is not None:
-                        self.trace.record(
+            observers: list = []
+            for record in records:
+                frame = record[REC_ACT](cycle, slot, phase)
+                if frame is None:
+                    listeners.append(record[REC_ID])
+                    observers.append(record[REC_OBSERVE])
+                else:
+                    transmissions.append(
+                        plan.transmission(record[REC_ID], record[REC_POSITION], frame)
+                    )
+                    record[REC_NODE].broadcasts += 1
+                    if trace is not None:
+                        trace.record(
                             EventKind.BROADCAST,
                             self.round_index + phase,
-                            nid,
+                            record[REC_ID],
                             slot,
                             phase,
                             frame.kind.name,
                         )
-                else:
-                    listeners.append(nid)
-            if not listeners:
+            if not observers:
                 continue
             if not transmissions:
-                observations = [SILENCE] * len(listeners)
-            elif link_state is not None:
-                observations = self.channel.observe_links(
-                    listeners, link_state, transmissions, self.rng
-                )
-            else:
-                listener_positions = self._positions[listeners]
-                observations = self.channel.observe(listeners, listener_positions, transmissions, self.rng)
-            for nid, obs in zip(listeners, observations):
-                proto = nodes[nid].protocol
-                if proto is not None:
-                    proto.observe(cycle, slot, phase, obs)
+                for observe in observers:
+                    observe(cycle, slot, phase, SILENCE)
+                continue
+            observations = self._resolve_round(occurrence_key, listeners, transmissions)
+            for observe, obs in zip(observers, observations):
+                observe(cycle, slot, phase, obs)
 
         end_round = self.round_index + phases
-        for nid in participants:
-            node = nodes[nid]
-            proto = node.protocol
-            if proto is not None:
-                proto.end_slot(cycle, slot)
-                # Stamp deliveries with the exact round at which they happened
-                # (a device's state only changes in slots it participates in).
-                if node.honest and node.delivery_round is None and node.delivered:
-                    node.mark_delivered(end_round)
-                    if self.trace is not None:
-                        self.trace.record(EventKind.DELIVERY, end_round, nid)
+        for record in records:
+            record[REC_END_SLOT](cycle, slot)
+            # Stamp deliveries with the exact round at which they happened
+            # (a device's state only changes in slots it participates in).
+            node = record[REC_NODE]
+            if record[REC_HONEST] and node.delivery_round is None and node.delivered:
+                node.mark_delivered(end_round)
+                if trace is not None:
+                    trace.record(EventKind.DELIVERY, end_round, record[REC_ID])
+
+    def _resolve_round(
+        self,
+        occurrence_key: object,
+        listeners: list[int],
+        transmissions: list[Transmission],
+    ) -> list[Observation]:
+        """Observations for one round, through the plan's caches.
+
+        The round memo is consulted only for RNG-free channel configurations;
+        its key pins everything observations depend on — the slot occurrence
+        (which fixes the listener list), the sender set and the frames on the
+        air.  Stochastic configurations always resolve, consuming the RNG in
+        exactly the scalar reference order.
+        """
+        link_state = self._link_state
+        if link_state is None:
+            listener_positions = self._positions[listeners]
+            return self.channel.observe(listeners, listener_positions, transmissions, self.rng)
+        plan = self.plan
+        senders = tuple(t.sender for t in transmissions)
+        if self._memo_rounds:
+            memo_key = (occurrence_key, senders, tuple(t.frame for t in transmissions))
+            memo = plan.round_memo
+            observations = memo.get(memo_key)
+            if observations is not None:
+                plan.round_memo_hits += 1
+                memo.move_to_end(memo_key)
+                return observations
+            plan.round_memo_misses += 1
+            submatrix = plan.submatrix((occurrence_key, senders), link_state, listeners, senders)
+            observations = self.channel.resolve_links(submatrix, transmissions, self.rng)
+            memo[memo_key] = observations
+            while len(memo) > plan.round_memo_max_entries:
+                memo.popitem(last=False)
+            return observations
+        submatrix = plan.submatrix((occurrence_key, senders), link_state, listeners, senders)
+        return self.channel.resolve_links(submatrix, transmissions, self.rng)
 
     def _all_honest_delivered(self) -> bool:
         for node in self.nodes:

@@ -41,9 +41,34 @@ import numpy as np
 from ..core.messages import Frame
 from ..core.protocol import ChannelState, Observation, SILENCE
 
-__all__ = ["Transmission", "Channel", "UnitDiskChannel", "FriisChannel"]
+__all__ = [
+    "Transmission",
+    "Channel",
+    "UnitDiskChannel",
+    "FriisChannel",
+    "message_observation",
+]
 
 _COLLISION = Observation(ChannelState.COLLISION)
+
+#: Interned ``Observation(MESSAGE, frame)`` objects keyed by frame.  Protocols
+#: put a small alphabet of frames on the air over and over (the same veto/ack
+#: frame every cycle), so decoding allocates the same observation millions of
+#: times per run without this table.  Bounded by wholesale clearing: entries
+#: are pure values, so dropping them is always safe.
+_MESSAGE_OBSERVATIONS: dict = {}
+_MESSAGE_OBSERVATIONS_MAX = 4096
+
+
+def message_observation(frame: Frame) -> Observation:
+    """The interned ``Observation(MESSAGE, frame)`` for a decoded frame."""
+    obs = _MESSAGE_OBSERVATIONS.get(frame)
+    if obs is None:
+        if len(_MESSAGE_OBSERVATIONS) >= _MESSAGE_OBSERVATIONS_MAX:
+            _MESSAGE_OBSERVATIONS.clear()
+        obs = Observation(ChannelState.MESSAGE, frame)
+        _MESSAGE_OBSERVATIONS[frame] = obs
+    return obs
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +82,12 @@ class Transmission:
 
 class Channel(abc.ABC):
     """Interface of a per-round channel model."""
+
+    #: Whether the per-round resolvers may take their vectorized fast paths.
+    #: The scalar fallbacks produce identical observations and consume the RNG
+    #: identically (the equivalence test suite asserts both); flipping this to
+    #: ``False`` on an instance forces the scalar reference implementation.
+    use_vectorized_kernels: bool = True
 
     @abc.abstractmethod
     def observe(
@@ -106,6 +137,32 @@ class Channel(abc.ABC):
         exactly the same order — as :meth:`observe` on the same round.
         """
         raise NotImplementedError
+
+    def resolve_links(
+        self,
+        submatrix: np.ndarray,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        """Resolve one round from an already-extracted link-state submatrix.
+
+        ``submatrix`` is the ``(listeners, senders)`` slice of
+        :meth:`link_state` for this round's listeners and transmitters, in
+        their respective orders.  The engine's slot plans cache these slices
+        per ``(slot, sender-set)`` so the per-round fancy indexing of
+        :meth:`observe_links` disappears from the hot path.
+        """
+        raise NotImplementedError
+
+    def consumes_rng(self) -> bool:
+        """Whether resolving a round may draw from the generator.
+
+        ``False`` means a round's observations are a pure function of the
+        listeners, the link state and the transmissions — which is what lets
+        the engine memoize whole resolved rounds without perturbing the RNG
+        stream of stochastic configurations.
+        """
+        return True
 
     def hears(self, listener_position: Sequence[float], transmitter_position: Sequence[float]) -> bool:
         """Whether a single transmission at ``transmitter_position`` is audible.
@@ -195,6 +252,9 @@ class UnitDiskChannel(Channel):
             )
         return audible
 
+    def consumes_rng(self) -> bool:
+        return self.capture_probability > 0.0 or self.loss_probability > 0.0
+
     def _resolve_audible(
         self,
         audible: np.ndarray,
@@ -203,31 +263,53 @@ class UnitDiskChannel(Channel):
     ) -> list[Observation]:
         """Observations from a (listener, transmission) audibility mask.
 
-        Shared by :meth:`observe` and :meth:`observe_links` so both consume
-        the RNG identically.
+        Shared by :meth:`observe`, :meth:`observe_links` and
+        :meth:`resolve_links` so all consume the RNG identically.  Dispatches
+        to a vectorized kernel whenever the configuration's RNG draw sequence
+        is listener-ordered (and therefore batchable): the deterministic
+        default consumes no RNG at all, and the loss-only configuration draws
+        exactly once per single-transmission listener, in listener order.
+        Capture configurations interleave data-dependent draws and fall back
+        to the scalar reference loop.
         """
-        num_listeners = audible.shape[0]
-        counts = audible.sum(axis=1)
-
-        if self.capture_probability == 0.0 and self.loss_probability == 0.0:
-            # Deterministic vectorized fast path (the default configuration):
-            # no RNG is consumed, so the round resolves without per-listener
-            # probability branches.
+        if not self.use_vectorized_kernels:
+            return self._resolve_audible_scalar(audible, transmissions, rng)
+        if self.capture_probability == 0.0:
+            counts = audible.sum(axis=1)
+            num_listeners = audible.shape[0]
             out = np.empty(num_listeners, dtype=object)
             out[:] = _COLLISION
             out[counts == 0] = SILENCE
             singles = np.flatnonzero(counts == 1)
             if singles.size:
+                if self.loss_probability > 0.0:
+                    # One draw per single-transmission listener, in listener
+                    # order — the batch consumes the generator exactly like
+                    # the scalar loop's sequential rng.random() calls.
+                    draws = rng.random(singles.size)
+                    singles = singles[draws >= self.loss_probability]
+            if singles.size:
                 tx_index = np.argmax(audible[singles], axis=1)
-                decoded: dict[int, Observation] = {}
-                for row, tx in zip(singles, tx_index):
-                    obs = decoded.get(int(tx))
-                    if obs is None:
-                        obs = Observation(ChannelState.MESSAGE, transmissions[int(tx)].frame)
-                        decoded[int(tx)] = obs
-                    out[row] = obs
+                for tx in np.unique(tx_index):
+                    obs = message_observation(transmissions[int(tx)].frame)
+                    out[singles[tx_index == tx]] = obs
             return list(out)
+        return self._resolve_audible_scalar(audible, transmissions, rng)
 
+    def _resolve_audible_scalar(
+        self,
+        audible: np.ndarray,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        """Reference per-listener loop (all configurations).
+
+        Kept both as the fallback for capture configurations (whose RNG draws
+        are data-dependent and cannot be batched) and as the oracle the
+        kernel-equivalence tests compare the vectorized paths against.
+        """
+        num_listeners = audible.shape[0]
+        counts = audible.sum(axis=1)
         observations: list[Observation] = []
         for li in range(num_listeners):
             count = int(counts[li])
@@ -239,7 +321,7 @@ class UnitDiskChannel(Channel):
                 if self.loss_probability > 0.0 and rng.random() < self.loss_probability:
                     observations.append(_COLLISION)
                 else:
-                    observations.append(Observation(ChannelState.MESSAGE, transmissions[tx_index].frame))
+                    observations.append(message_observation(transmissions[tx_index].frame))
                 continue
             # Two or more audible transmissions: collision, possibly captured.
             if self.capture_probability > 0.0 and rng.random() < self.capture_probability:
@@ -248,7 +330,7 @@ class UnitDiskChannel(Channel):
                 if self.loss_probability > 0.0 and rng.random() < self.loss_probability:
                     observations.append(_COLLISION)
                 else:
-                    observations.append(Observation(ChannelState.MESSAGE, transmissions[tx_index].frame))
+                    observations.append(message_observation(transmissions[tx_index].frame))
             else:
                 observations.append(_COLLISION)
         return observations
@@ -287,6 +369,14 @@ class UnitDiskChannel(Channel):
         senders = [t.sender for t in transmissions]
         audible = all_audible[np.ix_(listener_ids, senders)]
         return self._resolve_audible(audible, transmissions, rng)
+
+    def resolve_links(
+        self,
+        submatrix: np.ndarray,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        return self._resolve_audible(submatrix, transmissions, rng)
 
 
 class FriisChannel(Channel):
@@ -413,12 +503,72 @@ class FriisChannel(Channel):
         powers = all_powers[np.ix_(listener_ids, senders)]
         return self._resolve_powers(powers, transmissions, rng)
 
+    def resolve_links(
+        self,
+        submatrix: np.ndarray,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        return self._resolve_powers(submatrix, transmissions, rng)
+
+    def consumes_rng(self) -> bool:
+        return self.loss_probability > 0.0
+
     def _resolve_powers(
         self,
         powers: np.ndarray,
         transmissions: Sequence[Transmission],
         rng: np.random.Generator,
     ) -> list[Observation]:
+        """Observations from a (listener, transmission) received-power matrix.
+
+        The vectorized kernel is branch-free over listeners: a sense mask, a
+        row argmax, and an SINR test, with the loss draws (when configured)
+        batched in listener order — the scalar loop draws exactly once per
+        decodable listener, in listener order, so one batched ``rng.random``
+        call consumes the generator identically.  The deterministic default
+        (``loss_probability == 0``) draws nothing in either implementation.
+        Every arithmetic step mirrors the scalar loop's expressions operation
+        for operation, so the results are bit-identical, not just close.
+        """
+        if not self.use_vectorized_kernels:
+            return self._resolve_powers_scalar(powers, transmissions, rng)
+        num_listeners = powers.shape[0]
+        total = powers.sum(axis=1)
+        sensed = total >= self.sense_threshold
+        strongest = powers.argmax(axis=1)
+        signal = powers[np.arange(num_listeners), strongest]
+        interference = total - signal + self.noise_floor
+        decodable = (
+            sensed
+            & (signal >= self.reception_threshold)
+            & (signal >= self.capture_threshold * interference)
+        )
+        out = np.empty(num_listeners, dtype=object)
+        out[:] = _COLLISION
+        out[~sensed] = SILENCE
+        decode_rows = np.flatnonzero(decodable)
+        if decode_rows.size and self.loss_probability > 0.0:
+            draws = rng.random(decode_rows.size)
+            decode_rows = decode_rows[draws >= self.loss_probability]
+        if decode_rows.size:
+            tx_for_row = strongest[decode_rows]
+            for tx in np.unique(tx_for_row):
+                obs = message_observation(transmissions[int(tx)].frame)
+                out[decode_rows[tx_for_row == tx]] = obs
+        return list(out)
+
+    def _resolve_powers_scalar(
+        self,
+        powers: np.ndarray,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        """Reference per-listener loop (the pre-vectorization implementation).
+
+        Kept as the oracle for the kernel-equivalence tests; not used on the
+        hot path unless :attr:`use_vectorized_kernels` is flipped off.
+        """
         num_listeners = powers.shape[0]
         total = powers.sum(axis=1)
 
@@ -434,7 +584,7 @@ class FriisChannel(Channel):
             interference = total_power - signal + self.noise_floor
             decodable = signal >= self.reception_threshold and signal >= self.capture_threshold * interference
             if decodable and (self.loss_probability == 0.0 or rng.random() >= self.loss_probability):
-                observations.append(Observation(ChannelState.MESSAGE, transmissions[strongest].frame))
+                observations.append(message_observation(transmissions[strongest].frame))
             else:
                 observations.append(_COLLISION)
         return observations

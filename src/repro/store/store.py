@@ -64,6 +64,12 @@ class StoreStats:
     def snapshot(self) -> dict:
         return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
 
+    def reset(self) -> None:
+        """Zero the counters (e.g. between phases of a benchmark capture)."""
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
 
 @dataclass(slots=True)
 class _Entry:

@@ -390,3 +390,128 @@ class TestLinkCacheIntrospection:
             make_sim([(0, 0), (1 + 0.01 * k, 0)], [Beacon(0), Listener(0)])
         info = link_cache_info()
         assert info["entries"] <= info["max_entries"]
+
+
+class FlexBeacon(Beacon):
+    """A beacon that may also transmit outside its declared interests."""
+
+    may_transmit_anywhere = True
+
+    def __init__(self, slot: int, payload=(1,)):
+        super().__init__(slot, payload)
+        self.wants_slot_queries = []
+
+    def wants_slot(self, slot_cycle, slot) -> bool:
+        self.wants_slot_queries.append((slot_cycle, slot))
+        return False
+
+
+class TestSlotPlan:
+    """The compiled slot-plan layer: records, flex candidates and caches."""
+
+    def test_slot_records_cover_interest_map(self):
+        positions = [(0, 0), (1, 0), (2, 0)]
+        sim, _ = make_sim(positions, [Beacon(0), Listener(0), Listener(0)])
+        plan = sim.plan
+        assert set(plan.slot_records) == set(plan.interest_map)
+        for slot, ids in plan.interest_map.items():
+            assert tuple(rec[0] for rec in plan.slot_records[slot]) == ids
+
+    def test_participant_arrays_frozen(self):
+        positions = [(0, 0), (1, 0)]
+        sim, _ = make_sim(positions, [Beacon(0), Listener(0)])
+        for array in sim.plan.participant_arrays.values():
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[0] = 99
+
+    def test_flex_candidates_exclude_interest_set_members(self):
+        positions = [(0, 0), (1, 0), (0.5, 0.5)]
+        flex = FlexBeacon(0)
+        sim, sched = make_sim(positions, [Beacon(0), Listener(0), flex])
+        # The flex node declared interest in slot 0, so it is not a candidate
+        # there — but it is everywhere else.
+        assert 0 not in sim.plan.flex_candidates or all(
+            rec[0] != 2 for _, rec in sim.plan.flex_candidates[0]
+        )
+        for slot in range(1, sched.num_slots):
+            assert any(rec[0] == 2 for _, rec in sim.plan.flex_candidates.get(slot, ()))
+
+    def test_wants_slot_not_queried_for_interested_slots(self):
+        positions = [(0, 0), (1, 0), (0.5, 0.5)]
+        flex = FlexBeacon(0)
+        sim, sched = make_sim(positions, [Beacon(0), Listener(0), flex])
+        sim.run_slots(sched.num_slots)  # one full cycle
+        queried_slots = {slot for _, slot in flex.wants_slot_queries}
+        assert 0 not in queried_slots
+        assert queried_slots == set(range(1, sched.num_slots))
+
+    def test_round_memo_used_for_deterministic_channel(self):
+        positions = [(0, 0), (1, 0)]
+
+        class ChattyBeacon(Beacon):
+            def act(self, slot_cycle, slot, phase):
+                if slot == self._slot:
+                    return Frame(FrameKind.PAYLOAD, self.context.node_id, self._payload)
+                return None
+
+        sim, sched = make_sim(positions, [ChattyBeacon(0), Listener(0)])
+        sim.run_slots(4 * sched.num_slots)
+        info = sim.plan_cache_info()
+        assert info["round_memo"]["misses"] >= 1
+        assert info["round_memo"]["hits"] >= 1
+        assert info["submatrix"]["entries"] >= 1
+
+    def test_round_memo_disabled_for_stochastic_channel(self):
+        positions = np.asarray([(0.0, 0.0), (1.0, 0.0)])
+        schedule = NodeSchedule(positions, radius=2.0, source_index=0, phases_per_slot=1,
+                                separation=4.0)
+
+        class ChattyBeacon(Beacon):
+            def act(self, slot_cycle, slot, phase):
+                if slot == self._slot:
+                    return Frame(FrameKind.PAYLOAD, self.context.node_id, self._payload)
+                return None
+
+        protos = [ChattyBeacon(0), Listener(0)]
+        from repro.core.protocol import NodeContext
+
+        for i, proto in enumerate(protos):
+            proto.setup(NodeContext(node_id=i, position=(float(positions[i][0]), float(positions[i][1])),
+                                    radius=2.0, schedule=schedule, message_length=1,
+                                    is_source=(i == 0), source_message=(1,) if i == 0 else None))
+        nodes = [SimNode(i, (float(positions[i][0]), float(positions[i][1])), protos[i])
+                 for i in range(2)]
+        channel = UnitDiskChannel(2.0, loss_probability=0.5)
+        sim = Simulation(nodes, schedule, channel, (1,))
+        sim.run_slots(4 * schedule.num_slots)
+        info = sim.plan_cache_info()
+        assert info["round_memo"]["hits"] == 0 and info["round_memo"]["misses"] == 0
+        # The submatrix cache still works: it never interacts with the RNG.
+        assert info["submatrix"]["hits"] >= 1
+
+    def test_submatrix_cache_is_bounded(self):
+        from repro.sim.plan import SlotPlan
+
+        positions = [(0, 0), (1, 0)]
+        sim, _ = make_sim(positions, [Beacon(0), Listener(0)])
+        plan = SlotPlan(sim.nodes, sim.schedule, submatrix_max_entries=2)
+        state = np.ones((2, 2), dtype=bool)
+        for k in range(5):
+            plan.submatrix((k,), state, [0], [1])
+        info = plan.cache_info()
+        assert info["submatrix"]["entries"] <= 2
+        assert info["submatrix"]["misses"] == 5
+
+    def test_transmissions_interned_across_slots(self):
+        positions = [(0, 0), (1, 0)]
+
+        class ChattyBeacon(Beacon):
+            def act(self, slot_cycle, slot, phase):
+                if slot == self._slot:
+                    return Frame(FrameKind.PAYLOAD, self.context.node_id, self._payload)
+                return None
+
+        sim, sched = make_sim(positions, [ChattyBeacon(0), Listener(0)])
+        sim.run_slots(6 * sched.num_slots)
+        assert sim.plan_cache_info()["transmissions_interned"] == 1

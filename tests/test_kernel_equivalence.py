@@ -1,0 +1,200 @@
+"""Scalar-vs-vectorized channel-kernel equivalence, and byte-identity end to end.
+
+PR 3 vectorized the per-round channel resolvers (`UnitDiskChannel` /
+`FriisChannel`) and added whole-round memoization to the engine.  The contract
+is strict bit-identity: for every configuration the vectorized kernels must
+produce *identical observations* to the scalar reference loops **and leave the
+RNG at exactly the same stream position** (otherwise every later draw of a run
+diverges).  These tests pin that contract:
+
+* property tests drive randomized listener/transmitter sets through both
+  implementations side by side (same seed) and compare observation lists and
+  the next RNG draw;
+* an end-to-end test runs whole scenarios with the vectorized kernels forced
+  off and compares the full result records;
+* a warm-store regression runs one experiment cold then warm through a
+  ``ResultStore`` (the ``REPRO_BENCH_CACHE_DIR`` path of the benchmark
+  harness) and asserts the fast path reproduces the cached bytes with zero
+  misses.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.messages import Frame, FrameKind
+from repro.sim.radio import FriisChannel, Transmission, UnitDiskChannel, message_observation
+
+# Node layouts are drawn as integer grid offsets scaled down, which produces
+# plenty of exact-boundary and coincident-position cases (the interesting
+# inputs for mask/argmax equivalence) without floating-point surprises.
+positions_strategy = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)),
+    min_size=2,
+    max_size=12,
+)
+
+
+def _split_roles(positions, data):
+    """Choose a non-empty transmitter subset; the rest listen."""
+    num = len(positions)
+    num_tx = data.draw(st.integers(1, max(1, num // 2)), label="num_tx")
+    tx_ids = sorted(data.draw(st.permutations(range(num)), label="tx_ids")[:num_tx])
+    listener_ids = [i for i in range(num) if i not in tx_ids]
+    if not listener_ids:
+        listener_ids = [tx_ids.pop()]
+    transmissions = [
+        Transmission(i, (float(positions[i][0]) / 2.0, float(positions[i][1]) / 2.0),
+                     Frame(FrameKind.DATA_BIT, i, (i % 2,)))
+        for i in tx_ids
+    ]
+    return listener_ids, transmissions
+
+
+def _observe_both(channel_factory, positions, listener_ids, transmissions, seed):
+    """Run the vectorized and the scalar kernel on the same round and RNG seed."""
+    pos = np.asarray(positions, dtype=float) / 2.0
+    fast = channel_factory()
+    slow = channel_factory()
+    slow.use_vectorized_kernels = False
+    assert fast.use_vectorized_kernels  # class default
+    rng_fast = np.random.default_rng(seed)
+    rng_slow = np.random.default_rng(seed)
+    obs_fast = fast.observe(listener_ids, pos[listener_ids], transmissions, rng_fast)
+    obs_slow = slow.observe(listener_ids, pos[listener_ids], transmissions, rng_slow)
+    return obs_fast, obs_slow, rng_fast, rng_slow
+
+
+class TestUnitDiskKernelEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data(), positions=positions_strategy, seed=st.integers(0, 2**32 - 1),
+           loss=st.sampled_from([0.0, 0.25, 0.9]))
+    def test_loss_configurations_match_scalar(self, data, positions, seed, loss):
+        """Deterministic and loss-only configs take the vectorized path."""
+        listener_ids, transmissions = _split_roles(positions, data)
+        obs_fast, obs_slow, rng_fast, rng_slow = _observe_both(
+            lambda: UnitDiskChannel(2.0, loss_probability=loss),
+            positions, listener_ids, transmissions, seed,
+        )
+        assert obs_fast == obs_slow
+        # Identical stream position: the next draw must agree.
+        assert rng_fast.random() == rng_slow.random()
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data(), positions=positions_strategy, seed=st.integers(0, 2**32 - 1),
+           capture=st.sampled_from([0.3, 1.0]), loss=st.sampled_from([0.0, 0.25]))
+    def test_capture_configurations_match_scalar(self, data, positions, seed, capture, loss):
+        """Capture configs fall back to the scalar loop — still equivalent."""
+        listener_ids, transmissions = _split_roles(positions, data)
+        obs_fast, obs_slow, rng_fast, rng_slow = _observe_both(
+            lambda: UnitDiskChannel(2.0, capture_probability=capture, loss_probability=loss),
+            positions, listener_ids, transmissions, seed,
+        )
+        assert obs_fast == obs_slow
+        assert rng_fast.random() == rng_slow.random()
+
+    def test_consumes_rng_classification(self):
+        assert not UnitDiskChannel(1.0).consumes_rng()
+        assert UnitDiskChannel(1.0, loss_probability=0.1).consumes_rng()
+        assert UnitDiskChannel(1.0, capture_probability=0.1).consumes_rng()
+
+
+class TestFriisKernelEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data(), positions=positions_strategy, seed=st.integers(0, 2**32 - 1),
+           loss=st.sampled_from([0.0, 0.25, 0.9]))
+    def test_matches_scalar(self, data, positions, seed, loss):
+        listener_ids, transmissions = _split_roles(positions, data)
+        obs_fast, obs_slow, rng_fast, rng_slow = _observe_both(
+            lambda: FriisChannel(2.0, loss_probability=loss),
+            positions, listener_ids, transmissions, seed,
+        )
+        assert obs_fast == obs_slow
+        assert rng_fast.random() == rng_slow.random()
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(), positions=positions_strategy, seed=st.integers(0, 2**32 - 1))
+    def test_observe_links_matches_observe(self, data, positions, seed):
+        """The precomputed-link-state path stays equivalent too."""
+        listener_ids, transmissions = _split_roles(positions, data)
+        pos = np.asarray(positions, dtype=float) / 2.0
+        chan = FriisChannel(2.0, loss_probability=0.25)
+        state = chan.link_state(pos)
+        rng_a = np.random.default_rng(seed)
+        rng_b = np.random.default_rng(seed)
+        direct = chan.observe(listener_ids, pos[listener_ids], transmissions, rng_a)
+        via_links = chan.observe_links(listener_ids, state, transmissions, rng_b)
+        assert direct == via_links
+        assert rng_a.random() == rng_b.random()
+
+    def test_consumes_rng_classification(self):
+        assert not FriisChannel(1.0).consumes_rng()
+        assert FriisChannel(1.0, loss_probability=0.1).consumes_rng()
+
+
+class TestMessageObservationInterning:
+    def test_same_frame_same_object(self):
+        frame = Frame(FrameKind.DATA_BIT, 3, (1,))
+        assert message_observation(frame) is message_observation(Frame(FrameKind.DATA_BIT, 3, (1,)))
+
+    def test_distinct_frames_distinct_observations(self):
+        a = message_observation(Frame(FrameKind.DATA_BIT, 3, (1,)))
+        b = message_observation(Frame(FrameKind.VETO, 3))
+        assert a != b and a.decoded != b.decoded
+
+
+def _run_with_kernels(deployment, config, faults=None, *, vectorized: bool):
+    from repro.sim.builder import build_simulation
+    from repro.sim.engine import clear_link_cache
+
+    clear_link_cache()  # the link cache is keyed by channel params, but keep runs isolated
+    sim = build_simulation(deployment, config, faults)
+    sim.channel.use_vectorized_kernels = vectorized
+    return sim.run(4000)
+
+
+class TestEndToEndEquivalence:
+    """Whole runs with the vectorized kernels forced off must not move a bit."""
+
+    @pytest.mark.parametrize("channel,loss", [("unitdisk", 0.0), ("unitdisk", 0.2),
+                                              ("friis", 0.0), ("friis", 0.2)])
+    def test_full_run_identical(self, tiny_grid_deployment, channel, loss):
+        from dataclasses import replace
+
+        from repro.sim.config import ScenarioConfig
+
+        config = ScenarioConfig(
+            protocol="neighborwatch", radius=3.0, message_length=3, seed=11,
+            channel=channel, loss_probability=loss,
+        )
+        fast = _run_with_kernels(tiny_grid_deployment, config, vectorized=True)
+        slow = _run_with_kernels(tiny_grid_deployment, replace(config), vectorized=False)
+        assert fast.to_record() == slow.to_record()
+
+
+class TestWarmStoreByteIdentity:
+    """The benchmark harness's REPRO_BENCH_CACHE_DIR path: a warm rerun of an
+    experiment through the content-addressed store must reproduce the cold
+    run's exported rows byte for byte while dispatching zero simulations."""
+
+    def test_epidemic_comparison_warm_rerun_is_byte_identical(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(tmp_path))  # documents the knob
+        from repro.experiments.registry import run_experiment
+        from repro.store import ResultStore
+
+        def export(rows):
+            return json.dumps(list(rows), sort_keys=True).encode("utf8")
+
+        cold_store = ResultStore(tmp_path)
+        cold_rows, _ = run_experiment("EPID", scale="small", store=cold_store)
+        assert cold_store.stats.hits == 0 and cold_store.stats.misses > 0
+
+        warm_store = ResultStore(tmp_path)
+        warm_rows, _ = run_experiment("EPID", scale="small", store=warm_store)
+        assert warm_store.stats.misses == 0
+        assert warm_store.stats.hits == cold_store.stats.misses
+        assert export(warm_rows) == export(cold_rows)

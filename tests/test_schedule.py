@@ -207,3 +207,84 @@ class TestNodeSchedule:
             for b in range(a + 1, n):
                 if dist[a, b] <= 4.0:
                     assert sched.slot_of_node(a) != sched.slot_of_node(b)
+
+
+class TestIterSlotStarts:
+    """The engine's cycle iterator must agree with locate_round slot by slot."""
+
+    def test_matches_locate_round(self, square_schedule):
+        sched = square_schedule
+        phases = sched.phases_per_slot
+        it = sched.iter_slot_starts(0)
+        for k in range(3 * sched.num_slots + 5):
+            round_index = k * phases
+            assert next(it) == sched.locate_round(round_index)[:2]
+
+    def test_starts_mid_schedule(self, square_schedule):
+        sched = square_schedule
+        start = 2 * sched.phases_per_slot
+        it = sched.iter_slot_starts(start)
+        assert next(it) == sched.locate_round(start)[:2]
+
+    def test_unaligned_start_rejected(self, square_schedule):
+        if square_schedule.phases_per_slot < 2:
+            pytest.skip("needs multi-phase slots")
+        with pytest.raises(ValueError):
+            next(square_schedule.iter_slot_starts(1))
+
+
+class TestNeighborSlotTable:
+    """neighbor_slots_of_node answers from a cached all-nodes table; the
+    answers must equal the direct per-node computation."""
+
+    def test_table_matches_direct_computation(self):
+        dep = uniform_deployment(50, 8, 8, rng=9)
+        sched = NodeSchedule(dep.positions, 3.0, dep.source_index)
+        pos = sched.positions
+        for node in range(50):
+            d = np.sqrt(np.sum((pos - pos[node][None, :]) ** 2, axis=1))
+            nearby = np.nonzero(d <= sched.radius)[0]
+            expected = sorted({0} | {int(sched.slot_of_node(int(nb))) for nb in nearby})
+            assert sched.neighbor_slots_of_node(node) == expected
+
+    def test_custom_radius_gets_its_own_table(self):
+        dep = uniform_deployment(30, 8, 8, rng=4)
+        sched = NodeSchedule(dep.positions, 2.0, dep.source_index)
+        wide = sched.neighbor_slots_of_node(0, listen_radius=6.0)
+        narrow = sched.neighbor_slots_of_node(0, listen_radius=2.0)
+        assert set(narrow) <= set(wide)
+
+    def test_returned_lists_are_copies(self):
+        dep = uniform_deployment(20, 8, 8, rng=3)
+        sched = NodeSchedule(dep.positions, 3.0, dep.source_index)
+        first = sched.neighbor_slots_of_node(1)
+        first.append(999)
+        assert 999 not in sched.neighbor_slots_of_node(1)
+
+
+class TestGreedyColouringReference:
+    """The vectorised colouring loop must assign exactly the slots the
+    original per-neighbor Python loop did."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=50), st.integers(min_value=0, max_value=500))
+    def test_matches_reference_implementation(self, n, seed):
+        dep = uniform_deployment(n, 8, 8, rng=seed)
+        sched = NodeSchedule(dep.positions, 2.0, dep.source_index, separation=4.0)
+        dist = pairwise_distances(sched.positions, norm="l2")
+        conflict = dist <= sched.separation
+        np.fill_diagonal(conflict, False)
+        reference = np.zeros(n, dtype=int)
+        for node in range(n):
+            if node == sched.source_index:
+                reference[node] = 0
+                continue
+            used = {0}
+            for nb in np.nonzero(conflict[node])[0]:
+                if nb < node or nb == sched.source_index:
+                    used.add(int(reference[nb]))
+            slot = 1
+            while slot in used:
+                slot += 1
+            reference[node] = slot
+        assert [sched.slot_of_node(i) for i in range(n)] == reference.tolist()
