@@ -1,6 +1,6 @@
 # Convenience entry points; every target assumes the repo root as cwd.
 PYTHON ?= python
-PR ?= 3
+PR ?= 4
 export PYTHONPATH := src
 
 .PHONY: test bench bench-baseline bench-smoke profile
@@ -15,8 +15,12 @@ bench:
 	$(PYTHON) benchmarks/capture.py --pr $(PR) --label current
 
 # Capture the pre-change baseline (run this before starting a perf change).
+# For runtime-perf PRs the baseline is the scalar per-device oracle
+# (BENCH_RUNTIME=scalar by default here); 'make bench' records the default
+# (cohort) runtime and fails if any series hash moved between the two.
+BENCH_RUNTIME ?= scalar
 bench-baseline:
-	$(PYTHON) benchmarks/capture.py --pr $(PR) --label baseline
+	$(PYTHON) benchmarks/capture.py --pr $(PR) --label baseline --runtime $(BENCH_RUNTIME)
 
 # CI smoke: verify BENCH_$(PR).json exists and its suite hashes reproduce.
 bench-smoke:

@@ -22,10 +22,15 @@ exported byte.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/capture.py --pr 3 --label baseline
-    PYTHONPATH=src python benchmarks/capture.py --pr 3 --label current
-    PYTHONPATH=src python benchmarks/capture.py --pr 3 --label current --suite-only
-    PYTHONPATH=src python benchmarks/capture.py --check BENCH_3.json
+    PYTHONPATH=src python benchmarks/capture.py --pr 4 --label baseline --runtime scalar
+    PYTHONPATH=src python benchmarks/capture.py --pr 4 --label current
+    PYTHONPATH=src python benchmarks/capture.py --pr 4 --label current --suite-only
+    PYTHONPATH=src python benchmarks/capture.py --check BENCH_4.json
+
+``--runtime {cohort,scalar}`` pins the protocol execution runtime for the
+capture (``REPRO_COHORT_RUNTIME``): PR 4's baseline is the per-device scalar
+oracle, its current run the cohort runtime — the hashes must agree exactly,
+which is itself part of the bit-identity contract.
 
 ``--check`` re-runs the (quick) suite and verifies the stored hashes of the
 newest run still reproduce — the CI smoke job uses it so a drifted series can
@@ -270,12 +275,26 @@ def main(argv=None) -> int:
         "--cache-dir", default=None, help="route suite sweeps through a ResultStore"
     )
     parser.add_argument(
+        "--runtime",
+        choices=("cohort", "scalar"),
+        default=None,
+        help="force the protocol execution runtime for this capture (sets "
+        "REPRO_COHORT_RUNTIME): 'scalar' records the per-device oracle "
+        "baseline, 'cohort' the shared-state batched path; results are "
+        "bit-identical, only the wall clock moves (default: environment)",
+    )
+    parser.add_argument(
         "--check",
         metavar="JSON",
         default=None,
         help="verify the stored suite hashes of JSON reproduce, then exit",
     )
     args = parser.parse_args(argv)
+
+    if args.runtime is not None:
+        import os
+
+        os.environ["REPRO_COHORT_RUNTIME"] = "1" if args.runtime == "cohort" else "0"
 
     def log(message: str) -> None:
         print(message, file=sys.stderr)

@@ -1,0 +1,88 @@
+"""Benchmark PR4 — cohort protocol runtime vs the per-device scalar oracle.
+
+The cohort runtime (:mod:`repro.sim.batch`) executes one state machine per
+group of observation-identical NeighborWatchRB devices — the paper's
+meta-node squares turned into a runtime optimization.  This benchmark runs
+one mid-size NeighborWatchRB simulation twice, with the runtime off (the
+scalar oracle) and on, asserts the two produce byte-identical records (the
+hard contract of every perf PR), and reports both wall clocks plus the
+runtime's sharing counters.  The pytest-benchmark timing is taken on the
+cohort path — the configuration every experiment uses by default.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import attach_rows, run_once
+
+from repro.experiments.factories import UniformDeploymentFactory
+from repro.sim.builder import build_simulation, run_scenario
+from repro.sim.config import ScenarioConfig
+from repro.sim.engine import clear_link_cache
+
+#: Mid-size version of the BENCH nw-friis-600 macro (same shape, quicker).
+NUM_NODES = 400
+MAP_SIZE = 16.0
+
+
+def _scenario():
+    deployment = UniformDeploymentFactory(NUM_NODES, MAP_SIZE, MAP_SIZE)(7)
+    config = ScenarioConfig(
+        protocol="neighborwatch", radius=4.0, message_length=4, seed=7, channel="friis"
+    )
+    return deployment, config
+
+
+def _run(use_cohort_runtime: bool):
+    deployment, config = _scenario()
+    clear_link_cache()
+    started = time.perf_counter()
+    result = run_scenario(deployment, config, use_cohort_runtime=use_cohort_runtime)
+    return result, time.perf_counter() - started
+
+
+def test_bench_cohort_runtime_vs_scalar(benchmark):
+    scalar_result, scalar_elapsed = _run(False)
+
+    def cohort_run():
+        return _run(True)
+
+    cohort_result, cohort_elapsed = run_once(benchmark, cohort_run)
+    assert cohort_result.to_record() == scalar_result.to_record(), (
+        "cohort runtime changed the simulation output — bit-identity is a hard contract"
+    )
+
+    deployment, config = _scenario()
+    clear_link_cache()
+    sim = build_simulation(deployment, config, use_cohort_runtime=True)
+    sim.run(10**9)
+    info = sim.plan_cache_info()["cohort_runtime"]
+
+    rows = [
+        {
+            "runtime": "scalar (oracle)",
+            "elapsed_s": round(scalar_elapsed, 3),
+            "speedup": 1.0,
+            "cohorts": 0,
+            "share_hits": 0,
+            "splits": 0,
+            "merges": 0,
+        },
+        {
+            "runtime": "cohort",
+            "elapsed_s": round(cohort_elapsed, 3),
+            "speedup": round(scalar_elapsed / cohort_elapsed, 2),
+            "cohorts": info["cohorts"],
+            "share_hits": info["share_hits"],
+            "splits": info["divergence_splits"],
+            "merges": info["cohort_merges"],
+        },
+    ]
+    benchmark.extra_info["cohort_runtime"] = info
+    attach_rows(
+        benchmark,
+        rows,
+        title=f"NeighborWatchRB {NUM_NODES} nodes / Friis — cohort runtime vs scalar oracle",
+    )
+    assert info["active"] and info["share_hits"] > 0

@@ -29,6 +29,12 @@ VETO_PHASES = (4, 5)
 class VetoJammer(Adversary):
     """Jam veto rounds with a fixed probability, subject to a broadcast budget.
 
+    ``shareable = False`` (inherited from :class:`Adversary`, restated for
+    emphasis): every jamming decision consumes this device's *private* RNG
+    stream in ``wants_slot``, so sharing one machine across jammers would move
+    their stream positions — the cohort runtime must treat each jammer as a
+    singleton, and does.
+
     Parameters
     ----------
     budget:

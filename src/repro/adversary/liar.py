@@ -17,6 +17,13 @@ what makes the attack dangerous.  Concretely:
 These helpers construct appropriately preloaded instances of the honest
 protocol classes so the simulation engine treats them exactly like any other
 device (their dishonesty lives purely in their initial state and configuration).
+
+Cohort runtime note: although the honest protocol *classes* used here are
+``shareable``, the devices built by these factories are registered with
+``honest=False`` in the simulation, and the cohort runtime never shares
+dishonest devices — every lying device runs as a singleton cohort, exactly as
+the scalar oracle executes it (their ``preloaded_message`` also keys them
+apart from honest cohorts via ``cohort_key``, as defence in depth).
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ from typing import Iterable, Optional
 
 from .messages import Bits, Frame, FrameKind, validate_bits
 from .protocol import NodeContext, Observation, Protocol
+from .runtime import OPAQUE_LISTEN, ActionSpec, PhaseContext, action_spec
 from .schedule import NodeSchedule
 
 __all__ = ["EpidemicConfig", "EpidemicNode"]
@@ -49,7 +50,19 @@ class EpidemicNode(Protocol):
     ``preloaded_message`` turns the device into a fake-message injector (a
     Byzantine "liar"): because the baseline performs no authentication at all,
     a single such device can poison every node it reaches first.
+
+    The legacy ``act``/``observe`` methods are the primary implementation
+    (the hot single-phase path stays allocation-free); only ``phase_act`` is
+    overridden explicitly, because the default adapter would embed *this*
+    device's id in the shared decision — the override returns the
+    member-independent ``(PAYLOAD, message)`` spec instead, and adoption
+    depends only on shared state, so the protocol is :attr:`shareable`.  In
+    practice the node-level TDMA coloring gives nearly every device a
+    distinct ``(own slot, listen set)`` pair, so epidemic cohorts are usually
+    singletons; the declaration matters for correctness, not speed.
     """
+
+    shareable = True
 
     def __init__(
         self,
@@ -93,13 +106,41 @@ class EpidemicNode(Protocol):
         slots.add(self._my_slot)
         return sorted(slots)
 
-    def act(self, slot_cycle: int, slot: int, phase: int) -> Optional[Frame]:
-        if slot != self._my_slot or phase != 0:
-            return None
+    def cohort_key(self):
+        """Post-setup state signature (fixes the interest set and transitions)."""
+        return (
+            self.config.rebroadcast_count,
+            self._my_slot,
+            frozenset(self._listen_slots),
+            self._message,
+            self._remaining_broadcasts,
+            self.context.message_length,
+        )
+
+    def _decide_broadcast(self) -> Optional[Bits]:
+        """Consume one rebroadcast if the device has something to flood."""
         if self._message is None or self._remaining_broadcasts <= 0:
             return None
         self._remaining_broadcasts -= 1
-        return Frame(FrameKind.PAYLOAD, self.context.node_id, tuple(self._message))
+        return self._message
+
+    def act(self, slot_cycle: int, slot: int, phase: int) -> Optional[Frame]:
+        if slot != self._my_slot or phase != 0:
+            return None
+        payload = self._decide_broadcast()
+        if payload is None:
+            return None
+        return Frame(FrameKind.PAYLOAD, self.context.node_id, tuple(payload))
+
+    def phase_act(self, ctx: PhaseContext) -> Optional[ActionSpec]:
+        adopted = self._message is not None
+        if ctx.slot == self._my_slot and ctx.phase == 0:
+            payload = self._decide_broadcast()
+            if payload is not None:
+                return action_spec(FrameKind.PAYLOAD, tuple(payload))
+        # Once adopted, observe() discards every observation — listening
+        # rounds are opaque and can no longer split a cohort.
+        return OPAQUE_LISTEN if adopted else None
 
     def observe(self, slot_cycle: int, slot: int, phase: int, observation: Observation) -> None:
         if self._message is not None:

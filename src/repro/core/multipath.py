@@ -41,6 +41,7 @@ import numpy as np
 from .messages import Bits, ControlCodec, ControlMessage, ControlType, Frame, FrameKind, validate_bits
 from .onehop import OneHopReceiver, OneHopSender
 from .protocol import NodeContext, Observation, Protocol
+from .runtime import ActionSpec, PhaseContext, action_spec
 from .schedule import SOURCE_SLOT, NodeSchedule
 from .twobit import TwoBitBlocker
 
@@ -95,7 +96,16 @@ class MultiPathNode(Protocol):
     a fake message fully committed (and therefore flood COMMIT messages for its
     bits) while otherwise running the correct protocol; combined with
     ``relay_heard=False`` in their config this matches Section 6.1 exactly.
+
+    The state machine is expressed through the phase-machine API, but the
+    protocol deliberately stays ``shareable = False``: its commit rule
+    (:meth:`_check_commit`) and HEARD-cause resolution measure distances from
+    *this device's position*, so the transitions are member-dependent — two
+    devices in identical protocol state can still commit differently.  Every
+    MultiPathRB device therefore runs as a singleton cohort.
     """
+
+    shareable = False
 
     def __init__(
         self,
@@ -206,7 +216,8 @@ class MultiPathNode(Protocol):
             self._role = _Role.RECEIVER
             self._active_receiver = receiver
 
-    def act(self, slot_cycle: int, slot: int, phase: int) -> Optional[Frame]:
+    def _act_core(self, slot: int, phase: int) -> Optional[FrameKind]:
+        """One transmit decision: the frame kind to broadcast, or ``None``."""
         if phase == 0:
             self._begin_slot(slot)
         transmit = False
@@ -220,12 +231,9 @@ class MultiPathNode(Protocol):
         elif self._role is _Role.RECEIVER and self._active_receiver is not None:
             transmit = self._active_receiver.action(phase)
             kind = FrameKind.ACK if phase in (1, 3) else FrameKind.VETO
-        if not transmit:
-            return None
-        return self._interned_frame(kind)
+        return kind if transmit else None
 
-    def observe(self, slot_cycle: int, slot: int, phase: int, observation: Observation) -> None:
-        busy = observation.busy
+    def _observe_core(self, phase: int, busy: bool) -> None:
         if self._role is _Role.SENDER:
             self._sender.observe(phase, busy)
         elif self._role is _Role.BLOCKER and self._blocker is not None:
@@ -233,7 +241,7 @@ class MultiPathNode(Protocol):
         elif self._role is _Role.RECEIVER and self._active_receiver is not None:
             self._active_receiver.observe(phase, busy)
 
-    def end_slot(self, slot_cycle: int, slot: int) -> None:
+    def _end_core(self, slot: int) -> None:
         if self._role is _Role.SENDER:
             self._sender.finish_slot()
         elif self._role is _Role.RECEIVER and self._active_receiver is not None:
@@ -242,6 +250,27 @@ class MultiPathNode(Protocol):
         self._role = _Role.IDLE
         self._active_receiver = None
         self._blocker = None
+
+    # -- engine-facing entry points (per-device and phase-machine) ---------------------------
+    def act(self, slot_cycle: int, slot: int, phase: int) -> Optional[Frame]:
+        kind = self._act_core(slot, phase)
+        return None if kind is None else self._interned_frame(kind)
+
+    def observe(self, slot_cycle: int, slot: int, phase: int, observation: Observation) -> None:
+        self._observe_core(phase, observation.busy)
+
+    def end_slot(self, slot_cycle: int, slot: int) -> None:
+        self._end_core(slot)
+
+    def phase_act(self, ctx: PhaseContext) -> Optional[ActionSpec]:
+        kind = self._act_core(ctx.slot, ctx.phase)
+        return None if kind is None else action_spec(kind)
+
+    def phase_observe(self, ctx: PhaseContext, observation: Observation) -> None:
+        self._observe_core(ctx.phase, observation.busy)
+
+    def phase_end(self, ctx: PhaseContext) -> None:
+        self._end_core(ctx.slot)
 
     # -- control-message processing ---------------------------------------------------------------------
     def _drain_stream(self, slot: int) -> None:

@@ -1,0 +1,199 @@
+"""Phase-machine protocol runtime: the typed contract behind cohort execution.
+
+The simulation engine historically drove every device through an *implicit*
+object protocol — ``act(cycle, slot, phase)`` returning a ready-made
+:class:`~repro.core.messages.Frame` and ``observe(...)`` consuming a channel
+observation.  That interface is per-device by construction: the returned frame
+embeds the device id, so two devices in identical protocol states still cannot
+share a single state-machine evaluation.
+
+This module makes the state machine explicit.  A protocol that participates in
+shared (cohort) execution implements three *phase transitions* over a typed
+:class:`PhaseContext`:
+
+``phase_act(ctx) -> Optional[ActionSpec]``
+    The transmit decision for one round.  Crucially the result is a
+    *member-independent* :class:`ActionSpec` — a frame kind plus payload,
+    without a sender id — so one evaluation can be fanned out to every member
+    of a cohort (each member materialises its own on-air frame).
+``phase_observe(ctx, observation)``
+    Deliver the channel observation of a listened round.
+``phase_end(ctx)``
+    Finalise the per-slot state machine (``ctx.phase`` is :data:`END_PHASE`).
+
+The shareability contract
+-------------------------
+A protocol may declare itself ``shareable = True`` only when its transitions
+are pure functions of ``(state, observations)`` that
+
+* consume **no randomness** (sharing one evaluation across members must not
+  move any RNG stream — bit-identity is a hard contract, see ROADMAP), and
+* depend on the device identity **only at setup time** (anything derived from
+  ``context.node_id`` / ``context.position`` after ``setup`` — e.g. the
+  position-dependent vote geometry of MultiPathRB — disqualifies sharing; such
+  protocols keep ``shareable = False`` and run as singleton cohorts), and
+* group correctly: :meth:`~repro.core.protocol.Protocol.cohort_key` must
+  capture *everything* that distinguishes the device's post-setup state,
+  including its interest set — two devices mapping to the same key must be
+  byte-for-byte interchangeable state machines.
+
+Divergence is handled by cloning: when two cohort members observe different
+things, the shared machine is deep-copied per observation class
+(:func:`clone_machine`) and execution continues on the finer partition.
+State-machine state must therefore be plain deep-copyable Python data; large
+immutable collaborators (the schedule, the node context, protocol config
+objects) are *shared* across clones via
+:meth:`~repro.core.protocol.Protocol.shared_on_clone`.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import NamedTuple
+
+from .messages import FrameKind
+
+__all__ = [
+    "END_PHASE",
+    "OPAQUE_LISTEN",
+    "PhaseContext",
+    "ActionSpec",
+    "PhaseDrivenProtocol",
+    "clone_machine",
+]
+
+#: Sentinel phase used for the end-of-slot transition (:meth:`phase_end`).
+END_PHASE = -1
+
+
+class _OpaqueListen:
+    """Singleton tag for 'listen, but the observation cannot change my state'."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "OPAQUE_LISTEN"
+
+
+#: Returned by ``phase_act`` instead of ``None`` when the device listens but
+#: its state machine provably discards this round's observation (a 2Bit
+#: sender during data rounds, a receiver during ack rounds, an uncondition­al
+#: blocker, an idle machine).  The engine still resolves the round for the
+#: device — listener sets, and therefore the channel RNG stream, are
+#: bit-identical to the per-device path — but the cohort runtime neither
+#: delivers the observation nor splits the cohort when members diverge in
+#: such a round, which is what keeps meta-node sharing intact on channels
+#: where far-away co-slot transmitters bleed marginal power across the map.
+#: Declaring a round opaque that the transitions actually read breaks
+#: bit-identity — the oracle-equivalence suite is the enforcement.
+OPAQUE_LISTEN = _OpaqueListen()
+
+
+class PhaseContext(NamedTuple):
+    """Typed context of one phase transition.
+
+    ``slot_cycle`` and ``slot`` locate the broadcast interval in the global
+    TDMA schedule; ``phase`` is the 0-based round within the slot, or
+    :data:`END_PHASE` for the end-of-slot transition.  The cohort runtime
+    allocates one context per phase and shares it across every cohort in the
+    slot, so transitions must treat it as immutable.  (A NamedTuple rather
+    than a frozen dataclass: contexts are built once per device-round on the
+    per-device path, and tuple construction is several times cheaper than a
+    frozen dataclass's ``object.__setattr__`` init.)
+    """
+
+    slot_cycle: int
+    slot: int
+    phase: int
+
+
+class ActionSpec(NamedTuple):
+    """A member-independent transmit decision: frame kind plus payload.
+
+    Deliberately excludes the sender id — the runtime (or the per-device
+    adapter in :class:`PhaseDrivenProtocol`) turns a spec into a concrete
+    :class:`~repro.core.messages.Frame` per member, so one shared evaluation
+    serves a whole cohort.  Specs for the payload-less protocol alphabet are
+    interned via :func:`action_spec`.
+    """
+
+    kind: FrameKind
+    payload: tuple = ()
+
+
+#: Interned payload-less specs, one per frame kind (the whole alphabet of the
+#: bit-exchange protocols); avoids a per-round allocation in phase_act.
+_BARE_SPECS: dict[FrameKind, ActionSpec] = {kind: ActionSpec(kind) for kind in FrameKind}
+
+
+def action_spec(kind: FrameKind, payload: tuple = ()) -> ActionSpec:
+    """The (interned, when payload-less) spec for ``kind``/``payload``."""
+    if not payload:
+        return _BARE_SPECS[kind]
+    return ActionSpec(kind, payload)
+
+
+class PhaseDrivenProtocol:
+    """Mixin for protocols whose :meth:`phase_*` transitions are primary.
+
+    Supplies the legacy engine-facing ``act``/``observe``/``end_slot`` methods
+    as thin adapters over the phase machine, so the state machine exists
+    exactly once and the scalar (oracle) engine path and the cohort runtime
+    exercise the same code.  ``act`` materialises the member's concrete frame
+    from the member-independent :class:`ActionSpec`: payload-less specs go
+    through the per-instance frame intern
+    (:meth:`~repro.core.protocol.Protocol._interned_frame`, identical to the
+    historical frames), payload-carrying specs build a fresh value-equal
+    frame stamped with this device's id.
+    """
+
+    def act(self, slot_cycle: int, slot: int, phase: int):
+        spec = self.phase_act(PhaseContext(slot_cycle, slot, phase))
+        if spec is None or spec is OPAQUE_LISTEN:
+            return None
+        if spec.payload:
+            from .messages import Frame
+
+            return Frame(spec.kind, self.context.node_id, spec.payload)
+        return self._interned_frame(spec.kind)
+
+    def observe(self, slot_cycle: int, slot: int, phase: int, observation) -> None:
+        self.phase_observe(PhaseContext(slot_cycle, slot, phase), observation)
+
+    def end_slot(self, slot_cycle: int, slot: int) -> None:
+        self.phase_end(PhaseContext(slot_cycle, slot, END_PHASE))
+
+    def phase_end(self, ctx: PhaseContext) -> None:
+        """Default end-of-slot transition: nothing to finalise.
+
+        Overrides the base :class:`~repro.core.protocol.Protocol` adapter
+        (which delegates ``phase_end`` *to* ``end_slot``) so a phase-driven
+        protocol without per-slot finalisation does not recurse through the
+        two adapters; protocols with real end-of-slot work override this.
+        """
+
+
+def clone_machine(machine):
+    """Copy a protocol state machine for a cohort split.
+
+    Prefers the protocol's native
+    :meth:`~repro.core.protocol.Protocol.clone_for_split` (hand-written state
+    copies are ~30x cheaper than the generic machinery, and splits happen in
+    the simulation hot path).  The fallback is a ``copy.deepcopy`` whose memo
+    is pre-seeded with the objects the protocol declares shared
+    (:meth:`~repro.core.protocol.Protocol.shared_on_clone` — typically the
+    node context, the schedule and the config), so the copy touches only the
+    genuinely per-device state (receiver buffers, embedded 2Bit machines,
+    committed prefixes).  The clone's frame intern is reset because its cached
+    frames carry the donor's node id; the caller is expected to rebind
+    ``clone.context`` to the new cohort leader's context.
+    """
+    clone = machine.clone_for_split()
+    if clone is None:
+        memo: dict = {}
+        for obj in machine.shared_on_clone():
+            if obj is not None:
+                memo[id(obj)] = obj
+        clone = copy.deepcopy(machine, memo)
+    clone._frame_cache = None
+    return clone

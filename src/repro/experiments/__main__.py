@@ -13,7 +13,11 @@ Usage::
 ``--profile`` wraps the sweep in :mod:`cProfile` and dumps the top 25
 cumulative entries to stderr, so perf work can locate hot paths without
 ad-hoc scripts (serial runs only see meaningful data; worker processes are
-outside the profiler).
+outside the profiler).  ``--profile-out PATH`` (implies ``--profile``)
+additionally writes the raw :mod:`pstats` file, so profiles can be stored
+next to ``BENCH_<pr>.json`` and diffed across PRs with
+``pstats.Stats(old).print_stats()`` / ``Stats(new)`` instead of comparing
+stderr tables by eye.
 
 Runs one registered experiment (see ``--list`` for the identifiers), fanning
 its seeded repetitions out over ``--workers`` processes via
@@ -110,6 +114,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "entries to stderr (results are unchanged; use with --workers 0, "
         "subprocess work is invisible to the profiler)",
     )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="also write the raw pstats profile to PATH (implies --profile); "
+        "load it with pstats.Stats(PATH) to diff hot paths across PRs",
+    )
     return parser
 
 
@@ -157,6 +168,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     profiler = None
+    if args.profile_out:
+        args.profile = True
     if args.profile:
         import cProfile
 
@@ -184,6 +197,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if profiler is not None:
         import pstats
 
+        if args.profile_out:
+            # Raw pstats dump: loadable with pstats.Stats(path), so two PRs'
+            # profiles can be diffed instead of eyeballing stderr tables.
+            profiler.dump_stats(args.profile_out)
+            print(f"profile written to {args.profile_out}", file=sys.stderr)
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(25)
 

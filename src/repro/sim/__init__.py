@@ -2,7 +2,8 @@
 
 from .builder import build_channel, build_schedule, build_simulation, run_scenario
 from .config import ChannelName, FaultPlan, ProtocolName, ScenarioConfig, default_message
-from .engine import Simulation, clear_link_cache, link_cache_info
+from .batch import Cohort, CohortRuntime
+from .engine import Simulation, clear_link_cache, default_cohort_runtime, link_cache_info
 from .events import Event, EventKind, EventLog
 from .node import SimNode
 from .plan import SlotPlan
@@ -27,7 +28,10 @@ __all__ = [
     "default_message",
     "Simulation",
     "clear_link_cache",
+    "default_cohort_runtime",
     "link_cache_info",
+    "Cohort",
+    "CohortRuntime",
     "Event",
     "EventKind",
     "EventLog",

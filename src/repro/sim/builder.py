@@ -103,8 +103,16 @@ def build_simulation(
     faults: Optional[FaultPlan] = None,
     *,
     trace: Optional[EventLog] = None,
+    use_cohort_runtime: Optional[bool] = None,
 ) -> Simulation:
-    """Wire a deployment, a scenario and a fault plan into a Simulation."""
+    """Wire a deployment, a scenario and a fault plan into a Simulation.
+
+    ``use_cohort_runtime`` is forwarded to :class:`~repro.sim.engine.Simulation`
+    (``None`` = process default): it selects between shared-cohort and
+    per-device execution of the protocol state machines, which is a pure
+    throughput knob — results are bit-identical either way, so it is *not*
+    part of :class:`ScenarioConfig` and never enters store fingerprints.
+    """
     faults = faults if faults is not None else FaultPlan()
     faults.validate_for(deployment.num_nodes, deployment.source_index)
 
@@ -168,6 +176,7 @@ def build_simulation(
         message,
         rng=rng_factory.generator("channel"),
         trace=trace,
+        use_cohort_runtime=use_cohort_runtime,
     )
 
 
@@ -178,9 +187,12 @@ def run_scenario(
     *,
     trace: Optional[EventLog] = None,
     max_rounds: Optional[int] = None,
+    use_cohort_runtime: Optional[bool] = None,
 ) -> RunResult:
     """Build and run a scenario to completion (or to the round cap)."""
-    simulation = build_simulation(deployment, config, faults, trace=trace)
+    simulation = build_simulation(
+        deployment, config, faults, trace=trace, use_cohort_runtime=use_cohort_runtime
+    )
     faults = faults if faults is not None else FaultPlan()
     if max_rounds is None:
         extent = math.hypot(deployment.width, deployment.height)

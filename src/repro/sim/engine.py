@@ -33,10 +33,22 @@ state of a run resolves each round with a handful of dict lookups instead of
 distance computations and per-listener Python loops.  ``Schedule.iter_slot_starts``
 replaces the per-slot divmod arithmetic of ``locate_round``.
 
+Cohort protocol runtime
+-----------------------
+On top of the compiled plan, the engine can execute the *protocol* layer in
+shared cohorts (:mod:`repro.sim.batch`): honest devices whose state machines
+are provably interchangeable — the paper's "meta-node" squares — are driven
+by one phase-machine evaluation per cohort per round, splitting
+copy-on-divergence the moment two members observe different (projected)
+things and re-merging when their states reconverge.  The per-device loop in
+:meth:`Simulation._run_slot_scalar` remains the tested oracle behind
+``use_cohort_runtime=False`` (or ``REPRO_COHORT_RUNTIME=0``).
+
 The RNG contract is strict: stochastic channel configurations bypass the
 round memo entirely and consume the generator exactly as the scalar reference
-kernels would, so every result — including the content-addressed store
-fingerprints of :mod:`repro.store` — is bit-identical to the pre-plan engine.
+kernels would, and the cohort runtime preserves listener order per round, so
+every result — including the content-addressed store fingerprints of
+:mod:`repro.store` — is bit-identical to the pre-plan engine.
 
 Deliveries are stamped with the exact round at the end of the slot in which
 they happened (not at the next periodic check), so ``delivery_round`` and the
@@ -45,6 +57,7 @@ latency metrics derived from it are accurate to one slot.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from typing import Optional, Sequence
 
@@ -52,13 +65,28 @@ import numpy as np
 
 from ..core.protocol import Observation, SILENCE
 from ..core.schedule import Schedule
+from .batch import CohortRuntime
 from .events import EventKind, EventLog
 from .node import SimNode
 from .plan import REC_ID, REC_NODE, REC_ACT, REC_OBSERVE, REC_END_SLOT, REC_HONEST, REC_POSITION, SlotPlan
 from .radio import Channel, Transmission
 from .results import NodeOutcome, RunResult
 
-__all__ = ["Simulation", "link_cache_info", "clear_link_cache"]
+__all__ = ["Simulation", "link_cache_info", "clear_link_cache", "default_cohort_runtime"]
+
+
+def default_cohort_runtime() -> bool:
+    """Process-wide default for :class:`Simulation`'s ``use_cohort_runtime``.
+
+    Controlled by the ``REPRO_COHORT_RUNTIME`` environment variable (default
+    on; ``0``/``false``/``no``/``off`` disable it).  The benchmark harness
+    uses the knob to capture cohort-off baselines without threading a
+    parameter through every experiment — and because cohort execution is
+    bit-identical to the scalar oracle, the setting can never change a result,
+    only the wall clock.
+    """
+    value = os.environ.get("REPRO_COHORT_RUNTIME", "1").strip().lower()
+    return value not in ("0", "false", "no", "off")
 
 #: Bounded cache of channel link states (audibility sets / power matrices),
 #: keyed by the channel's link signature and the (immutable) bytes of the
@@ -141,6 +169,13 @@ class Simulation:
     trace:
         Optional :class:`~repro.sim.events.EventLog` receiving broadcast and
         delivery events.
+    use_cohort_runtime:
+        Whether to execute shareable, observation-identical devices as shared
+        cohorts (:class:`~repro.sim.batch.CohortRuntime`).  ``None`` (default)
+        reads the process default (:func:`default_cohort_runtime`);
+        ``False`` forces the per-device scalar path, which is the tested
+        oracle the cohort runtime is pinned against.  Results are bit-identical
+        either way.
     """
 
     def __init__(
@@ -152,6 +187,7 @@ class Simulation:
         *,
         rng: Optional[np.random.Generator] = None,
         trace: Optional[EventLog] = None,
+        use_cohort_runtime: Optional[bool] = None,
     ) -> None:
         self.nodes = list(nodes)
         for idx, node in enumerate(self.nodes):
@@ -176,10 +212,45 @@ class Simulation:
         # consume RNG (otherwise replaying a cached round would desynchronise
         # the generator relative to the scalar reference execution).
         self._memo_rounds = self._link_state is not None and not channel.consumes_rng()
+        if use_cohort_runtime is None:
+            use_cohort_runtime = default_cohort_runtime()
+        self.cohort_runtime: Optional[CohortRuntime] = (
+            CohortRuntime(self.nodes, self.plan) if use_cohort_runtime else None
+        )
+        # Hot-path dispatch: when construction compiled no multi-member cohort
+        # (every device a singleton — adversaries, RNG consumers, MultiPathRB,
+        # sparse deployments) the scalar loop does the identical calls with
+        # less indirection, so the runtime is kept for introspection only.
+        self._slot_runtime: Optional[CohortRuntime] = (
+            self.cohort_runtime if self.cohort_runtime is not None and self.cohort_runtime.cohorts else None
+        )
 
     def plan_cache_info(self) -> dict:
-        """Snapshot of the compiled plan's per-simulation caches."""
-        return self.plan.cache_info()
+        """Snapshot of the plan's and cohort runtime's per-simulation caches.
+
+        Returns a dict with four keys:
+
+        * ``"submatrix"`` — the link-state submatrix LRU:
+          ``{"entries", "max_entries", "hits", "misses"}``;
+        * ``"round_memo"`` — the whole-round observation memo (RNG-free
+          channel configurations only), same counter shape;
+        * ``"transmissions_interned"`` — size of the transmission intern
+          table;
+        * ``"cohort_runtime"`` — ``{"enabled": False}`` when the per-device
+          oracle path was requested, otherwise ``{"enabled": True, "active",
+          "initial_cohorts", "cohorts", "shared_members", "singletons",
+          "share_hits", "divergence_splits", "cohort_merges"}``: whether any
+          multi-member cohort exists (an all-singleton run executes on the
+          scalar loop), the number of cohorts compiled at construction, the
+          current (post-split/merge) cohort count, how many devices execute
+          shared vs per-device, the number of per-device evaluations avoided
+          by sharing, the number of copy-on-divergence splits performed, and
+          the number of reconverged sibling cohorts re-merged.
+        """
+        info = self.plan.cache_info()
+        runtime = self.cohort_runtime
+        info["cohort_runtime"] = runtime.info() if runtime is not None else {"enabled": False}
+        return info
 
     # -- execution ------------------------------------------------------------------------
     def run(
@@ -238,6 +309,7 @@ class Simulation:
         plan = self.plan
         records: tuple = plan.slot_records.get(slot, ())
         occurrence_key: object = slot
+        extras: Optional[list] = None
         flex = plan.flex_candidates.get(slot)
         if flex is not None:
             # wants_slot may consume the adversary's private RNG, so the query
@@ -249,7 +321,15 @@ class Simulation:
                 occurrence_key = (slot, tuple(r[REC_ID] for r in extras))
         if not records:
             return
+        runtime = self._slot_runtime
+        if runtime is not None:
+            runtime.run_slot(self, cycle, slot, extras, occurrence_key)
+            return
+        self._run_slot_scalar(cycle, slot, records, occurrence_key)
 
+    def _run_slot_scalar(self, cycle: int, slot: int, records: tuple, occurrence_key: object) -> None:
+        """The per-device oracle loop (cohort runtime disabled)."""
+        plan = self.plan
         phases = self.schedule.phases_per_slot
         trace = self.trace
         for phase in range(phases):

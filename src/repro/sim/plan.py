@@ -179,6 +179,25 @@ class SlotPlan:
         """The compiled record of one device (participants and flex joiners)."""
         return self._node_records[node_id]
 
+    def compile_cohort_entries(self, cohort_of: dict) -> dict:
+        """Per-slot execution entries for the cohort runtime.
+
+        For every slot, a list of mutable ``[record, cohort, spec, tx]``
+        entries in the exact participant order of :attr:`slot_records`
+        (``cohort`` is ``None`` for singleton devices; the trailing two
+        elements memoise the member's last fan-out transmission per shared
+        decision).  The entry *objects* are what the runtime tracks
+        incrementally: a record participating in several slots gets one entry
+        per slot, and when a cohort splits or re-merges the runtime rewrites
+        the ``cohort`` element of the affected entries in place — the
+        per-slot membership therefore never needs to be re-derived during a
+        run.
+        """
+        return {
+            slot: [[record, cohort_of.get(record[REC_ID]), None, None] for record in records]
+            for slot, records in self.slot_records.items()
+        }
+
     def transmission(self, node_id: int, position, frame) -> Transmission:
         """Interned ``Transmission`` for a sender/frame pair."""
         key = (node_id, frame)

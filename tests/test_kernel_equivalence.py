@@ -1,17 +1,20 @@
-"""Scalar-vs-vectorized channel-kernel equivalence, and byte-identity end to end.
+"""Fast-path-vs-oracle equivalence, and byte-identity end to end.
 
 PR 3 vectorized the per-round channel resolvers (`UnitDiskChannel` /
-`FriisChannel`) and added whole-round memoization to the engine.  The contract
-is strict bit-identity: for every configuration the vectorized kernels must
-produce *identical observations* to the scalar reference loops **and leave the
-RNG at exactly the same stream position** (otherwise every later draw of a run
-diverges).  These tests pin that contract:
+`FriisChannel`) and added whole-round memoization to the engine; PR 4 added
+the cohort protocol runtime (`repro.sim.batch`), which executes
+observation-identical devices' state machines once per cohort.  The contract
+is strict bit-identity for both layers: each fast path must produce
+*identical observations/records* to its per-device/scalar oracle **and leave
+the RNG at exactly the same stream position** (otherwise every later draw of
+a run diverges).  These tests pin that contract:
 
 * property tests drive randomized listener/transmitter sets through both
-  implementations side by side (same seed) and compare observation lists and
-  the next RNG draw;
-* an end-to-end test runs whole scenarios with the vectorized kernels forced
-  off and compares the full result records;
+  channel implementations side by side (same seed) and compare observation
+  lists and the next RNG draw;
+* end-to-end tests run whole scenarios with the vectorized kernels forced
+  off — and, separately, with the cohort runtime toggled — and compare the
+  full result records and the channel-RNG position;
 * a warm-store regression runs one experiment cold then warm through a
   ``ResultStore`` (the ``REPRO_BENCH_CACHE_DIR`` path of the benchmark
   harness) and asserts the fast path reproduces the cached bytes with zero
@@ -174,6 +177,78 @@ class TestEndToEndEquivalence:
         fast = _run_with_kernels(tiny_grid_deployment, config, vectorized=True)
         slow = _run_with_kernels(tiny_grid_deployment, replace(config), vectorized=False)
         assert fast.to_record() == slow.to_record()
+
+
+class TestCohortRuntimeEquivalence:
+    """Cohort-vs-scalar protocol execution must not move a bit either.
+
+    Same discipline PR 3 applied to the channel kernels: full-record identity
+    across channels, loss/capture settings and fault plans, plus an explicit
+    channel-RNG stream-position check (stochastic configurations draw per
+    listener, so any divergence in execution order would surface here).
+    """
+
+    @pytest.mark.parametrize(
+        "protocol,channel,loss,capture",
+        [
+            ("neighborwatch", "unitdisk", 0.0, 0.0),
+            ("neighborwatch", "unitdisk", 0.2, 0.5),
+            ("neighborwatch", "friis", 0.0, 0.0),
+            ("neighborwatch", "friis", 0.25, 0.0),
+            ("neighborwatch2", "unitdisk", 0.1, 0.0),
+            ("multipath", "unitdisk", 0.0, 0.0),
+            ("epidemic", "unitdisk", 0.1, 0.0),
+        ],
+    )
+    def test_full_run_identical_and_rng_position_matches(
+        self, tiny_grid_deployment, protocol, channel, loss, capture
+    ):
+        from repro.sim.builder import build_simulation
+        from repro.sim.config import ScenarioConfig
+        from repro.sim.engine import clear_link_cache
+
+        kwargs = dict(
+            protocol=protocol, radius=3.0, seed=17, channel=channel,
+            loss_probability=loss, capture_probability=capture,
+        )
+        kwargs["message_length"] = 2 if protocol == "multipath" else 3
+        if protocol == "multipath":
+            kwargs["multipath_tolerance"] = 1
+        config = ScenarioConfig(**kwargs)
+
+        results = {}
+        for cohort in (False, True):
+            clear_link_cache()
+            sim = build_simulation(tiny_grid_deployment, config, use_cohort_runtime=cohort)
+            record = sim.run(4000).to_record()
+            results[cohort] = (record, sim.rng.random())
+        assert results[True][0] == results[False][0]
+        assert results[True][1] == results[False][1]
+
+    @pytest.mark.parametrize("scenario", ["jammers", "liars", "crashed"])
+    def test_fault_plans_identical(self, tiny_grid_deployment, scenario):
+        from repro.adversary.placement import random_fault_selection
+        from repro.sim.builder import run_scenario
+        from repro.sim.config import FaultPlan, ScenarioConfig
+        from repro.sim.engine import clear_link_cache
+
+        config = ScenarioConfig(protocol="neighborwatch", radius=3.0, message_length=3, seed=29)
+        picks = random_fault_selection(
+            tiny_grid_deployment.num_nodes, 4,
+            exclude=[tiny_grid_deployment.source_index], rng=31,
+        )
+        if scenario == "jammers":
+            faults = FaultPlan(jammers=tuple(picks), jammer_budget=25, jam_probability=0.3)
+        elif scenario == "liars":
+            faults = FaultPlan(liars=tuple(picks))
+        else:
+            faults = FaultPlan(crashed=tuple(picks))
+
+        clear_link_cache()
+        scalar = run_scenario(tiny_grid_deployment, config, faults, use_cohort_runtime=False)
+        clear_link_cache()
+        cohort = run_scenario(tiny_grid_deployment, config, faults, use_cohort_runtime=True)
+        assert cohort.to_record() == scalar.to_record()
 
 
 class TestWarmStoreByteIdentity:

@@ -188,6 +188,21 @@ class TestExperimentsCli:
         assert "DUAL" in out
         assert "overhead_factor" in out
 
+    def test_profile_out_writes_loadable_pstats(self, capsys, tmp_path):
+        """--profile-out (implying --profile) must write a pstats file that
+        loads, so profiles can be diffed across PRs instead of eyeballed."""
+        import pstats
+
+        path = tmp_path / "dual.pstats"
+        assert experiments_main(["DUAL", "--scale", "small", "--profile-out", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert path.exists()
+        assert f"profile written to {path}" in captured.err
+        # The stderr top-25 table still prints alongside the dump.
+        assert "cumulative" in captured.err
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+
     def test_smoke_subprocess_entry_point(self):
         """`python -m repro.experiments` must work end-to-end as a module."""
         env = dict(os.environ)
