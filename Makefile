@@ -28,4 +28,4 @@ bench-smoke:
 
 # Profile one experiment's sweep (top cumulative hot spots to stderr).
 profile:
-	$(PYTHON) -m repro.experiments FIG7 --scale small --profile
+	$(PYTHON) -m repro.experiments run FIG7 --scale small --profile

@@ -152,7 +152,7 @@ def capture_macros(log) -> dict:
     """Run the representative paper-scale single simulations serially."""
     from repro.experiments.factories import UniformDeploymentFactory
     from repro.sim.builder import run_scenario
-    from repro.sim.config import ProtocolName, ScenarioConfig
+    from repro.sim.config import ScenarioConfig
 
     section: dict = {}
     for macro in MACROS:
@@ -160,7 +160,7 @@ def capture_macros(log) -> dict:
             macro["num_nodes"], macro["map_size"], macro["map_size"]
         )(macro["seed"])
         config = ScenarioConfig(
-            protocol=ProtocolName.parse(macro["protocol"]),
+            protocol=macro["protocol"],
             radius=macro["radius"],
             message_length=macro["message_length"],
             seed=macro["seed"],

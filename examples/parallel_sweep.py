@@ -12,11 +12,11 @@ only ever return the same bits the simulator would recompute.
 The same fan-out and cache are available from the command line for every
 registered experiment:
 
-    python -m repro.experiments --list
-    python -m repro.experiments JAM --scale small --workers 4
-    python -m repro.experiments JAM --scale small --cache-dir ~/.cache/repro
+    python -m repro.experiments list
+    python -m repro.experiments run JAM --scale small --workers 4
+    python -m repro.experiments run JAM --scale small --cache-dir ~/.cache/repro
     # rerun: reads everything back, simulates nothing
-    python -m repro.experiments JAM --scale small --cache-dir ~/.cache/repro --resume
+    python -m repro.experiments run JAM --scale small --cache-dir ~/.cache/repro --resume
 
 Run with:  python examples/parallel_sweep.py
 """

@@ -12,8 +12,12 @@ The package provides:
 * :mod:`repro.analysis` — metrics, theoretical bounds and result aggregation;
 * :mod:`repro.store` — content-addressed on-disk cache of sweep results
   (serializable, resumable, incremental experiments);
-* :mod:`repro.experiments` — one module per table/figure of the paper's
-  evaluation (see DESIGN.md for the experiment index).
+* :mod:`repro.registry` — open, string-keyed component registries (protocols,
+  channels, deployments, fault plans, metrics, drivers, experiment specs);
+* :mod:`repro.experiments` — the paper's evaluation as declarative
+  :class:`~repro.experiments.spec.ExperimentSpec` data run by generic drivers
+  (``python -m repro.experiments list`` for the index, ``run --spec FILE``
+  for user-authored scenarios).
 
 Quickstart::
 
@@ -40,11 +44,12 @@ from .core import (
 )
 from .sim import (
     FaultPlan,
-    ProtocolName,
     RunResult,
     ScenarioConfig,
     Simulation,
     build_simulation,
+    canonical_channel,
+    canonical_protocol,
     run_scenario,
 )
 from .store import CachingSweepExecutor, ResultStore
@@ -72,11 +77,12 @@ __all__ = [
     "combine_dual_mode",
     "polynomial_digest",
     "FaultPlan",
-    "ProtocolName",
     "RunResult",
     "ScenarioConfig",
     "Simulation",
     "build_simulation",
+    "canonical_channel",
+    "canonical_protocol",
     "run_scenario",
     "CachingSweepExecutor",
     "ResultStore",

@@ -14,9 +14,11 @@ what makes the attack dangerous.  Concretely:
 * for the **epidemic** baseline a lying device simply floods the fake payload
   (the baseline has no defence whatsoever, which is the paper's point).
 
-These helpers construct appropriately preloaded instances of the honest
-protocol classes so the simulation engine treats them exactly like any other
-device (their dishonesty lives purely in their initial state and configuration).
+How each protocol's liar is *constructed* is owned by that protocol's
+registered plugin (``ProtocolPlugin.build_liar``, the path the simulation
+builder takes); the helpers here are thin conveniences that delegate through
+``repro.registry.PROTOCOLS``, so there is exactly one construction rule per
+protocol.
 
 Cohort runtime note: although the honest protocol *classes* used here are
 ``shareable``, the devices built by these factories are registered with
@@ -30,11 +32,12 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from ..core.epidemic import EpidemicConfig, EpidemicNode
+from ..core.epidemic import EpidemicNode
 from ..core.messages import Bits, validate_bits
-from ..core.multipath import MultiPathConfig, MultiPathNode
+from ..core.multipath import MultiPathNode
 from ..core.neighborwatch import NeighborWatchConfig, NeighborWatchNode
 from ..core.protocol import Protocol
+from ..registry import PROTOCOLS
 
 __all__ = [
     "fake_message_for",
@@ -57,41 +60,54 @@ def fake_message_for(message: Iterable[int]) -> Bits:
     return tuple(1 - b for b in bits)
 
 
+def _plugin_liar(protocol: str, fake_message: Sequence[int], *, tolerance: int = 3) -> Protocol:
+    """Build a liar through the protocol plugin (the single construction rule)."""
+    from ..sim.config import ScenarioConfig
+
+    scenario = ScenarioConfig(protocol=protocol, multipath_tolerance=int(tolerance))
+    return PROTOCOLS.get(scenario.protocol).build_liar(scenario, fake_message)
+
+
 def lying_neighborwatch_node(
     fake_message: Sequence[int], config: Optional[NeighborWatchConfig] = None
 ) -> NeighborWatchNode:
-    """A NeighborWatchRB device preloaded with a fake message."""
-    return NeighborWatchNode(config=config, preloaded_message=fake_message)
+    """A NeighborWatchRB device preloaded with a fake message.
+
+    An explicit ``config`` (e.g. a custom voting rule) bypasses the plugin's
+    default; ``None`` delegates to the registered construction rule.
+    """
+    if config is not None:
+        return NeighborWatchNode(config=config, preloaded_message=fake_message)
+    return _plugin_liar("neighborwatch", fake_message)
 
 
 def lying_multipath_node(
     fake_message: Sequence[int], tolerance: int = 3
 ) -> MultiPathNode:
     """A MultiPathRB device that floods fake COMMITs and suppresses HEARD relays."""
-    config = MultiPathConfig(tolerance=tolerance, relay_heard=False)
-    return MultiPathNode(config=config, preloaded_message=fake_message)
+    return _plugin_liar("multipath", fake_message, tolerance=tolerance)
 
 
 def lying_epidemic_node(fake_message: Sequence[int]) -> EpidemicNode:
     """An epidemic device that floods a fake payload."""
-    return EpidemicNode(config=EpidemicConfig(), preloaded_message=fake_message)
+    return _plugin_liar("epidemic", fake_message)
 
 
 def lying_node_factory(protocol: str, fake_message: Sequence[int], **kwargs) -> Protocol:
-    """Dispatch helper used by the simulation builder.
+    """Dispatch helper: a lying device for any registered protocol key.
 
-    ``protocol`` is one of ``"neighborwatch"``, ``"neighborwatch2"``,
-    ``"multipath"`` or ``"epidemic"``; keyword arguments are forwarded to the
-    specific constructor (e.g. ``tolerance`` for MultiPathRB).
+    ``protocol`` is a registry key or alias (``"neighborwatch"``, ``"nw2"``,
+    ``"multipath"``, ...); keyword arguments are forwarded where meaningful
+    (``tolerance`` for MultiPathRB, an explicit NeighborWatch ``config``).
+    Unknown keys raise a listing :class:`~repro.registry.RegistryError`.
     """
-    name = protocol.lower()
-    if name in ("neighborwatch", "nw"):
-        return lying_neighborwatch_node(fake_message, config=kwargs.get("config"))
-    if name in ("neighborwatch2", "nw2"):
-        config = kwargs.get("config") or NeighborWatchConfig(votes_required=2)
-        return lying_neighborwatch_node(fake_message, config=config)
-    if name in ("multipath", "mp"):
-        return lying_multipath_node(fake_message, tolerance=int(kwargs.get("tolerance", 3)))
-    if name in ("epidemic", "flood"):
-        return lying_epidemic_node(fake_message)
-    raise ValueError(f"unknown protocol {protocol!r}")
+    from ..core.neighborwatch import NeighborWatchPlugin
+
+    canonical = PROTOCOLS.canonical(protocol)
+    config = kwargs.get("config")
+    if config is not None and isinstance(PROTOCOLS.get(canonical), NeighborWatchPlugin):
+        # The explicit-config override only exists for the NeighborWatch
+        # family (a custom voting rule); other protocols always take their
+        # plugin's construction rule.
+        return NeighborWatchNode(config=config, preloaded_message=fake_message)
+    return _plugin_liar(canonical, fake_message, tolerance=int(kwargs.get("tolerance", 3)))

@@ -17,8 +17,8 @@ This module implements the combination logic.  The two phases are simulated
 independently (with the existing epidemic and NeighborWatchRB machinery); the
 functions here derive, per device, whether the dual-mode protocol delivers,
 whether the delivery is correct, and what the end-to-end completion time is.
-The experiment harness (``repro.experiments.epidemic_comparison``) and the
-``dualmode`` benchmark drive it.  Both underlying runs execute on the default
+The DUAL experiment driver (``repro.experiments.driver.DualModeDriver``) and
+the ``dualmode`` benchmark drive it.  Both underlying runs execute on the default
 cohort protocol runtime (``repro.sim.batch``) — the authenticated digest
 phase is NeighborWatchRB and shares each square's meta-node state machine —
 and because the runtime is bit-identical to the per-device oracle, nothing in

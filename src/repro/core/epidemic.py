@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from ..registry import ProtocolPlugin, register_protocol
 from .messages import Bits, Frame, FrameKind, validate_bits
 from .protocol import NodeContext, Observation, Protocol
 from .runtime import OPAQUE_LISTEN, ActionSpec, PhaseContext, action_spec
@@ -169,3 +170,35 @@ class EpidemicNode(Protocol):
     def pending_broadcasts(self) -> int:
         """Broadcasts the device still intends to perform."""
         return self._remaining_broadcasts if self._message is not None else 0
+
+
+# -- registry plugin ----------------------------------------------------------------------
+@register_protocol("epidemic", aliases=("flood", "flooding"))
+class EpidemicPlugin(ProtocolPlugin):
+    """Registry plugin wiring the epidemic baseline into the scenario builder.
+
+    Epidemic rounds carry whole payload frames (the authenticated protocols
+    move one bit per round), which :meth:`airtime_multiplier` exposes so
+    comparisons can weigh rounds by their on-air cost.
+    """
+
+    protocol_classes = (EpidemicNode,)
+
+    def build(self, config) -> EpidemicNode:
+        return EpidemicNode(EpidemicConfig())
+
+    def build_liar(self, config, fake_message) -> EpidemicNode:
+        return EpidemicNode(config=EpidemicConfig(), preloaded_message=fake_message)
+
+    def build_schedule(self, deployment, config) -> NodeSchedule:
+        return NodeSchedule(
+            deployment.positions,
+            config.radius,
+            deployment.source_index,
+            separation=config.epidemic_slot_separation,
+            norm=config.norm,
+            phases_per_slot=1,
+        )
+
+    def airtime_multiplier(self, message_length: int) -> int:
+        return max(1, message_length)

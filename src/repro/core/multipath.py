@@ -38,6 +38,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from ..registry import ProtocolPlugin, register_protocol
 from .messages import Bits, ControlCodec, ControlMessage, ControlType, Frame, FrameKind, validate_bits
 from .onehop import OneHopReceiver, OneHopSender
 from .protocol import NodeContext, Observation, Protocol
@@ -376,3 +377,39 @@ class MultiPathNode(Protocol):
             k = self.context.message_length
             self._delivered_message = tuple(self._commit_values[i] for i in range(1, k + 1))
         return self._delivered_message
+
+
+# -- registry plugin ----------------------------------------------------------------------
+@register_protocol("multipath", aliases=("multipathrb", "mp"))
+class MultiPathPlugin(ProtocolPlugin):
+    """Registry plugin wiring MultiPathRB into the scenario builder.
+
+    MultiPathRB streams whole control frames over the 1Hop-Protocol, so one
+    hop of pipeline progress costs a frame's worth of successful slots —
+    :meth:`bits_per_hop` scales the generous round cap accordingly.
+    """
+
+    protocol_classes = (MultiPathNode,)
+
+    def build(self, config) -> MultiPathNode:
+        return MultiPathNode(
+            MultiPathConfig(tolerance=config.multipath_tolerance, idle_veto=config.idle_veto)
+        )
+
+    def build_liar(self, config, fake_message) -> MultiPathNode:
+        liar_config = MultiPathConfig(
+            tolerance=int(config.multipath_tolerance), relay_heard=False
+        )
+        return MultiPathNode(config=liar_config, preloaded_message=fake_message)
+
+    def build_schedule(self, deployment, config) -> NodeSchedule:
+        return NodeSchedule(
+            deployment.positions,
+            config.radius,
+            deployment.source_index,
+            separation=config.separation,
+            norm=config.norm,
+        )
+
+    def bits_per_hop(self, config, num_slots: int) -> int:
+        return ControlCodec(config.message_length, num_slots).frame_bits

@@ -32,18 +32,21 @@ Byzantine squares.
 from __future__ import annotations
 
 import enum
+import math
 from typing import Iterable, Optional
 
 import numpy as np
 
+from ..registry import ProtocolPlugin, register_protocol
 from .messages import Bits, Frame, FrameKind, validate_bits
 from .onehop import OneHopReceiver, OneHopSender
 from .protocol import NodeContext, Observation, Protocol
+from .regions import SquareGrid
 from .runtime import END_PHASE, OPAQUE_LISTEN, PhaseContext, action_spec
 from .schedule import SOURCE_SLOT, SquareSchedule
 from .twobit import TwoBitBlocker
 
-__all__ = ["NeighborWatchConfig", "NeighborWatchNode"]
+__all__ = ["NeighborWatchConfig", "NeighborWatchNode", "NeighborWatchPlugin", "NeighborWatch2VotePlugin"]
 
 
 class _Role(enum.Enum):
@@ -425,3 +428,49 @@ class NeighborWatchNode(Protocol):
         if self._delivered_message is None:
             self._delivered_message = tuple(self._committed[: self.context.message_length])
         return self._delivered_message
+
+
+# -- registry plugins ---------------------------------------------------------------------
+@register_protocol("neighborwatch", aliases=("neighborwatchrb", "nw"))
+class NeighborWatchPlugin(ProtocolPlugin):
+    """Registry plugin wiring NeighborWatchRB into the scenario builder.
+
+    Relaying is square-by-square, so the pipeline hop length entering the
+    generous round cap is the square side rather than the radio range.
+    """
+
+    votes_required = 1
+    protocol_classes = (NeighborWatchNode,)
+
+    def build(self, config) -> NeighborWatchNode:
+        return NeighborWatchNode(
+            NeighborWatchConfig(votes_required=self.votes_required, idle_veto=config.idle_veto)
+        )
+
+    def build_liar(self, config, fake_message) -> NeighborWatchNode:
+        liar_config = (
+            NeighborWatchConfig(votes_required=self.votes_required)
+            if self.votes_required != 1
+            else None
+        )
+        return NeighborWatchNode(config=liar_config, preloaded_message=fake_message)
+
+    def build_schedule(self, deployment, config) -> SquareSchedule:
+        grid = SquareGrid(deployment.width, deployment.height, config.effective_square_side())
+        return SquareSchedule(
+            grid,
+            config.radius,
+            deployment.positions,
+            deployment.source_index,
+            separation=config.separation,
+        )
+
+    def pipeline_hops(self, config, map_extent: float) -> int:
+        return max(1, int(math.ceil(map_extent / config.effective_square_side())))
+
+
+@register_protocol("neighborwatch2", aliases=("neighborwatch2vote", "nw2", "2vote"))
+class NeighborWatch2VotePlugin(NeighborWatchPlugin):
+    """The 2-voting variant: same machinery, two distinct vouching squares."""
+
+    votes_required = 2

@@ -1,21 +1,51 @@
-"""Reproductions of the paper's evaluation (one module per table/figure)."""
+"""Reproductions of the paper's evaluation, driven by declarative specs.
+
+Experiments are :class:`~repro.experiments.spec.ExperimentSpec` *data*
+(:mod:`repro.experiments.builtin` holds the eight built-ins) executed by
+generic drivers (:mod:`repro.experiments.driver`) against the open component
+registries of :mod:`repro.registry`.  User scenarios ship as ~20-line JSON or
+TOML files run with ``python -m repro.experiments run --spec FILE`` — see the
+``examples/specs/`` directory.
+
+The historical typed surface (``CrashResilienceSpec`` + ``run_crash_resilience``
+and friends) is preserved in :mod:`repro.experiments.compat` as thin wrappers
+over the same machinery.
+"""
 
 from ..sim.runner import SweepExecutor, SweepTask
 from .base import PointResult, run_point, run_points
-from .clustered import ClusteredSpec, run_clustered
-from .crash_resilience import CrashResilienceSpec, run_crash_resilience
-from .density_tolerance import DensityToleranceSpec, run_density_tolerance
-from .epidemic_comparison import (
+from .builtin import (
+    CLUST_SPEC,
+    DUAL_SPEC,
+    EPID_SPEC,
+    FIG5_SPEC,
+    FIG6_SPEC,
+    FIG7_SPEC,
+    JAM_SPEC,
+    MAPSZ_SPEC,
+)
+from .compat import (
+    ClusteredSpec,
+    CrashResilienceSpec,
+    DensityToleranceSpec,
     DualModeSpec,
     EpidemicComparisonSpec,
-    airtime_bits,
+    JammingSpec,
+    LyingSpec,
+    MapSizeSpec,
+    run_clustered,
+    run_crash_resilience,
+    run_density_tolerance,
     run_dual_mode,
     run_epidemic_comparison,
+    run_jamming,
+    run_lying,
+    run_map_size,
 )
-from .jamming import JammingSpec, fit_linear_trend, run_jamming
-from .lying import LyingSpec, run_lying
-from .map_size import MapSizeSpec, linear_scaling_error, run_map_size
-from .registry import EXPERIMENTS, available_experiments, run_experiment
+from .driver import describe_spec, run_spec
+from .metrics import airtime_bits, fit_linear_trend, linear_scaling_error
+from .registry import EXPERIMENTS, available_experiments, get_spec, run_experiment
+from .spec import ExperimentSpec, SpecValidationError, load_spec
 
 __all__ = [
     "SweepExecutor",
@@ -23,6 +53,20 @@ __all__ = [
     "PointResult",
     "run_point",
     "run_points",
+    "ExperimentSpec",
+    "SpecValidationError",
+    "load_spec",
+    "run_spec",
+    "describe_spec",
+    "get_spec",
+    "FIG5_SPEC",
+    "JAM_SPEC",
+    "FIG6_SPEC",
+    "FIG7_SPEC",
+    "CLUST_SPEC",
+    "MAPSZ_SPEC",
+    "EPID_SPEC",
+    "DUAL_SPEC",
     "ClusteredSpec",
     "run_clustered",
     "CrashResilienceSpec",

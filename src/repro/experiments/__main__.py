@@ -1,40 +1,42 @@
 """Command-line entry point for the paper-reproduction experiments.
 
-Usage::
+Subcommands::
 
-    python -m repro.experiments --list
-    python -m repro.experiments FIG5 --scale small --workers 4
-    python -m repro.experiments EPID --scale paper --workers 8 --chunk-size 2
-    python -m repro.experiments FIG7 --scale small --cache-dir ~/.cache/repro
-    python -m repro.experiments FIG7 --scale small --cache-dir ~/.cache/repro --resume
-    python -m repro.experiments JAM --scale small --export csv > jam.csv
-    python -m repro.experiments FIG7 --scale small --profile
+    python -m repro.experiments list
+    python -m repro.experiments describe FIG5 [--scale small]
+    python -m repro.experiments describe --spec examples/specs/clustered_jamming.toml
+    python -m repro.experiments run FIG5 --scale small --workers 4
+    python -m repro.experiments run --spec examples/specs/clustered_jamming.toml
+    python -m repro.experiments run FIG7 --scale small --cache-dir ~/.cache/repro --resume
+    python -m repro.experiments run JAM --scale small --export csv > jam.csv
+    python -m repro.experiments run FIG7 --scale small --profile
 
-``--profile`` wraps the sweep in :mod:`cProfile` and dumps the top 25
-cumulative entries to stderr, so perf work can locate hot paths without
-ad-hoc scripts (serial runs only see meaningful data; worker processes are
-outside the profiler).  ``--profile-out PATH`` (implies ``--profile``)
-additionally writes the raw :mod:`pstats` file, so profiles can be stored
-next to ``BENCH_<pr>.json`` and diffed across PRs with
-``pstats.Stats(old).print_stats()`` / ``Stats(new)`` instead of comparing
-stderr tables by eye.
+``list`` prints the registered experiment identifiers; ``describe`` prints
+the resolved spec (parameters after scale overrides, axes, grid size) without
+running anything; ``run`` executes a registered experiment — or any
+user-authored JSON/TOML spec file via ``--spec FILE`` (see
+:mod:`repro.experiments.spec` for the format and ``examples/specs/`` for a
+template).
 
-Runs one registered experiment (see ``--list`` for the identifiers), fanning
-its seeded repetitions out over ``--workers`` processes via
-:class:`~repro.sim.runner.SweepExecutor`.  Results are bit-identical for
-every worker count, so ``--workers`` is purely a throughput knob.
+The pre-PR 5 flag forms (``python -m repro.experiments FIG5 --scale small``,
+``--list``) keep working as deprecated aliases for ``run`` / ``list``.
 
-``--cache-dir`` routes the sweep through the content-addressed
-:class:`~repro.store.ResultStore`: repetitions already on disk are read back
-instead of re-simulated (the summary line reports the hit/miss split), new
-ones are persisted as they complete, and an interrupted run resumes from
-whatever landed.  A warm-cache rerun prints byte-identical rows while
-dispatching zero simulations.  ``--resume`` is the explicit spelling of that
-resumption: it requires the cache directory to exist already.  ``--no-cache``
-ignores an inherited cache dir for one invocation.
+Usage errors — an unknown experiment id, an unknown scale, a malformed or
+unreadable spec file, contradictory cache flags — exit with code 2 and print
+the available identifiers / every validation error to stderr; tracebacks are
+reserved for genuine failures inside a running experiment.
 
-``--export {json,csv}`` writes the machine-readable rows to stdout (status
-lines move to stderr), so two invocations can be compared byte for byte.
+``--workers`` fans the seeded repetitions out over processes via
+:class:`~repro.sim.runner.SweepExecutor`; results are bit-identical for every
+worker count, so it is purely a throughput knob.  ``--cache-dir`` routes the
+sweep through the content-addressed :class:`~repro.store.ResultStore`
+(``--resume`` requires the directory to exist, ``--no-cache`` ignores it for
+one invocation); a warm-cache rerun prints byte-identical rows while
+dispatching zero simulations.  ``--export {json,csv}`` writes machine-readable
+rows to stdout (status lines move to stderr).  ``--profile`` dumps the top-25
+cumulative cProfile entries to stderr; ``--profile-out PATH`` (implies
+``--profile``) additionally writes the raw :mod:`pstats` file for cross-PR
+diffing.
 """
 
 from __future__ import annotations
@@ -46,75 +48,88 @@ import time
 from typing import Optional, Sequence
 
 from ..analysis.tables import format_table, to_csv
+from ..registry import RegistryError
 from ..sim.runner import SweepExecutor
-from .registry import EXPERIMENTS, run_experiment
+from .driver import describe_spec, run_spec
+from .registry import EXPERIMENTS, get_spec
+from .spec import ExperimentSpec, SpecValidationError, load_spec
 
 __all__ = ["main"]
+
+_SUBCOMMANDS = ("run", "list", "describe")
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Run one of the paper-reproduction experiments.",
+        description="Run, list or describe the paper-reproduction experiments.",
     )
-    parser.add_argument(
-        "experiment",
-        nargs="?",
-        help="experiment identifier (e.g. FIG5; see --list)",
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    describe = subparsers.add_parser(
+        "describe", help="print the resolved spec and sweep axes of an experiment"
     )
-    parser.add_argument(
-        "--list", action="store_true", help="list the registered experiments and exit"
-    )
-    parser.add_argument(
+    _add_target_arguments(describe)
+    describe.add_argument(
         "--scale",
-        choices=("small", "paper"),
-        default="small",
-        help="spec to run: 'small' (seconds-to-minutes) or 'paper' (hours)",
+        default=None,
+        help="resolve this scale's overrides (default: the base parameters)",
     )
-    parser.add_argument(
+
+    run = subparsers.add_parser("run", help="run an experiment or a spec file")
+    _add_target_arguments(run)
+    run.add_argument(
+        "--scale",
+        default="small",
+        help="spec scale to run: 'small' (seconds-to-minutes) or 'paper' (hours) "
+        "for the built-ins; spec files may declare their own (default: small)",
+    )
+    run.add_argument(
         "--workers",
         type=int,
         default=0,
         help="worker processes for the sweep (0/1 = serial; results are identical)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--chunk-size",
         type=int,
         default=1,
         help="repetitions each worker picks up at a time (amortises overhead)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--cache-dir",
         default=None,
         help="directory of the content-addressed result store; cached repetitions "
         "are reused, new ones persisted (results are identical either way)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--no-cache",
         action="store_true",
         help="ignore --cache-dir for this invocation (simulate everything)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--resume",
         action="store_true",
         help="resume an interrupted run from --cache-dir (errors if the cache "
         "directory does not exist yet)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--export",
         choices=("json", "csv"),
         default=None,
         help="write the result rows to stdout as JSON or CSV instead of a table "
         "(status lines go to stderr)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--profile",
         action="store_true",
         help="run the sweep under cProfile and dump the top-25 cumulative "
         "entries to stderr (results are unchanged; use with --workers 0, "
         "subprocess work is invisible to the profiler)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--profile-out",
         metavar="PATH",
         default=None,
@@ -124,9 +139,81 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment identifier (e.g. FIG5; see 'list')",
+    )
+    parser.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="run a user-authored JSON/TOML ExperimentSpec file instead of a "
+        "registered identifier",
+    )
+
+
+def _normalize_argv(argv: Sequence[str]) -> list[str]:
+    """Map the deprecated flag forms onto the subcommand grammar.
+
+    Anything that does not start with a subcommand becomes a ``run`` alias —
+    both the bare-id form (``FIG5 --scale small``) and the flag-first form
+    the pre-PR 5 parser accepted (``--scale small FIG5``) — except
+    ``-h``/``--help``, which stay with the top-level parser so the subcommand
+    overview remains reachable.
+    """
+    argv = list(argv)
+    if not argv:
+        return ["list"]
+    if "--list" in argv:
+        return ["list"]
+    if argv[0] in _SUBCOMMANDS or argv[0] in ("-h", "--help"):
+        return argv
+    print(
+        "note: 'python -m repro.experiments [flags] <ID>' is deprecated; "
+        "use 'python -m repro.experiments run <ID> [flags]' (see also: list, describe)",
+        file=sys.stderr,
+    )
+    return ["run", *argv]
+
+
+def _resolve_spec(args) -> ExperimentSpec:
+    """The spec named by the arguments; RegistryError/SpecValidationError on misuse."""
+    if args.spec is not None and args.experiment is not None:
+        raise SpecValidationError(
+            ["give either an experiment identifier or --spec FILE, not both"]
+        )
+    if args.spec is not None:
+        return load_spec(args.spec)
+    if args.experiment is None:
+        raise SpecValidationError(
+            ["missing experiment identifier (or --spec FILE); see 'list' for the ids"]
+        )
+    return get_spec(args.experiment)
+
+
+def _resolve_scale(spec: ExperimentSpec, requested: Optional[str]) -> Optional[str]:
+    """The scale to resolve: validated against the spec's declared scales.
+
+    Specs without a ``scales`` section (typical for user files) run on their
+    base parameters; an explicitly requested scale they do not declare is an
+    error, but the *default* request ("small") silently falls back to base.
+    """
+    if requested is None or (requested == "small" and "small" not in spec.scales):
+        return None
+    if requested in spec.scales:
+        return requested
+    declared = ", ".join(spec.scales) or "(none)"
+    raise SpecValidationError(
+        [f"unknown scale {requested!r}; {spec.name} declares: {declared}"],
+        source=spec.name,
+    )
+
+
 def _list_experiments() -> str:
     width = max(len(key) for key in EXPERIMENTS)
-    lines = [f"{key.ljust(width)}  {description}" for key, (description, _) in EXPERIMENTS.items()]
+    lines = [f"{key.ljust(width)}  {spec.title}" for key, spec in EXPERIMENTS.items()]
     return "\n".join(lines)
 
 
@@ -150,23 +237,40 @@ def _build_store(args):
     return ResultStore(args.cache_dir)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = _build_parser()
-    args = parser.parse_args(argv)
+def _usage_error(exc: Exception) -> int:
+    """Print a usage problem (every validation error, one per line) and return 2."""
+    if isinstance(exc, SpecValidationError):
+        prefix = f"{exc.source}: " if exc.source else ""
+        for error in exc.errors:
+            print(f"error: {prefix}{error}", file=sys.stderr)
+    else:
+        # RegistryError messages already list the available keys.
+        print(f"error: {exc}", file=sys.stderr)
+    return 2
 
-    if args.list or args.experiment is None:
-        print(_list_experiments())
-        return 0
 
-    # Validate the knobs and resolve the experiment id up front, so usage
-    # errors exit cleanly with code 2 while genuine failures inside a running
-    # experiment still surface with a full traceback.
+def _command_describe(args) -> int:
     try:
+        spec = _resolve_spec(args)
+        scale = _resolve_scale(spec, args.scale)
+        print(describe_spec(spec, scale=scale))
+    except (RegistryError, SpecValidationError) as exc:
+        return _usage_error(exc)
+    return 0
+
+
+def _command_run(args) -> int:
+    # Validate the knobs and resolve the spec up front, so usage errors exit
+    # cleanly with code 2 while genuine failures inside a running experiment
+    # still surface with a full traceback.
+    try:
+        spec = _resolve_spec(args)
+        scale = _resolve_scale(spec, args.scale)
         executor = SweepExecutor(args.workers, chunk_size=args.chunk_size)
         store = _build_store(args)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    except (RegistryError, SpecValidationError, ValueError) as exc:
+        return _usage_error(exc)
+
     profiler = None
     if args.profile_out:
         args.profile = True
@@ -181,19 +285,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         profiler = cProfile.Profile()
     with executor:
+        started = time.perf_counter()
+        if profiler is not None:
+            profiler.enable()
         try:
-            started = time.perf_counter()
-            if profiler is not None:
-                profiler.enable()
-            rows, description = run_experiment(
-                args.experiment, scale=args.scale, executor=executor, store=store
-            )
+            rows = run_spec(spec, scale=scale, executor=executor, store=store)
+        except (RegistryError, SpecValidationError) as exc:
+            # A spec referencing an unknown component/name or failing template
+            # resolution is a usage error even though it surfaces mid-run;
+            # genuine simulation failures still traceback.
             if profiler is not None:
                 profiler.disable()
-            elapsed = time.perf_counter() - started
-        except KeyError as exc:
-            print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
-            return 2
+            return _usage_error(exc)
+        if profiler is not None:
+            profiler.disable()
+        elapsed = time.perf_counter() - started
     if profiler is not None:
         import pstats
 
@@ -207,8 +313,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     # With --export the rows own stdout; human-facing status moves to stderr.
     status = sys.stderr if args.export else sys.stdout
-    print(f"{args.experiment.upper()} — {description}", file=status)
-    summary = f"scale={args.scale} workers={args.workers} elapsed={elapsed:.1f}s"
+    print(f"{spec.name} — {spec.title}", file=status)
+    summary = (
+        f"scale={scale or 'base'} workers={args.workers} elapsed={elapsed:.1f}s"
+    )
     if store is not None:
         summary += (
             f" cache-dir={args.cache_dir}"
@@ -224,6 +332,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         print(format_table(rows, title=None))
     return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(_normalize_argv(list(argv if argv is not None else sys.argv[1:])))
+    if args.command == "list":
+        print(_list_experiments())
+        return 0
+    if args.command == "describe":
+        return _command_describe(args)
+    return _command_run(args)
 
 
 if __name__ == "__main__":

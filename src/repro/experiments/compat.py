@@ -1,0 +1,423 @@
+"""Typed compatibility wrappers over the declarative experiment specs.
+
+Before PR 5 every experiment was a hand-written module exposing a parameter
+dataclass (``CrashResilienceSpec``, ``JammingSpec``, ...) and a ``run_*``
+function.  Those modules are gone — the experiments are
+:class:`~repro.experiments.spec.ExperimentSpec` *data* executed by the
+generic drivers — but the typed surface is kept here because it is a
+pleasant programmatic API (and the benchmark suite uses it): each dataclass
+mirrors one spec's parameters field-for-field, its ``paper()``/``small()``
+constructors mirror the spec's scales, and ``run_*`` simply feeds the field
+values into :func:`~repro.experiments.driver.run_spec` as overrides.
+
+The wrappers are *exactly* equivalent to running the registered spec: same
+tasks, same fingerprints, same rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..registry import EXPERIMENT_SPECS
+from ..sim.runner import SweepExecutor
+from .driver import run_spec
+
+__all__ = [
+    "CrashResilienceSpec",
+    "run_crash_resilience",
+    "JammingSpec",
+    "run_jamming",
+    "LyingSpec",
+    "run_lying",
+    "DensityToleranceSpec",
+    "run_density_tolerance",
+    "ClusteredSpec",
+    "run_clustered",
+    "MapSizeSpec",
+    "run_map_size",
+    "EpidemicComparisonSpec",
+    "run_epidemic_comparison",
+    "DualModeSpec",
+    "run_dual_mode",
+]
+
+
+def _protocol_entries(protocols) -> tuple[dict, ...]:
+    """Normalise ``(label, protocol, tolerance)`` triples to spec mappings."""
+    entries = []
+    for entry in protocols:
+        if isinstance(entry, Mapping):
+            entries.append(dict(entry))
+        else:
+            label, protocol, tolerance = entry
+            entries.append({"label": label, "protocol": protocol, "tolerance": tolerance})
+    return tuple(entries)
+
+
+def _overrides(spec_dataclass, *, protocols_field: Optional[str] = "protocols") -> dict:
+    """The spec-parameter overrides equivalent to a compat dataclass instance."""
+    overrides = {
+        f.name: getattr(spec_dataclass, f.name) for f in dataclasses.fields(spec_dataclass)
+    }
+    if protocols_field and protocols_field in overrides:
+        overrides[protocols_field] = _protocol_entries(overrides[protocols_field])
+    return overrides
+
+
+def _run(experiment_id: str, spec_dataclass, executor, store, **extra_overrides) -> list[dict]:
+    overrides = _overrides(spec_dataclass)
+    overrides.update(extra_overrides)
+    return run_spec(
+        EXPERIMENT_SPECS.get(experiment_id), overrides=overrides, executor=executor, store=store
+    )
+
+
+# -- FIG5 ---------------------------------------------------------------------------------
+@dataclass(slots=True)
+class CrashResilienceSpec:
+    """Parameters of the crash-resilience sweep (experiment FIG5)."""
+
+    map_size: float = 24.0
+    deployed_density: float = 3.0          # devices deployed before crashing
+    densities: Sequence[float] = (0.75, 1.0, 1.5, 2.0)  # active densities swept
+    radius: float = 4.0
+    message_length: int = 4
+    protocols: Sequence[tuple[str, str, int]] = field(
+        default_factory=lambda: [
+            ("NeighborWatchRB", "neighborwatch", 0),
+            ("NeighborWatchRB-2vote", "neighborwatch2", 0),
+            ("MultiPathRB(t=3)", "multipath", 3),
+            ("MultiPathRB(t=5)", "multipath", 5),
+        ]
+    )
+    repetitions: int = 3
+    base_seed: int = 100
+
+    @classmethod
+    def paper(cls) -> "CrashResilienceSpec":
+        """Parameters close to the paper's Figure 5 (slow: hours of CPU)."""
+        return cls(
+            map_size=24.0,
+            deployed_density=3.0,
+            densities=(0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0),
+            radius=4.0,
+            message_length=4,
+            repetitions=6,
+        )
+
+    @classmethod
+    def small(cls) -> "CrashResilienceSpec":
+        """A scaled-down sweep with the same qualitative shape (tens of seconds)."""
+        return cls(
+            map_size=8.0,
+            deployed_density=2.2,
+            densities=(0.8, 1.6),
+            radius=3.0,
+            message_length=2,
+            protocols=[
+                ("NeighborWatchRB", "neighborwatch", 0),
+                ("NeighborWatchRB-2vote", "neighborwatch2", 0),
+                ("MultiPathRB(t=1)", "multipath", 1),
+            ],
+            repetitions=2,
+        )
+
+
+def run_crash_resilience(
+    spec: CrashResilienceSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> list[dict]:
+    """Run the FIG5 sweep and return one row per (protocol, density) point."""
+    return _run("FIG5", spec, executor, store)
+
+
+# -- JAM ----------------------------------------------------------------------------------
+@dataclass(slots=True)
+class JammingSpec:
+    """Parameters of the jamming sweep (experiment JAM)."""
+
+    map_size: float = 24.0
+    num_nodes: int = 800
+    radius: float = 4.0
+    message_length: int = 4
+    protocol: str = "neighborwatch"
+    jammer_fraction: float = 0.10
+    jam_probability: float = 0.2
+    budgets: Sequence[int] = (0, 5, 10, 20)
+    repetitions: int = 3
+    base_seed: int = 200
+
+    @classmethod
+    def paper(cls) -> "JammingSpec":
+        return cls(budgets=(0, 5, 10, 20, 40, 80), repetitions=6)
+
+    @classmethod
+    def small(cls) -> "JammingSpec":
+        return cls(
+            map_size=10.0,
+            num_nodes=150,
+            radius=3.0,
+            message_length=2,
+            budgets=(0, 4, 8),
+            repetitions=2,
+        )
+
+
+def run_jamming(
+    spec: JammingSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> list[dict]:
+    """Run the jamming sweep and return one row per budget value."""
+    return _run("JAM", spec, executor, store)
+
+
+# -- FIG6 ---------------------------------------------------------------------------------
+@dataclass(slots=True)
+class LyingSpec:
+    """Parameters of the lying sweep (experiment FIG6)."""
+
+    map_size: float = 20.0
+    num_nodes: int = 600
+    radius: float = 4.0
+    message_length: int = 4
+    fractions: Sequence[float] = (0.0, 0.025, 0.05, 0.10, 0.15)
+    protocols: Sequence[tuple[str, str, int]] = field(
+        default_factory=lambda: [
+            ("NeighborWatchRB", "neighborwatch", 0),
+            ("NeighborWatchRB-2vote", "neighborwatch2", 0),
+            ("MultiPathRB(t=3)", "multipath", 3),
+            ("MultiPathRB(t=5)", "multipath", 5),
+        ]
+    )
+    clustered: bool = False
+    repetitions: int = 3
+    base_seed: int = 300
+
+    @classmethod
+    def paper(cls) -> "LyingSpec":
+        return cls(fractions=(0.0, 0.01, 0.025, 0.05, 0.075, 0.10, 0.15, 0.20), repetitions=6)
+
+    @classmethod
+    def small(cls) -> "LyingSpec":
+        return cls(
+            map_size=10.0,
+            num_nodes=150,
+            radius=3.0,
+            message_length=2,
+            fractions=(0.0, 0.05, 0.20),
+            protocols=[
+                ("NeighborWatchRB", "neighborwatch", 0),
+                ("NeighborWatchRB-2vote", "neighborwatch2", 0),
+            ],
+            repetitions=2,
+        )
+
+    @classmethod
+    def small_multipath(cls) -> "LyingSpec":
+        """A tiny MultiPathRB-only variant (MultiPathRB is far slower to simulate)."""
+        return cls(
+            map_size=8.0,
+            num_nodes=110,
+            radius=3.0,
+            message_length=2,
+            fractions=(0.0, 0.03, 0.20),
+            protocols=[("MultiPathRB(t=2)", "multipath", 2)],
+            repetitions=2,
+        )
+
+
+def run_lying(
+    spec: LyingSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> list[dict]:
+    """Run the FIG6 sweep and return one row per (protocol, fraction) point."""
+    return _run("FIG6", spec, executor, store)
+
+
+# -- FIG7 ---------------------------------------------------------------------------------
+@dataclass(slots=True)
+class DensityToleranceSpec:
+    """Parameters of the density-vs-tolerance search (experiment FIG7)."""
+
+    map_size: float = 20.0
+    densities: Sequence[float] = (0.75, 1.5, 3.0)
+    candidate_fractions: Sequence[float] = (0.0, 0.025, 0.05, 0.10, 0.15, 0.25)
+    radius: float = 4.0
+    message_length: int = 4
+    threshold: float = 0.9
+    protocols: Sequence[tuple[str, str, int]] = field(
+        default_factory=lambda: [
+            ("NeighborWatchRB", "neighborwatch", 0),
+            ("NeighborWatchRB-2vote", "neighborwatch2", 0),
+        ]
+    )
+    repetitions: int = 2
+    base_seed: int = 400
+
+    @classmethod
+    def paper(cls) -> "DensityToleranceSpec":
+        return cls(
+            densities=(0.75, 1.5, 3.0, 5.0, 9.0),
+            candidate_fractions=(0.0, 0.025, 0.05, 0.075, 0.10, 0.15, 0.20, 0.25, 0.30),
+            protocols=[
+                ("NeighborWatchRB", "neighborwatch", 0),
+                ("NeighborWatchRB-2vote", "neighborwatch2", 0),
+                ("MultiPathRB(t=3)", "multipath", 3),
+            ],
+            repetitions=6,
+        )
+
+    @classmethod
+    def small(cls) -> "DensityToleranceSpec":
+        return cls(
+            map_size=9.0,
+            densities=(1.2, 2.5),
+            candidate_fractions=(0.0, 0.05, 0.15),
+            radius=3.0,
+            message_length=2,
+            protocols=[("NeighborWatchRB", "neighborwatch", 0)],
+            repetitions=1,
+        )
+
+
+def run_density_tolerance(
+    spec: DensityToleranceSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> list[dict]:
+    """For each (protocol, density), search the largest tolerated lying fraction."""
+    return _run("FIG7", spec, executor, store)
+
+
+# -- CLUST --------------------------------------------------------------------------------
+@dataclass(slots=True)
+class ClusteredSpec:
+    """Parameters of the clustered-deployment comparison (experiment CLUST)."""
+
+    map_size: float = 30.0
+    num_nodes: int = 1200
+    num_clusters: int = 10
+    radius: float = 4.0
+    message_length: int = 4
+    protocol: str = "neighborwatch"
+    lying_fractions: Sequence[float] = (0.0, 0.05)
+    repetitions: int = 3
+    base_seed: int = 500
+
+    @classmethod
+    def paper(cls) -> "ClusteredSpec":
+        return cls(lying_fractions=(0.0, 0.05, 0.10), repetitions=6)
+
+    @classmethod
+    def small(cls) -> "ClusteredSpec":
+        return cls(
+            map_size=12.0,
+            num_nodes=200,
+            num_clusters=5,
+            radius=3.0,
+            message_length=2,
+            lying_fractions=(0.0, 0.05),
+            repetitions=2,
+        )
+
+
+def run_clustered(
+    spec: ClusteredSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> list[dict]:
+    """Compare uniform vs clustered deployments; one row per (kind, fraction)."""
+    return _run("CLUST", spec, executor, store)
+
+
+# -- MAPSZ --------------------------------------------------------------------------------
+@dataclass(slots=True)
+class MapSizeSpec:
+    """Parameters of the map-size sweep (experiment MAPSZ)."""
+
+    map_sizes: Sequence[float] = (10.0, 15.0, 20.0)
+    density: float = 1.25
+    radius: float = 3.0
+    message_length: int = 5
+    protocol: str = "neighborwatch"
+    repetitions: int = 3
+    base_seed: int = 600
+
+    @classmethod
+    def paper(cls) -> "MapSizeSpec":
+        return cls(map_sizes=(30.0, 40.0, 50.0), repetitions=6)
+
+    @classmethod
+    def small(cls) -> "MapSizeSpec":
+        return cls(map_sizes=(8.0, 12.0), density=1.5, message_length=2, repetitions=2)
+
+
+def run_map_size(
+    spec: MapSizeSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> list[dict]:
+    """Run the sweep; one row per map size, with diameter-normalised columns."""
+    return _run("MAPSZ", spec, executor, store)
+
+
+# -- EPID ---------------------------------------------------------------------------------
+@dataclass(slots=True)
+class EpidemicComparisonSpec:
+    """Parameters of the epidemic-vs-authenticated comparison (experiment EPID)."""
+
+    map_sizes: Sequence[float] = (15.0,)
+    density: float = 1.25
+    radius: float = 3.0
+    message_length: int = 5
+    include_multipath: bool = False
+    multipath_tolerance: int = 1
+    repetitions: int = 3
+    base_seed: int = 700
+
+    @classmethod
+    def paper(cls) -> "EpidemicComparisonSpec":
+        return cls(map_sizes=(30.0, 40.0, 50.0), repetitions=6, include_multipath=True)
+
+    @classmethod
+    def small(cls) -> "EpidemicComparisonSpec":
+        return cls(map_sizes=(10.0,), density=1.5, message_length=3, repetitions=2)
+
+    @classmethod
+    def small_with_multipath(cls) -> "EpidemicComparisonSpec":
+        return cls(
+            map_sizes=(8.0,),
+            density=1.5,
+            message_length=2,
+            repetitions=1,
+            include_multipath=True,
+            multipath_tolerance=1,
+        )
+
+
+def run_epidemic_comparison(
+    spec: EpidemicComparisonSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> list[dict]:
+    """One row per (map size, protocol), with the slowdown over the epidemic baseline."""
+    return _run("EPID", spec, executor, store)
+
+
+# -- DUAL ---------------------------------------------------------------------------------
+@dataclass(slots=True)
+class DualModeSpec:
+    """Parameters of the dual-mode (payload flood + secured digest) experiment."""
+
+    map_size: float = 12.0
+    density: float = 1.5
+    radius: float = 3.0
+    payload_bits: int = 20
+    digest_ratio: float = 0.1
+    seed: int = 800
+
+    @classmethod
+    def paper(cls) -> "DualModeSpec":
+        return cls(map_size=30.0, density=1.25, payload_bits=50, digest_ratio=0.1)
+
+    @classmethod
+    def small(cls) -> "DualModeSpec":
+        return cls(map_size=9.0, density=1.5, payload_bits=10, digest_ratio=0.2)
+
+
+def run_dual_mode(
+    spec: DualModeSpec, *, executor: Optional[SweepExecutor] = None, store=None
+) -> dict:
+    """Run the dual-mode experiment; returns a single summary row."""
+    return _run("DUAL", spec, executor, store)[0]

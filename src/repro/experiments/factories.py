@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..adversary.crash import crashes_for_target_density
 from ..adversary.placement import random_fault_selection
+from ..registry import register_deployment, register_fault_plan
 from ..sim.config import FaultPlan
 from ..topology.deployment import Deployment, clustered_deployment, uniform_deployment
 
@@ -32,6 +33,7 @@ __all__ = [
 
 
 # -- deployment factories ---------------------------------------------------------------
+@register_deployment("uniform")
 @dataclass(frozen=True, slots=True)
 class UniformDeploymentFactory:
     """Uniformly random deployment of ``num_nodes`` on a ``width x height`` map."""
@@ -44,6 +46,7 @@ class UniformDeploymentFactory:
         return uniform_deployment(self.num_nodes, self.width, self.height, rng=seed)
 
 
+@register_deployment("clustered")
 @dataclass(frozen=True, slots=True)
 class ClusteredDeploymentFactory:
     """Clustered deployment (random cluster centers, normal spread)."""
@@ -59,6 +62,7 @@ class ClusteredDeploymentFactory:
         )
 
 
+@register_deployment("fixed")
 @dataclass(frozen=True, slots=True)
 class FixedDeploymentFactory:
     """Always returns the same pre-built deployment (seed is ignored)."""
@@ -70,6 +74,7 @@ class FixedDeploymentFactory:
 
 
 # -- fault factories --------------------------------------------------------------------
+@register_fault_plan("target_density_crash")
 @dataclass(frozen=True, slots=True)
 class TargetDensityCrashFactory:
     """Crash devices until the *active* density reaches ``density``."""
@@ -82,6 +87,7 @@ class TargetDensityCrashFactory:
         return FaultPlan(crashed=tuple(crashed))
 
 
+@register_fault_plan("budgeted_jammer")
 @dataclass(frozen=True, slots=True)
 class BudgetedJammerFactory:
     """``count`` randomly placed jammers with a per-device broadcast budget."""
@@ -105,6 +111,7 @@ class BudgetedJammerFactory:
         )
 
 
+@register_fault_plan("random_liar")
 @dataclass(frozen=True, slots=True)
 class RandomLiarFactory:
     """``count`` randomly placed lying devices (no faults when ``count`` is 0)."""

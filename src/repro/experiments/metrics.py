@@ -1,0 +1,169 @@
+"""Row builders and figure-level metric helpers for the experiment drivers.
+
+A *row builder* turns one sweep's aggregated points into the flat table rows
+an experiment reports.  Builders are registered in
+``repro.registry.METRICS`` and referenced by key from an
+:class:`~repro.experiments.spec.ExperimentSpec`'s ``rows`` field, so derived
+columns are part of the declarative surface: a spec opts into connectivity
+reporting, diameter normalization or baseline slowdowns by naming the
+builder, and new derived-column sets are added by registering a function —
+not by writing a new experiment module.
+
+Every builder has the signature ``builder(ctx, tasks, points) -> list[dict]``
+where ``ctx`` is the resolved parameter context, and ``tasks``/``points`` are
+the parallel lists of :class:`~repro.sim.runner.SweepTask` and
+:class:`~repro.experiments.base.PointResult`.
+
+The free functions (:func:`airtime_bits`, :func:`fit_linear_trend`,
+:func:`linear_scaling_error`) are the figure-level helpers the benchmark
+harness and the examples import; they lived in the per-experiment modules
+before PR 5.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..registry import PROTOCOLS, register_metric
+from ..topology.connectivity import connectivity_report
+
+__all__ = [
+    "airtime_bits",
+    "fit_linear_trend",
+    "linear_scaling_error",
+]
+
+
+def airtime_bits(protocol: str, rounds: float, message_length: int) -> float:
+    """Air-time (in bit-times) of a run of ``rounds`` slotted rounds.
+
+    Epidemic rounds carry whole ``message_length``-bit payload frames; rounds
+    of the bit-by-bit authenticated protocols carry at most one bit.  The
+    per-protocol weight is the registered plugin's ``airtime_multiplier``.
+    """
+    return rounds * PROTOCOLS.get(protocol).airtime_multiplier(message_length)
+
+
+def fit_linear_trend(
+    rows: Sequence[dict], x_key: str = "budget", y_key: str = "rounds"
+) -> tuple[float, float, float]:
+    """Least-squares fit ``y = a*x + b``; returns ``(a, b, r_squared)``.
+
+    Used to verify the paper's observation that delay grows linearly with the
+    jamming budget.
+    """
+    xs = np.asarray([float(r[x_key]) for r in rows])
+    ys = np.asarray([float(r[y_key]) for r in rows])
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a line")
+    a, b = np.polyfit(xs, ys, 1)
+    predicted = a * xs + b
+    ss_res = float(np.sum((ys - predicted) ** 2))
+    ss_tot = float(np.sum((ys - ys.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(a), float(b), r_squared
+
+
+def linear_scaling_error(
+    rows: Sequence[dict], x_key: str = "diameter_hops", y_key: str = "rounds"
+) -> float:
+    """Relative RMS error of the best linear (through-origin-free) fit.
+
+    Small values mean the measured series is consistent with linear scaling in
+    the diameter, which is what Theorem 5 and the paper's map-size experiment
+    claim.
+    """
+    xs = np.asarray([float(r[x_key]) for r in rows])
+    ys = np.asarray([float(r[y_key]) for r in rows])
+    if len(xs) < 2:
+        return 0.0
+    coeffs = np.polyfit(xs, ys, 1)
+    predicted = np.polyval(coeffs, xs)
+    rms = float(np.sqrt(np.mean((ys - predicted) ** 2)))
+    scale = float(np.mean(np.abs(ys))) or 1.0
+    return rms / scale
+
+
+# -- registered row builders --------------------------------------------------------------
+@register_metric("default")
+def default_rows(ctx, tasks, points) -> list[dict]:
+    """One row per point: the standard aggregate columns plus the task's extras."""
+    return [point.row(**task.extra) for task, point in zip(tasks, points)]
+
+
+@register_metric("clustered_connectivity")
+def clustered_connectivity_rows(ctx, tasks, points) -> list[dict]:
+    """Standard rows plus source-component connectivity of a sample deployment.
+
+    The paper attributes sub-100% completion of clustered deployments to
+    clusters disconnected from the source, so the table reports the reachable
+    fraction alongside.
+    """
+    rows: list[dict] = []
+    for task, point in zip(tasks, points):
+        sample = task.deployment_factory(task.base_seed)
+        report = connectivity_report(
+            sample.positions, ctx["radius"], sample.source_index, norm="l2"
+        )
+        rows.append(
+            point.row(
+                **task.extra,
+                reachable_from_source_pct=100.0 * report.reachable_from_source,
+            )
+        )
+    return rows
+
+
+@register_metric("map_size_scaling")
+def map_size_scaling_rows(ctx, tasks, points) -> list[dict]:
+    """Diameter-normalised columns for the Theorem 5 map-size sweep."""
+    rows: list[dict] = []
+    for task, point in zip(tasks, points):
+        num_nodes = task.deployment_factory.num_nodes
+        sample = task.deployment_factory(task.base_seed)
+        report = connectivity_report(sample.positions, ctx["radius"], sample.source_index)
+        diameter = max(report.diameter_hops_from_source, 1)
+        rows.append(
+            point.row(
+                map_size=task.extra["map_size"],
+                num_nodes=num_nodes,
+                diameter_hops=diameter,
+                rounds_per_hop=point.rounds / diameter,
+                broadcasts_per_node=point.honest_broadcasts / num_nodes,
+            )
+        )
+    return rows
+
+
+@register_metric("epidemic_slowdown")
+def epidemic_slowdown_rows(ctx, tasks, points) -> list[dict]:
+    """Air-time slowdown of each protocol over the epidemic baseline per map size.
+
+    Raw round counts would overstate the epidemic's advantage by ~the message
+    length (its rounds carry whole payload frames), so the slowdown factors
+    are computed on air-time; the raw-round ratio is reported alongside.
+    """
+    message_length = ctx["message_length"]
+    rows: list[dict] = []
+    baselines: dict[float, tuple[float, float]] = {}
+    for task, point in zip(tasks, points):
+        size = task.extra["map_size"]
+        airtime = airtime_bits(task.extra["protocol_id"], point.rounds, message_length)
+        if task.extra["protocol"] == "epidemic":
+            baselines[size] = (airtime, point.rounds)
+        baseline_airtime, baseline_rounds = baselines.get(size, (None, None))
+        slowdown = airtime / baseline_airtime if baseline_airtime else float("nan")
+        raw_slowdown = point.rounds / baseline_rounds if baseline_rounds else float("nan")
+        rows.append(
+            point.row(
+                map_size=size,
+                protocol=task.extra["protocol"],
+                num_nodes=task.deployment_factory.num_nodes,
+                airtime_bits=airtime,
+                slowdown=slowdown,
+                raw_round_slowdown=raw_slowdown,
+            )
+        )
+    return rows

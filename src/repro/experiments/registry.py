@@ -1,88 +1,55 @@
-"""Registry mapping the experiment identifiers of DESIGN.md to runnable entry points.
+"""Experiment lookup: DESIGN.md identifiers → declarative specs.
 
-Each entry returns ``(rows, description)`` when called with the chosen scale
-(``"small"`` or ``"paper"``) and a :class:`~repro.sim.runner.SweepExecutor`;
-the command-line entry point (``python -m repro.experiments``) and the
-benchmark harness both go through this registry so there is exactly one place
-where an experiment id is bound to code.
+Every experiment is an :class:`~repro.experiments.spec.ExperimentSpec`
+registered in ``repro.registry.EXPERIMENT_SPECS`` (the built-ins live in
+:mod:`repro.experiments.builtin`, in DESIGN.md order).  The command-line
+entry point and the benchmark harness both go through :func:`run_experiment`,
+so there is exactly one place where an experiment id is bound to data — and
+registering a new spec (or loading one from a file) makes it runnable with no
+changes here.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
+from ..registry import EXPERIMENT_SPECS
 from ..sim.runner import SweepExecutor
-from .clustered import ClusteredSpec, run_clustered
-from .crash_resilience import CrashResilienceSpec, run_crash_resilience
-from .density_tolerance import DensityToleranceSpec, run_density_tolerance
-from .epidemic_comparison import (
-    DualModeSpec,
-    EpidemicComparisonSpec,
-    run_dual_mode,
-    run_epidemic_comparison,
-)
-from .jamming import JammingSpec, run_jamming
-from .lying import LyingSpec, run_lying
-from .map_size import MapSizeSpec, run_map_size
+from .driver import run_spec
+from .spec import ExperimentSpec
 
-__all__ = ["EXPERIMENTS", "available_experiments", "run_experiment"]
+__all__ = ["EXPERIMENTS", "available_experiments", "get_spec", "run_experiment"]
 
 
-def _spec_for(spec_cls, scale: str):
-    if scale == "paper":
-        return spec_cls.paper()
-    if scale == "small":
-        return spec_cls.small()
-    raise ValueError(f"unknown scale {scale!r}; expected 'small' or 'paper'")
+class _ExperimentsView(Mapping):
+    """Live read-only view of the experiment-spec registry, keyed by id."""
+
+    def __getitem__(self, key: str) -> ExperimentSpec:
+        return EXPERIMENT_SPECS.get(key)
+
+    def __iter__(self):
+        return iter(EXPERIMENT_SPECS.keys())
+
+    def __len__(self) -> int:
+        return len(EXPERIMENT_SPECS)
 
 
-def _run_fig5(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
-    return run_crash_resilience(_spec_for(CrashResilienceSpec, scale), executor=executor, store=store)
-
-
-def _run_jam(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
-    return run_jamming(_spec_for(JammingSpec, scale), executor=executor, store=store)
-
-
-def _run_fig6(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
-    return run_lying(_spec_for(LyingSpec, scale), executor=executor, store=store)
-
-
-def _run_fig7(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
-    return run_density_tolerance(_spec_for(DensityToleranceSpec, scale), executor=executor, store=store)
-
-
-def _run_clust(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
-    return run_clustered(_spec_for(ClusteredSpec, scale), executor=executor, store=store)
-
-
-def _run_mapsz(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
-    return run_map_size(_spec_for(MapSizeSpec, scale), executor=executor, store=store)
-
-
-def _run_epid(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
-    return run_epidemic_comparison(_spec_for(EpidemicComparisonSpec, scale), executor=executor, store=store)
-
-
-def _run_dual(scale: str, executor: Optional[SweepExecutor], store=None) -> Sequence[dict]:
-    return [run_dual_mode(_spec_for(DualModeSpec, scale), executor=executor, store=store)]
-
-
-EXPERIMENTS: Mapping[str, tuple[str, Callable[..., Sequence[dict]]]] = {
-    "FIG5": ("Crash resilience: completion vs active-device density (Fig. 5)", _run_fig5),
-    "JAM": ("Jamming: completion time vs adversarial budget (Sec. 6.1)", _run_jam),
-    "FIG6": ("Lying devices: correctness vs Byzantine fraction (Fig. 6)", _run_fig6),
-    "FIG7": ("Max tolerated Byzantine fraction vs density (Fig. 7)", _run_fig7),
-    "CLUST": ("Clustered vs uniform deployments (Sec. 6.2)", _run_clust),
-    "MAPSZ": ("Scaling with map size / diameter (Sec. 6.2, Thm. 5)", _run_mapsz),
-    "EPID": ("Comparison with the epidemic baseline (Sec. 6.2)", _run_epid),
-    "DUAL": ("Dual-mode protocol: payload flood + secured digest (Sec. 1, 6.2)", _run_dual),
-}
+#: Mapping of experiment id → :class:`ExperimentSpec`, in registration order.
+EXPERIMENTS: Mapping[str, ExperimentSpec] = _ExperimentsView()
 
 
 def available_experiments() -> list[str]:
     """Identifiers of all registered experiments, in DESIGN.md order."""
-    return list(EXPERIMENTS)
+    return EXPERIMENT_SPECS.keys()
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """The registered spec for ``experiment_id``.
+
+    Raises a :class:`~repro.registry.RegistryError` (a ``KeyError`` subclass)
+    listing the available identifiers when the id is unknown.
+    """
+    return EXPERIMENT_SPECS.get(experiment_id)
 
 
 def run_experiment(
@@ -101,11 +68,8 @@ def run_experiment(
     (a :class:`~repro.store.ResultStore`) makes the run incremental: cached
     repetitions are read back instead of re-simulated, new ones persisted.
     """
-    key = experiment_id.upper()
-    if key not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}")
-    description, runner = EXPERIMENTS[key]
+    spec = get_spec(experiment_id)
     if executor is not None:
-        return runner(scale, executor, store=store), description
+        return run_spec(spec, scale=scale, executor=executor, store=store), spec.title
     with SweepExecutor(workers, chunk_size=chunk_size) as owned_executor:
-        return runner(scale, owned_executor, store=store), description
+        return run_spec(spec, scale=scale, executor=owned_executor, store=store), spec.title

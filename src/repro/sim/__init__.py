@@ -1,7 +1,7 @@
 """Radio-network simulator substrate (the reproduction's stand-in for WSNet)."""
 
 from .builder import build_channel, build_schedule, build_simulation, run_scenario
-from .config import ChannelName, FaultPlan, ProtocolName, ScenarioConfig, default_message
+from .config import FaultPlan, ScenarioConfig, canonical_channel, canonical_protocol, default_message
 from .batch import Cohort, CohortRuntime
 from .engine import Simulation, clear_link_cache, default_cohort_runtime, link_cache_info
 from .events import Event, EventKind, EventLog
@@ -21,10 +21,10 @@ __all__ = [
     "build_schedule",
     "build_simulation",
     "run_scenario",
-    "ChannelName",
     "FaultPlan",
-    "ProtocolName",
     "ScenarioConfig",
+    "canonical_channel",
+    "canonical_protocol",
     "default_message",
     "Simulation",
     "clear_link_cache",

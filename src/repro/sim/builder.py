@@ -16,18 +16,14 @@ import math
 from typing import Optional
 
 from ..adversary.jammer import VetoJammer
-from ..adversary.liar import fake_message_for, lying_node_factory
-from ..core.epidemic import EpidemicConfig, EpidemicNode
-from ..core.multipath import MultiPathConfig, MultiPathNode
-from ..core.neighborwatch import NeighborWatchConfig, NeighborWatchNode
+from ..adversary.liar import fake_message_for
 from ..core.protocol import NodeContext, Protocol
-from ..core.regions import SquareGrid
-from ..core.schedule import NodeSchedule, Schedule, SquareSchedule
+from ..core.schedule import Schedule
 from ..topology.deployment import Deployment
-from .config import ChannelName, FaultPlan, ProtocolName, ScenarioConfig
+from .config import FaultPlan, ScenarioConfig
 from .engine import Simulation
 from .events import EventLog
-from .radio import Channel, FriisChannel, UnitDiskChannel
+from .radio import Channel
 from .results import RunResult, validate_metadata
 from .rng import RngFactory
 from .node import SimNode
@@ -37,64 +33,16 @@ __all__ = ["build_schedule", "build_channel", "build_simulation", "run_scenario"
 
 def build_schedule(deployment: Deployment, config: ScenarioConfig) -> Schedule:
     """Construct the TDMA schedule appropriate for the configured protocol."""
-    protocol = ProtocolName.parse(config.protocol)
-    if protocol in (ProtocolName.NEIGHBORWATCH, ProtocolName.NEIGHBORWATCH_2VOTE):
-        grid = SquareGrid(deployment.width, deployment.height, config.effective_square_side())
-        return SquareSchedule(
-            grid,
-            config.radius,
-            deployment.positions,
-            deployment.source_index,
-            separation=config.separation,
-        )
-    if protocol is ProtocolName.MULTIPATH:
-        return NodeSchedule(
-            deployment.positions,
-            config.radius,
-            deployment.source_index,
-            separation=config.separation,
-            norm=config.norm,
-        )
-    if protocol is ProtocolName.EPIDEMIC:
-        return NodeSchedule(
-            deployment.positions,
-            config.radius,
-            deployment.source_index,
-            separation=config.epidemic_slot_separation,
-            norm=config.norm,
-            phases_per_slot=1,
-        )
-    raise ValueError(f"unsupported protocol {protocol}")
+    return config.protocol_plugin().build_schedule(deployment, config)
 
 
 def build_channel(config: ScenarioConfig) -> Channel:
     """Construct the configured channel model."""
-    channel = ChannelName(config.channel)
-    if channel is ChannelName.UNIT_DISK:
-        return UnitDiskChannel(
-            config.radius,
-            norm=config.norm,
-            capture_probability=config.capture_probability,
-            loss_probability=config.loss_probability,
-        )
-    if channel is ChannelName.FRIIS:
-        return FriisChannel(config.radius, loss_probability=config.loss_probability)
-    raise ValueError(f"unsupported channel {channel}")
+    return config.channel_plugin().build(config)
 
 
 def _honest_protocol(config: ScenarioConfig) -> Protocol:
-    protocol = ProtocolName.parse(config.protocol)
-    if protocol is ProtocolName.NEIGHBORWATCH:
-        return NeighborWatchNode(NeighborWatchConfig(votes_required=1, idle_veto=config.idle_veto))
-    if protocol is ProtocolName.NEIGHBORWATCH_2VOTE:
-        return NeighborWatchNode(NeighborWatchConfig(votes_required=2, idle_veto=config.idle_veto))
-    if protocol is ProtocolName.MULTIPATH:
-        return MultiPathNode(
-            MultiPathConfig(tolerance=config.multipath_tolerance, idle_veto=config.idle_veto)
-        )
-    if protocol is ProtocolName.EPIDEMIC:
-        return EpidemicNode(EpidemicConfig())
-    raise ValueError(f"unsupported protocol {protocol}")
+    return config.protocol_plugin().build(config)
 
 
 def build_simulation(
@@ -116,7 +64,7 @@ def build_simulation(
     faults = faults if faults is not None else FaultPlan()
     faults.validate_for(deployment.num_nodes, deployment.source_index)
 
-    protocol_name = ProtocolName.parse(config.protocol)
+    plugin = config.protocol_plugin()
     message = config.message_bits
     fake = tuple(faults.fake_message) if faults.fake_message is not None else fake_message_for(message)
     rng_factory = RngFactory(config.seed)
@@ -148,9 +96,7 @@ def build_simulation(
             )
         elif node_id in liars:
             honest = False
-            protocol = lying_node_factory(
-                protocol_name.value, fake, tolerance=config.multipath_tolerance
-            )
+            protocol = plugin.build_liar(config, fake)
         else:
             protocol = _honest_protocol(config)
 
@@ -196,15 +142,9 @@ def run_scenario(
     faults = faults if faults is not None else FaultPlan()
     if max_rounds is None:
         extent = math.hypot(deployment.width, deployment.height)
-        bits_per_hop = 1
-        if ProtocolName.parse(config.protocol) is ProtocolName.MULTIPATH:
-            # MultiPathRB streams whole control frames over the 1Hop-Protocol,
-            # so per-hop progress costs one frame's worth of successful slots.
-            from ..core.messages import ControlCodec
-
-            bits_per_hop = ControlCodec(
-                config.message_length, simulation.schedule.num_slots
-            ).frame_bits
+        bits_per_hop = config.protocol_plugin().bits_per_hop(
+            config, simulation.schedule.num_slots
+        )
         max_rounds = config.derive_max_rounds(
             extent,
             simulation.schedule.rounds_per_cycle,
@@ -218,7 +158,7 @@ def run_scenario(
     result.metadata.update(
         validate_metadata(
             {
-                "protocol": ProtocolName.parse(config.protocol).value,
+                "protocol": config.protocol,
                 "radius": float(config.radius),
                 "message_length": config.message_length,
                 "num_nodes": deployment.num_nodes,

@@ -6,58 +6,49 @@ model, the message being broadcast and the run limits.  A *fault plan* lists
 which devices misbehave and how.  Both are plain dataclasses so that
 experiments can sweep over them declaratively and results remain reproducible
 from their configuration alone.
+
+Protocols and channels are referenced by *registry key* (plain strings such
+as ``"neighborwatch"`` or ``"friis"``), resolved through the open registries
+in :mod:`repro.registry` — not by enum.  Construction canonicalizes aliases
+(``"nw2"`` → ``"neighborwatch2"``), so a :class:`ScenarioConfig` always
+carries the canonical key; the canonical keys equal the values the retired
+``ProtocolName`` / ``ChannelName`` enums carried, which keeps every stored
+:meth:`repro.sim.runner.SweepTask.fingerprint` byte-identical across the
+registry redesign.  Registering a new protocol or channel plugin makes it
+sweepable here with no changes to this module.
 """
 
 from __future__ import annotations
 
-import enum
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from ..core.messages import Bits, validate_bits
+from ..registry import CHANNELS, PROTOCOLS
 
-__all__ = ["ProtocolName", "ChannelName", "ScenarioConfig", "FaultPlan", "default_message"]
-
-
-class ProtocolName(str, enum.Enum):
-    """The protocols that can be simulated."""
-
-    NEIGHBORWATCH = "neighborwatch"
-    NEIGHBORWATCH_2VOTE = "neighborwatch2"
-    MULTIPATH = "multipath"
-    EPIDEMIC = "epidemic"
-
-    @classmethod
-    def parse(cls, value: "ProtocolName | str") -> "ProtocolName":
-        if isinstance(value, cls):
-            return value
-        normalized = str(value).strip().lower().replace("-", "").replace("_", "")
-        aliases = {
-            "neighborwatch": cls.NEIGHBORWATCH,
-            "neighborwatchrb": cls.NEIGHBORWATCH,
-            "nw": cls.NEIGHBORWATCH,
-            "neighborwatch2": cls.NEIGHBORWATCH_2VOTE,
-            "neighborwatch2vote": cls.NEIGHBORWATCH_2VOTE,
-            "nw2": cls.NEIGHBORWATCH_2VOTE,
-            "2vote": cls.NEIGHBORWATCH_2VOTE,
-            "multipath": cls.MULTIPATH,
-            "multipathrb": cls.MULTIPATH,
-            "mp": cls.MULTIPATH,
-            "epidemic": cls.EPIDEMIC,
-            "flood": cls.EPIDEMIC,
-            "flooding": cls.EPIDEMIC,
-        }
-        if normalized not in aliases:
-            raise ValueError(f"unknown protocol {value!r}")
-        return aliases[normalized]
+__all__ = [
+    "canonical_protocol",
+    "canonical_channel",
+    "ScenarioConfig",
+    "FaultPlan",
+    "default_message",
+]
 
 
-class ChannelName(str, enum.Enum):
-    """Available channel models."""
+def canonical_protocol(value: str) -> str:
+    """The canonical registry key of a protocol name or alias.
 
-    UNIT_DISK = "unitdisk"
-    FRIIS = "friis"
+    Raises a :class:`~repro.registry.RegistryError` (a ``KeyError`` *and*
+    ``ValueError`` subclass) listing the registered protocols when the key is
+    unknown.  Lookup ignores case, ``-`` and ``_``, so the historical aliases
+    (``"nw"``, ``"2-vote"``, ``"flooding"``, ...) keep resolving.
+    """
+    return PROTOCOLS.canonical(value)
+
+
+def canonical_channel(value: str) -> str:
+    """The canonical registry key of a channel name (see :func:`canonical_protocol`)."""
+    return CHANNELS.canonical(value)
 
 
 def default_message(length: int) -> Bits:
@@ -78,7 +69,8 @@ class ScenarioConfig:
     Attributes
     ----------
     protocol:
-        Which protocol to run (see :class:`ProtocolName`).
+        Registry key (or alias) of the protocol to run; see
+        ``repro.registry.PROTOCOLS.keys()`` for what is available.
     radius:
         Communication radius ``R`` (the paper's experiments use ~3-4 length
         units).
@@ -90,7 +82,8 @@ class ScenarioConfig:
         ``"l2"`` for geometric deployments (simulation model), ``"linf"`` for
         the analytical grid model.
     channel:
-        ``"unitdisk"`` or ``"friis"``.
+        Registry key of the channel model (``"unitdisk"`` or ``"friis"``
+        built-in).
     capture_probability / loss_probability:
         Channel imperfections (see :mod:`repro.sim.radio`).
     square_side:
@@ -115,12 +108,12 @@ class ScenarioConfig:
         Root seed for all randomness of the run.
     """
 
-    protocol: ProtocolName | str = ProtocolName.NEIGHBORWATCH
+    protocol: str = "neighborwatch"
     radius: float = 4.0
     message_length: int = 4
     message: Optional[Sequence[int]] = None
     norm: str = "l2"
-    channel: ChannelName | str = ChannelName.UNIT_DISK
+    channel: str = "unitdisk"
     capture_probability: float = 0.0
     loss_probability: float = 0.0
     square_side: Optional[float] = None
@@ -132,8 +125,8 @@ class ScenarioConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        self.protocol = ProtocolName.parse(self.protocol)
-        self.channel = ChannelName(self.channel)
+        self.protocol = canonical_protocol(self.protocol)
+        self.channel = canonical_channel(self.channel)
         if self.radius <= 0:
             raise ValueError("radius must be positive")
         if self.message_length < 1:
@@ -164,6 +157,14 @@ class ScenarioConfig:
             return float(self.epidemic_separation)
         return self.separation
 
+    def protocol_plugin(self):
+        """The registered :class:`~repro.registry.ProtocolPlugin` for this scenario."""
+        return PROTOCOLS.get(self.protocol)
+
+    def channel_plugin(self):
+        """The registered :class:`~repro.registry.ChannelPlugin` for this scenario."""
+        return CHANNELS.get(self.channel)
+
     def effective_square_side(self) -> float:
         if self.square_side is not None:
             if self.square_side <= 0:
@@ -185,25 +186,23 @@ class ScenarioConfig:
 
         ``bits_per_hop`` accounts for protocols whose per-hop progress requires
         several 1Hop bits (MultiPathRB streams whole control frames, so one hop
-        of progress costs ``frame_bits`` successful slots).
+        of progress costs ``frame_bits`` successful slots).  The hop count
+        itself comes from the protocol plugin's ``pipeline_hops`` — for
+        NeighborWatchRB the effective hop length is the square side rather
+        than the radio range.
         """
         if self.max_rounds is not None:
             return int(self.max_rounds)
-        hops = max(1, int(math.ceil(map_extent / max(self.radius, 1e-9))))
-        protocol = ProtocolName.parse(self.protocol)
-        if protocol in (ProtocolName.NEIGHBORWATCH, ProtocolName.NEIGHBORWATCH_2VOTE):
-            # NeighborWatchRB relays square-by-square, so the effective hop
-            # length is the square side rather than the radio range.
-            hops = max(1, int(math.ceil(map_extent / self.effective_square_side())))
+        hops = self.protocol_plugin().pipeline_hops(self, map_extent)
         # Pipelined delivery needs O(hops + message_length) cycles; multiply by a
         # slack factor and add one cycle per adversarial broadcast (each broadcast
         # can spoil at most one slot).
         cycles = 6 * (hops + self.message_length + 8) * max(1, int(bits_per_hop)) + adversary_budget
         return int(cycles) * int(rounds_per_cycle)
 
-    def with_protocol(self, protocol: ProtocolName | str) -> "ScenarioConfig":
+    def with_protocol(self, protocol: str) -> "ScenarioConfig":
         """A copy of this configuration running a different protocol."""
-        return replace(self, protocol=ProtocolName.parse(protocol))
+        return replace(self, protocol=canonical_protocol(protocol))
 
 
 @dataclass(slots=True)

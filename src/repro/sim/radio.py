@@ -40,6 +40,7 @@ import numpy as np
 
 from ..core.messages import Frame
 from ..core.protocol import ChannelState, Observation, SILENCE
+from ..registry import ChannelPlugin, register_channel
 
 __all__ = [
     "Transmission",
@@ -588,3 +589,25 @@ class FriisChannel(Channel):
             else:
                 observations.append(_COLLISION)
         return observations
+
+
+# -- registry plugins ---------------------------------------------------------------------
+@register_channel("unitdisk")
+class UnitDiskChannelPlugin(ChannelPlugin):
+    """Builds the deterministic/capture/loss unit-disk channel from a scenario."""
+
+    def build(self, config) -> UnitDiskChannel:
+        return UnitDiskChannel(
+            config.radius,
+            norm=config.norm,
+            capture_probability=config.capture_probability,
+            loss_probability=config.loss_probability,
+        )
+
+
+@register_channel("friis")
+class FriisChannelPlugin(ChannelPlugin):
+    """Builds the Friis/SINR channel from a scenario."""
+
+    def build(self, config) -> FriisChannel:
+        return FriisChannel(config.radius, loss_probability=config.loss_probability)

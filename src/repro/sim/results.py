@@ -45,7 +45,7 @@ RECORD_VERSION = 1
 #: others (``validate_metadata`` enforces it), so the serialized record schema
 #: is closed and future readers know what to expect.
 METADATA_FIELDS: Mapping[str, type] = {
-    "protocol": str,          # ProtocolName.value of the simulated protocol
+    "protocol": str,          # canonical registry key of the simulated protocol
     "radius": float,          # communication radius R
     "message_length": int,    # bits of the application message
     "num_nodes": int,         # deployed devices (honest + faulty)

@@ -9,34 +9,46 @@ from repro.core.multipath import MultiPathNode
 from repro.core.epidemic import EpidemicNode
 from repro.core.schedule import NodeSchedule, SquareSchedule
 from repro.sim.builder import build_schedule, build_simulation, run_scenario
-from repro.sim.config import ChannelName, FaultPlan, ProtocolName, ScenarioConfig, default_message
+from repro.registry import RegistryError
+from repro.sim.config import (
+    FaultPlan,
+    ScenarioConfig,
+    canonical_channel,
+    canonical_protocol,
+    default_message,
+)
 from repro.sim.radio import FriisChannel, UnitDiskChannel
 from repro.topology.deployment import uniform_deployment
 
 
-class TestProtocolName:
+class TestCanonicalProtocol:
     @pytest.mark.parametrize(
         "alias,expected",
         [
-            ("neighborwatch", ProtocolName.NEIGHBORWATCH),
-            ("NeighborWatchRB", ProtocolName.NEIGHBORWATCH),
-            ("nw", ProtocolName.NEIGHBORWATCH),
-            ("nw2", ProtocolName.NEIGHBORWATCH_2VOTE),
-            ("2-vote", ProtocolName.NEIGHBORWATCH_2VOTE),
-            ("MultiPathRB", ProtocolName.MULTIPATH),
-            ("mp", ProtocolName.MULTIPATH),
-            ("flooding", ProtocolName.EPIDEMIC),
+            ("neighborwatch", "neighborwatch"),
+            ("NeighborWatchRB", "neighborwatch"),
+            ("nw", "neighborwatch"),
+            ("nw2", "neighborwatch2"),
+            ("2-vote", "neighborwatch2"),
+            ("MultiPathRB", "multipath"),
+            ("mp", "multipath"),
+            ("flooding", "epidemic"),
         ],
     )
     def test_aliases(self, alias, expected):
-        assert ProtocolName.parse(alias) is expected
+        assert canonical_protocol(alias) == expected
 
-    def test_unknown(self):
-        with pytest.raises(ValueError):
-            ProtocolName.parse("quantum")
+    def test_unknown_is_value_and_key_error_listing_candidates(self):
+        with pytest.raises(ValueError, match="neighborwatch"):
+            canonical_protocol("quantum")
+        with pytest.raises(KeyError):
+            canonical_protocol("quantum")
+        with pytest.raises(RegistryError, match="available"):
+            canonical_protocol("quantum")
 
-    def test_parse_passthrough(self):
-        assert ProtocolName.parse(ProtocolName.EPIDEMIC) is ProtocolName.EPIDEMIC
+    def test_canonical_passthrough(self):
+        assert canonical_protocol("epidemic") == "epidemic"
+        assert canonical_channel("friis") == "friis"
 
 
 class TestDefaultMessage:
@@ -51,7 +63,7 @@ class TestDefaultMessage:
 class TestScenarioConfig:
     def test_defaults(self):
         cfg = ScenarioConfig()
-        assert cfg.protocol is ProtocolName.NEIGHBORWATCH
+        assert cfg.protocol == "neighborwatch"
         assert cfg.message_bits == (1, 0, 1, 0)
         assert cfg.separation == pytest.approx(12.0)
         assert cfg.epidemic_slot_separation == pytest.approx(12.0)
@@ -85,9 +97,9 @@ class TestScenarioConfig:
     def test_with_protocol_copy(self):
         cfg = ScenarioConfig(radius=3.0, seed=9)
         other = cfg.with_protocol("epidemic")
-        assert other.protocol is ProtocolName.EPIDEMIC
+        assert other.protocol == "epidemic"
         assert other.radius == 3.0 and other.seed == 9
-        assert cfg.protocol is ProtocolName.NEIGHBORWATCH
+        assert cfg.protocol == "neighborwatch"
 
     def test_derive_max_rounds_respects_override(self):
         cfg = ScenarioConfig(max_rounds=123)
@@ -172,7 +184,7 @@ class TestBuilder:
         cfg = ScenarioConfig(radius=3, channel="friis")
         sim = build_simulation(deployment, cfg)
         assert isinstance(sim.channel, FriisChannel)
-        cfg = ScenarioConfig(radius=3, channel=ChannelName.UNIT_DISK)
+        cfg = ScenarioConfig(radius=3, channel="unit-disk")
         sim = build_simulation(deployment, cfg)
         assert isinstance(sim.channel, UnitDiskChannel)
 
