@@ -1,6 +1,6 @@
 # Convenience entry points; every target assumes the repo root as cwd.
 PYTHON ?= python
-PR ?= 4
+PR ?= 6
 export PYTHONPATH := src
 
 .PHONY: test bench bench-baseline bench-smoke profile
@@ -11,20 +11,30 @@ test:
 
 # Capture a post-change benchmark run into BENCH_$(PR).json (merges with the
 # stored baseline and computes speedups; fails on series-hash drift).
+# PR 6's varied knob is the link-state tier: the baseline is the dense matrix
+# path (--tiling off), the current run the sparse spatially-tiled CSR tier
+# (--tiling on, which also unlocks the requires_tiling 10^5-node macro).  Set
+# BENCH_RUNTIME=scalar/cohort to additionally pin the protocol runtime (the
+# PR 4 knob); unset, the environment default (cohort) applies to both labels.
+BENCH_RUNTIME ?=
+RUNTIME_FLAG = $(if $(BENCH_RUNTIME),--runtime $(BENCH_RUNTIME),)
+BENCH_TILING_BASELINE ?= off
+BENCH_TILING_CURRENT ?= on
 bench:
-	$(PYTHON) benchmarks/capture.py --pr $(PR) --label current
+	$(PYTHON) benchmarks/capture.py --pr $(PR) --label current $(RUNTIME_FLAG) --tiling $(BENCH_TILING_CURRENT)
 
 # Capture the pre-change baseline (run this before starting a perf change).
-# For runtime-perf PRs the baseline is the scalar per-device oracle
-# (BENCH_RUNTIME=scalar by default here); 'make bench' records the default
-# (cohort) runtime and fails if any series hash moved between the two.
-BENCH_RUNTIME ?= scalar
 bench-baseline:
-	$(PYTHON) benchmarks/capture.py --pr $(PR) --label baseline --runtime $(BENCH_RUNTIME)
+	$(PYTHON) benchmarks/capture.py --pr $(PR) --label baseline $(RUNTIME_FLAG) --tiling $(BENCH_TILING_BASELINE)
 
-# CI smoke: verify BENCH_$(PR).json exists and its suite hashes reproduce.
+# CI smoke: verify BENCH_$(PR).json exists and its suite hashes reproduce,
+# then check a medium-scale export is byte-identical tiled vs untiled.
 bench-smoke:
 	$(PYTHON) benchmarks/capture.py --check BENCH_$(PR).json
+	REPRO_SPATIAL_TILING=0 $(PYTHON) -m repro.experiments run FIG7 --scale small --export json > /tmp/untiled.json
+	REPRO_SPATIAL_TILING=1 $(PYTHON) -m repro.experiments run FIG7 --scale small --export json > /tmp/tiled.json
+	cmp /tmp/untiled.json /tmp/tiled.json
+	rm -f /tmp/untiled.json /tmp/tiled.json
 
 # Profile one experiment's sweep (top cumulative hot spots to stderr).
 profile:

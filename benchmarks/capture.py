@@ -25,12 +25,21 @@ Usage::
     PYTHONPATH=src python benchmarks/capture.py --pr 4 --label baseline --runtime scalar
     PYTHONPATH=src python benchmarks/capture.py --pr 4 --label current
     PYTHONPATH=src python benchmarks/capture.py --pr 4 --label current --suite-only
+    PYTHONPATH=src python benchmarks/capture.py --pr 6 --label baseline --tiling off
+    PYTHONPATH=src python benchmarks/capture.py --pr 6 --label current --tiling on
     PYTHONPATH=src python benchmarks/capture.py --check BENCH_4.json
 
 ``--runtime {cohort,scalar}`` pins the protocol execution runtime for the
 capture (``REPRO_COHORT_RUNTIME``): PR 4's baseline is the per-device scalar
 oracle, its current run the cohort runtime — the hashes must agree exactly,
 which is itself part of the bit-identity contract.
+
+``--tiling {on,off}`` pins the link-state tier the same way
+(``REPRO_SPATIAL_TILING``): PR 6's baseline is the dense matrix path, its
+current run the sparse spatially-tiled CSR tier.  Macros flagged
+``requires_tiling`` (the 10^5-node scale target, whose dense link state would
+not fit in memory) only run with tiling on; every macro that runs under both
+labels must hash identically.
 
 ``--check`` re-runs the (quick) suite and verifies the stored hashes of the
 newest run still reproduce — the CI smoke job uses it so a drifted series can
@@ -92,6 +101,22 @@ MACROS = (
         "message_length": 4,
         "seed": 5,
     },
+    # The 10^5-node scale target of the spatially-tiled engine core: a dense
+    # unit-disk audibility matrix at this size would be ~9.3 GiB, so the
+    # macro only runs with tiling on (the sparse CSR tier keeps ~10^6
+    # entries).  Density 0.125 with radius 6 keeps the expected neighborhood
+    # ~14, comfortably connected for the epidemic flood.
+    {
+        "name": "epidemic-unitdisk-100k",
+        "protocol": "epidemic",
+        "channel": "unitdisk",
+        "num_nodes": 100_000,
+        "map_size": 894.0,
+        "radius": 6.0,
+        "message_length": 4,
+        "seed": 5,
+        "requires_tiling": True,
+    },
 )
 
 
@@ -149,13 +174,24 @@ def capture_suite(scale: str, cache_dir: Optional[str], log) -> dict:
 
 
 def capture_macros(log) -> dict:
-    """Run the representative paper-scale single simulations serially."""
+    """Run the representative paper-scale single simulations serially.
+
+    Macros flagged ``requires_tiling`` are skipped (with a log line) unless
+    spatial tiling resolves to *on* for their node count — their dense link
+    state would not fit in memory, which is the point of the flag.
+    """
     from repro.experiments.factories import UniformDeploymentFactory
-    from repro.sim.builder import run_scenario
+    from repro.sim.builder import build_channel, run_scenario
     from repro.sim.config import ScenarioConfig
+    from repro.sim.engine import _cached_link_state, default_spatial_tiling
+    from repro.sim.linkstate import SparseLinkState
 
     section: dict = {}
     for macro in MACROS:
+        tiled = default_spatial_tiling(macro["num_nodes"])
+        if macro.get("requires_tiling") and not tiled:
+            log(f"  macro {macro['name']:<22} skipped (needs spatial tiling on)")
+            continue
         deployment = UniformDeploymentFactory(
             macro["num_nodes"], macro["map_size"], macro["map_size"]
         )(macro["seed"])
@@ -177,6 +213,17 @@ def capture_macros(log) -> dict:
             "channel": macro["channel"],
             "protocol": macro["protocol"],
         }
+        # The engine's module-level link cache still holds the state this run
+        # used (same channel signature + positions), live round counters
+        # included — so the tiling telemetry costs one cache lookup, not a
+        # second run.
+        state = _cached_link_state(
+            build_channel(config), deployment.positions, sparse=tiled
+        )
+        if isinstance(state, SparseLinkState):
+            entry["spatial_tiling"] = {"enabled": True, **state.info()}
+        else:
+            entry["spatial_tiling"] = {"enabled": False}
         section[macro["name"]] = entry
         log(f"  macro {macro['name']:<22} {elapsed:8.2f}s  {entry['result_sha256'][:12]}")
     return section
@@ -284,6 +331,16 @@ def main(argv=None) -> int:
         "bit-identical, only the wall clock moves (default: environment)",
     )
     parser.add_argument(
+        "--tiling",
+        choices=("on", "off"),
+        default=None,
+        help="force the spatially-tiled sparse link-state tier for this capture "
+        "(sets REPRO_SPATIAL_TILING): 'off' records the dense baseline, 'on' "
+        "the sparse CSR path; results are bit-identical, only memory and the "
+        "wall clock move (default: environment / auto threshold).  Macros "
+        "flagged requires_tiling only run with tiling on",
+    )
+    parser.add_argument(
         "--check",
         metavar="JSON",
         default=None,
@@ -295,6 +352,10 @@ def main(argv=None) -> int:
         import os
 
         os.environ["REPRO_COHORT_RUNTIME"] = "1" if args.runtime == "cohort" else "0"
+    if args.tiling is not None:
+        import os
+
+        os.environ["REPRO_SPATIAL_TILING"] = "1" if args.tiling == "on" else "0"
 
     def log(message: str) -> None:
         print(message, file=sys.stderr)

@@ -35,6 +35,7 @@ from typing import Sequence
 import numpy as np
 
 from ..topology.geometry import as_positions, pairwise_distances
+from ..topology.grid import GridBuckets
 from .regions import SquareGrid, SquareId
 
 __all__ = [
@@ -50,6 +51,14 @@ PHASES_PER_SLOT = 6
 
 #: The slot reserved for the broadcast source.
 SOURCE_SLOT = 0
+
+#: Deployment size above which :class:`NodeSchedule` derives its conflict and
+#: listening neighborhoods from grid-bucketed queries instead of dense
+#: ``N x N`` distance matrices.  Both paths filter with the same elementwise
+#: distance arithmetic and yield neighbor ids in the same ascending order, so
+#: the greedy colouring and the neighbor-slot tables are identical — only the
+#: memory (O(N * neighborhood) vs O(N^2)) differs.
+BUCKETED_SCHEDULE_MIN_NODES = 2048
 
 
 class Schedule(abc.ABC):
@@ -268,9 +277,12 @@ class NodeSchedule(Schedule):
 
         slots = np.zeros(n, dtype=int)
         if n > 1:
-            dist = pairwise_distances(self.positions, norm=norm)
-            conflict = dist <= self.separation
-            np.fill_diagonal(conflict, False)
+            # The conflict neighborhoods come from a dense distance matrix on
+            # small deployments and from grid-bucketed queries on large ones;
+            # both filter with the same elementwise distance arithmetic and
+            # list neighbors in ascending id order, so the colouring below is
+            # identical either way.
+            neighbors_of = self._neighborhoods(self.separation, include_self=False)
             source = self.source_index
             for node in range(n):
                 if node == source:
@@ -280,7 +292,7 @@ class NodeSchedule(Schedule):
                 # (ids below ours, plus the pre-assigned source).  The mask
                 # arithmetic replaces a per-neighbor Python loop but assigns
                 # exactly the same slots.
-                neighbors = np.nonzero(conflict[node])[0]
+                neighbors = neighbors_of(node)
                 decided = neighbors[(neighbors < node) | (neighbors == source)]
                 used = set(slots[decided].tolist())
                 used.add(SOURCE_SLOT)
@@ -300,6 +312,30 @@ class NodeSchedule(Schedule):
         self._owners = {slot: tuple(ids) for slot, ids in grouped.items()}
         self._neighbor_slot_tables: dict[float, list[list[int]]] = {}
 
+    def _neighborhoods(self, threshold: float, *, include_self: bool):
+        """Per-node neighbor ids at ``threshold``, dense or grid-bucketed.
+
+        Returns a callable ``node -> ascending neighbor id array``.  Small
+        deployments slice a dense pairwise matrix (the historical oracle);
+        at :data:`BUCKETED_SCHEDULE_MIN_NODES` nodes and above the same sets
+        come from :class:`~repro.topology.grid.GridBuckets` CSR arrays built
+        without materializing anything quadratic.  The distance predicate is
+        the same elementwise expression in both paths, so the neighbor sets
+        match exactly.
+        """
+        n = self.positions.shape[0]
+        if n >= BUCKETED_SCHEDULE_MIN_NODES and threshold > 0:
+            buckets = GridBuckets(self.positions, cell_size=threshold)
+            indptr, indices = buckets.neighbor_arrays(
+                threshold, self.norm, include_self=include_self
+            )
+            return lambda node: indices[indptr[node] : indptr[node + 1]]
+        dist = pairwise_distances(self.positions, norm=self.norm)
+        within = dist <= threshold
+        if not include_self:
+            np.fill_diagonal(within, False)
+        return lambda node: np.nonzero(within[node])[0]
+
     # -- Schedule interface ---------------------------------------------------------
     def slot_of_node(self, node_id: int) -> int:
         return int(self._slots[node_id])
@@ -311,20 +347,19 @@ class NodeSchedule(Schedule):
         """Slots of devices within communication range of ``node_id`` (plus the source slot).
 
         Every device queries this during protocol setup, so the answers for a
-        given radius are computed for all nodes in one vectorised pass over
-        the pairwise distance matrix and cached; subsequent calls are a list
-        copy.  The cached answers are identical to the per-node computation
-        (the distance arithmetic is the same elementwise expression).
+        given radius are computed for all nodes in one pass (dense on small
+        deployments, grid-bucketed on large ones — identical sets either way,
+        see :meth:`_neighborhoods`) and cached; subsequent calls are a list
+        copy.
         """
         r = self.radius if listen_radius is None else listen_radius
         table = self._neighbor_slot_tables.get(r)
         if table is None:
-            dist = pairwise_distances(self.positions, norm=self.norm)
-            within = dist <= r
+            neighbors_of = self._neighborhoods(r, include_self=True)
             slots = self._slots
             table = []
             for node in range(self.positions.shape[0]):
-                nearby = np.nonzero(within[node])[0]
+                nearby = neighbors_of(node)
                 node_slots = set(slots[nearby].tolist())
                 node_slots.add(SOURCE_SLOT)
                 table.append(sorted(node_slots))

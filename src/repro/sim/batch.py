@@ -123,6 +123,7 @@ class CohortRuntime:
         *,
         record_splits: bool = False,
         allow_remerge: bool = True,
+        tiling=None,
     ) -> None:
         groups: dict = {}
         active = 0
@@ -193,6 +194,20 @@ class CohortRuntime:
         self.split_log: list = []
         self.merge_log: list = []
 
+        #: Optional :class:`~repro.sim.tiling.RegionTiling` of the deployment.
+        #: Cohort grouping is by observational equivalence, not by location, so
+        #: the tiling only feeds introspection: how many shared cohorts span
+        #: more than one region tile (their shared decisions are the traffic a
+        #: distributed tile executor would have to exchange).
+        self.tiling = tiling
+        self.cross_region_cohorts = 0
+        if tiling is not None:
+            tile_of = tiling.tile_of
+            for cohort in self.cohorts:
+                tiles = {int(tile_of[node.node_id]) for node in cohort.members}
+                if len(tiles) > 1:
+                    self.cross_region_cohorts += 1
+
         # With no multi-member cohort, the engine keeps the scalar loop and
         # never calls run_slot — skip compiling entries for every slot.
         self.slot_entries = plan.compile_cohort_entries(self.cohort_of) if self.cohorts else {}
@@ -205,7 +220,7 @@ class CohortRuntime:
     # -- introspection ---------------------------------------------------------------
     def info(self) -> dict:
         """Counters for :meth:`Simulation.plan_cache_info` (see its docstring)."""
-        return {
+        out = {
             "enabled": True,
             "active": bool(self.cohorts),
             "initial_cohorts": self.initial_cohorts,
@@ -216,6 +231,9 @@ class CohortRuntime:
             "divergence_splits": self.divergence_splits,
             "cohort_merges": self.cohort_merges,
         }
+        if self.tiling is not None:
+            out["cross_region_cohorts"] = self.cross_region_cohorts
+        return out
 
     # -- hot path --------------------------------------------------------------------
     def _member_transmission(self, node_id: int, position, spec):

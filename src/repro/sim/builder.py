@@ -52,14 +52,18 @@ def build_simulation(
     *,
     trace: Optional[EventLog] = None,
     use_cohort_runtime: Optional[bool] = None,
+    use_spatial_tiling: Optional[bool] = None,
 ) -> Simulation:
     """Wire a deployment, a scenario and a fault plan into a Simulation.
 
-    ``use_cohort_runtime`` is forwarded to :class:`~repro.sim.engine.Simulation`
-    (``None`` = process default): it selects between shared-cohort and
-    per-device execution of the protocol state machines, which is a pure
-    throughput knob — results are bit-identical either way, so it is *not*
-    part of :class:`ScenarioConfig` and never enters store fingerprints.
+    ``use_cohort_runtime`` and ``use_spatial_tiling`` are forwarded to
+    :class:`~repro.sim.engine.Simulation` (``None`` = process default): the
+    first selects between shared-cohort and per-device execution of the
+    protocol state machines, the second between the sparse spatially-tiled
+    link-state tier and the dense ``N x N`` matrices.  Both are pure
+    memory/throughput knobs — results are bit-identical either way, so they
+    are *not* part of :class:`ScenarioConfig` and never enter store
+    fingerprints.
     """
     faults = faults if faults is not None else FaultPlan()
     faults.validate_for(deployment.num_nodes, deployment.source_index)
@@ -123,6 +127,7 @@ def build_simulation(
         rng=rng_factory.generator("channel"),
         trace=trace,
         use_cohort_runtime=use_cohort_runtime,
+        use_spatial_tiling=use_spatial_tiling,
     )
 
 
@@ -134,10 +139,16 @@ def run_scenario(
     trace: Optional[EventLog] = None,
     max_rounds: Optional[int] = None,
     use_cohort_runtime: Optional[bool] = None,
+    use_spatial_tiling: Optional[bool] = None,
 ) -> RunResult:
     """Build and run a scenario to completion (or to the round cap)."""
     simulation = build_simulation(
-        deployment, config, faults, trace=trace, use_cohort_runtime=use_cohort_runtime
+        deployment,
+        config,
+        faults,
+        trace=trace,
+        use_cohort_runtime=use_cohort_runtime,
+        use_spatial_tiling=use_spatial_tiling,
     )
     faults = faults if faults is not None else FaultPlan()
     if max_rounds is None:

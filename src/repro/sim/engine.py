@@ -44,11 +44,22 @@ things and re-merging when their states reconverge.  The per-device loop in
 :meth:`Simulation._run_slot_scalar` remains the tested oracle behind
 ``use_cohort_runtime=False`` (or ``REPRO_COHORT_RUNTIME=0``).
 
+Spatially-tiled link state
+--------------------------
+Below the plan, the *channel* layer can run on the sparse spatially-tiled
+tier (:mod:`repro.sim.linkstate`): instead of the dense ``N x N`` audibility
+or power matrix, the engine keeps node positions plus a CSR neighborhood
+built per region tile, and unit-disk rounds resolve through per-sender CSR
+rows with only boundary-crossing transmissions exchanged between tiles.  The
+knob is ``use_spatial_tiling`` (env ``REPRO_SPATIAL_TILING``, auto-on above
+:data:`SPATIAL_TILING_AUTO_NODES` nodes); dense kernels remain the oracle.
+
 The RNG contract is strict: stochastic channel configurations bypass the
 round memo entirely and consume the generator exactly as the scalar reference
-kernels would, and the cohort runtime preserves listener order per round, so
-every result — including the content-addressed store fingerprints of
-:mod:`repro.store` — is bit-identical to the pre-plan engine.
+kernels would, and the cohort runtime and tiled round kernels preserve
+listener order per round, so every result — including the content-addressed
+store fingerprints of :mod:`repro.store` — is bit-identical to the pre-plan
+engine.
 
 Deliveries are stamped with the exact round at the end of the slot in which
 they happened (not at the next periodic check), so ``delivery_round`` and the
@@ -67,12 +78,51 @@ from ..core.protocol import Observation, SILENCE
 from ..core.schedule import Schedule
 from .batch import CohortRuntime
 from .events import EventKind, EventLog
+from .linkstate import SparseLinkState
 from .node import SimNode
 from .plan import REC_ID, REC_NODE, REC_ACT, REC_OBSERVE, REC_END_SLOT, REC_HONEST, REC_POSITION, SlotPlan
 from .radio import Channel, Transmission
 from .results import NodeOutcome, RunResult
 
-__all__ = ["Simulation", "link_cache_info", "clear_link_cache", "default_cohort_runtime"]
+__all__ = [
+    "Simulation",
+    "link_cache_info",
+    "clear_link_cache",
+    "default_cohort_runtime",
+    "default_spatial_tiling",
+    "SPATIAL_TILING_AUTO_NODES",
+]
+
+#: Node count above which spatial tiling turns on automatically (the dense
+#: link state is still comfortable below it; above it the N^2 matrices start
+#: to dominate memory).  Override per process with
+#: ``REPRO_SPATIAL_TILING_AUTO_NODES``.
+SPATIAL_TILING_AUTO_NODES = 4096
+
+
+def default_spatial_tiling(num_nodes: int) -> bool:
+    """Process-wide default for :class:`Simulation`'s ``use_spatial_tiling``.
+
+    Controlled by ``REPRO_SPATIAL_TILING``: ``1``/``true`` forces the sparse
+    spatially-tiled link-state tier on at every size, ``0``/``false`` forces
+    the dense tier, and the default (``auto``) enables tiling above
+    :data:`SPATIAL_TILING_AUTO_NODES` nodes.  Like the cohort runtime knob,
+    this is a pure memory/throughput setting: tiled and untiled runs are
+    bit-identical (store fingerprints, exported rows and RNG stream positions
+    included), so it lives outside :class:`~repro.sim.config.ScenarioConfig`
+    and never enters fingerprints.
+    """
+    value = os.environ.get("REPRO_SPATIAL_TILING", "auto").strip().lower()
+    if value in ("1", "true", "yes", "on"):
+        return True
+    if value in ("0", "false", "no", "off"):
+        return False
+    threshold_raw = os.environ.get("REPRO_SPATIAL_TILING_AUTO_NODES", "").strip()
+    try:
+        threshold = int(threshold_raw) if threshold_raw else SPATIAL_TILING_AUTO_NODES
+    except ValueError:
+        threshold = SPATIAL_TILING_AUTO_NODES
+    return num_nodes > threshold
 
 
 def default_cohort_runtime() -> bool:
@@ -129,17 +179,32 @@ def clear_link_cache() -> None:
     _LINK_CACHE_MISSES = 0
 
 
-def _cached_link_state(channel: Channel, positions: np.ndarray) -> Optional[object]:
-    """The channel's link state for ``positions``, via the module-level cache."""
+def _cached_link_state(
+    channel: Channel, positions: np.ndarray, *, sparse: bool = False
+) -> Optional[object]:
+    """The channel's link state for ``positions``, via the module-level cache.
+
+    ``sparse`` selects the spatially-tiled CSR tier
+    (:meth:`~repro.sim.radio.Channel.link_state_sparse`); dense and sparse
+    entries are cached under distinct keys because they are different objects
+    over the same deployment.  A channel without a sparse implementation
+    falls back to its dense state (still subject to the byte budget guard).
+    """
     global _LINK_CACHE_HITS, _LINK_CACHE_MISSES
     signature = channel.link_signature()
     if signature is None:
         return None
-    key = (signature, positions.shape, positions.tobytes())
+    key = (signature, sparse, positions.shape, positions.tobytes())
     cached = _LINK_CACHE.get(key)
     if cached is None:
         _LINK_CACHE_MISSES += 1
-        cached = channel.link_state(positions)
+        if sparse:
+            try:
+                cached = channel.link_state_sparse(positions)
+            except NotImplementedError:
+                cached = channel.link_state(positions)
+        else:
+            cached = channel.link_state(positions)
         _LINK_CACHE[key] = cached
         while len(_LINK_CACHE) > _LINK_CACHE_MAX_ENTRIES:
             _LINK_CACHE.popitem(last=False)
@@ -176,6 +241,13 @@ class Simulation:
         ``False`` forces the per-device scalar path, which is the tested
         oracle the cohort runtime is pinned against.  Results are bit-identical
         either way.
+    use_spatial_tiling:
+        Whether to keep the channel link state in the sparse spatially-tiled
+        tier (CSR per-tile structures + region tiling) instead of the dense
+        ``N x N`` matrix.  ``None`` (default) reads the process default
+        (:func:`default_spatial_tiling` — auto-on above
+        :data:`SPATIAL_TILING_AUTO_NODES` nodes).  Results are bit-identical
+        either way; only memory and the round-resolution kernels change.
     """
 
     def __init__(
@@ -188,6 +260,7 @@ class Simulation:
         rng: Optional[np.random.Generator] = None,
         trace: Optional[EventLog] = None,
         use_cohort_runtime: Optional[bool] = None,
+        use_spatial_tiling: Optional[bool] = None,
     ) -> None:
         self.nodes = list(nodes)
         for idx, node in enumerate(self.nodes):
@@ -207,7 +280,26 @@ class Simulation:
         self._interest_map = self.plan.interest_map
         self._interest_sets = self.plan.interest_sets
         self._flex_transmitters = list(self.plan.flex_transmitters)
-        self._link_state = _cached_link_state(channel, self._positions)
+        if use_spatial_tiling is None:
+            use_spatial_tiling = default_spatial_tiling(len(self.nodes))
+        self.use_spatial_tiling = bool(use_spatial_tiling)
+        self._link_state = _cached_link_state(
+            channel, self._positions, sparse=self.use_spatial_tiling
+        )
+        # Per-round CSR aggregation is used only when the sparse state covers
+        # the channel's full physics (unit-disk) *and* the channel's vectorized
+        # kernels are on; otherwise sparse states answer through exact
+        # on-demand submatrices, which resolve on the unchanged dense kernels.
+        self._sparse_rounds = (
+            isinstance(self._link_state, SparseLinkState)
+            and self._link_state.supports_round_views
+            and channel.supports_sparse_rounds()
+        )
+        self.tiling = (
+            self._link_state.tiling
+            if isinstance(self._link_state, SparseLinkState)
+            else None
+        )
         # Whole-round memoization is only sound when resolving a round cannot
         # consume RNG (otherwise replaying a cached round would desynchronise
         # the generator relative to the scalar reference execution).
@@ -215,7 +307,9 @@ class Simulation:
         if use_cohort_runtime is None:
             use_cohort_runtime = default_cohort_runtime()
         self.cohort_runtime: Optional[CohortRuntime] = (
-            CohortRuntime(self.nodes, self.plan) if use_cohort_runtime else None
+            CohortRuntime(self.nodes, self.plan, tiling=self.tiling)
+            if use_cohort_runtime
+            else None
         )
         # Hot-path dispatch: when construction compiled no multi-member cohort
         # (every device a singleton — adversaries, RNG consumers, MultiPathRB,
@@ -245,11 +339,31 @@ class Simulation:
           current (post-split/merge) cohort count, how many devices execute
           shared vs per-device, the number of per-device evaluations avoided
           by sharing, the number of copy-on-divergence splits performed, and
-          the number of reconverged sibling cohorts re-merged.
+          the number of reconverged sibling cohorts re-merged (plus
+          ``"cross_region_cohorts"`` when spatial tiling is on);
+        * ``"spatial_tiling"`` — ``{"enabled": False}`` on the dense path,
+          otherwise ``{"enabled": True, "tiles", "occupied_tiles",
+          "tile_side", "grid_cols", "grid_rows", "sparse_nnz",
+          "interior_links", "boundary_links", "dense_bytes_avoided",
+          "rounds_resolved", "round_interior_hits", "round_boundary_hits",
+          "sparse_round_kernel"}``: the static tiling shape, the CSR size and
+          its static interior/boundary link split, the dense bytes the sparse
+          tier avoided materializing, and the live per-round tile-exchange
+          counters (how many audible listener/sender pairs stayed inside a
+          tile vs crossed a boundary across all resolved rounds).
         """
         info = self.plan.cache_info()
         runtime = self.cohort_runtime
         info["cohort_runtime"] = runtime.info() if runtime is not None else {"enabled": False}
+        state = self._link_state
+        if isinstance(state, SparseLinkState):
+            info["spatial_tiling"] = {
+                "enabled": True,
+                "sparse_round_kernel": self._sparse_rounds,
+                **state.info(),
+            }
+        else:
+            info["spatial_tiling"] = {"enabled": False}
         return info
 
     # -- execution ------------------------------------------------------------------------
@@ -405,12 +519,31 @@ class Simulation:
                 memo.move_to_end(memo_key)
                 return observations
             plan.round_memo_misses += 1
-            submatrix = plan.submatrix((occurrence_key, senders), link_state, listeners, senders)
-            observations = self.channel.resolve_links(submatrix, transmissions, self.rng)
+            observations = self._resolve_links(occurrence_key, link_state, listeners, senders, transmissions)
             memo[memo_key] = observations
             while len(memo) > plan.round_memo_max_entries:
                 memo.popitem(last=False)
             return observations
+        return self._resolve_links(occurrence_key, link_state, listeners, senders, transmissions)
+
+    def _resolve_links(
+        self,
+        occurrence_key: object,
+        link_state,
+        listeners: list[int],
+        senders: tuple,
+        transmissions: list[Transmission],
+    ) -> list[Observation]:
+        """One round through either the CSR round-view kernel or a submatrix.
+
+        Both paths scatter per-listener results in *listener order* and draw
+        any loss RNG in that same order, so the choice is invisible to the
+        protocols and to the RNG stream.
+        """
+        plan = self.plan
+        if self._sparse_rounds:
+            view = plan.round_view((occurrence_key, senders), link_state, listeners, senders)
+            return self.channel.resolve_links_sparse(view, transmissions, self.rng)
         submatrix = plan.submatrix((occurrence_key, senders), link_state, listeners, senders)
         return self.channel.resolve_links(submatrix, transmissions, self.rng)
 

@@ -23,7 +23,15 @@ simulation, so :class:`SlotPlan` compiles it once at construction:
 * **submatrix cache** — the ``np.ix_``-style slice of the link state for one
   ``(slot occurrence, sender set)``, LRU-bounded and introspectable exactly
   like the engine's link cache.  In steady state the same slot resolves with
-  the same senders every cycle, so the fancy indexing happens once;
+  the same senders every cycle, so the fancy indexing happens once.  With a
+  sparse link state the same LRU holds the per-round CSR
+  :class:`~repro.sim.linkstate.RoundView` aggregations instead (one entry per
+  ``(occurrence, senders)`` either way — the engine uses exactly one of the
+  two representations per simulation);
+* **region records** — when spatial tiling is enabled, the per-slot
+  participant id arrays regrouped per :class:`~repro.sim.tiling.RegionTiling`
+  tile (computed lazily, in participant order within each tile), the
+  per-region compilation the tiled round kernels and introspection key off;
 * **round memo** — for channels whose resolution consumes no RNG
   (:meth:`~repro.sim.radio.Channel.consumes_rng` is ``False``), whole resolved
   rounds keyed by ``(slot occurrence, senders, frames)``.  Observations are a
@@ -74,6 +82,7 @@ class SlotPlan:
         "round_memo_misses",
         "_tx_cache",
         "_node_records",
+        "_region_records",
     )
 
     def __init__(
@@ -173,6 +182,7 @@ class SlotPlan:
         self.round_memo_misses = 0
 
         self._tx_cache: dict[tuple, Transmission] = {}
+        self._region_records: dict[int, dict[int, np.ndarray]] | None = None
 
     # -- hot-path helpers ------------------------------------------------------------
     def node_record(self, node_id: int) -> tuple:
@@ -210,13 +220,22 @@ class SlotPlan:
             cache[key] = tx
         return tx
 
-    def submatrix(self, key: tuple, link_state: np.ndarray, listeners, senders) -> np.ndarray:
-        """The listeners-by-senders slice of the link state, via the LRU cache."""
+    def submatrix(self, key: tuple, link_state, listeners, senders) -> np.ndarray:
+        """The listeners-by-senders slice of the link state, via the LRU cache.
+
+        ``link_state`` is either a raw dense matrix (historical form, still
+        used by tests and ad-hoc callers) or any
+        :class:`~repro.sim.linkstate.ChannelLinkState`; sparse states
+        recompute the exact block from positions instead of slicing.
+        """
         cache = self.submatrix_cache
         sub = cache.get(key)
         if sub is None:
             self.submatrix_misses += 1
-            sub = link_state[np.ix_(listeners, senders)]
+            if hasattr(link_state, "submatrix"):
+                sub = link_state.submatrix(listeners, senders)
+            else:
+                sub = link_state[np.ix_(listeners, senders)]
             cache[key] = sub
             while len(cache) > self.submatrix_max_entries:
                 cache.popitem(last=False)
@@ -224,6 +243,52 @@ class SlotPlan:
             self.submatrix_hits += 1
             cache.move_to_end(key)
         return sub
+
+    def round_view(self, key: tuple, link_state, listeners, senders):
+        """The CSR round aggregation for one ``(occurrence, senders)`` key.
+
+        Shares the submatrix LRU (an engine uses either dense slices or round
+        views, never both) and accumulates the link state's tile-exchange
+        counters on every resolution, cache hit or miss — a replayed view
+        still stands for executed tile traffic.
+        """
+        cache = self.submatrix_cache
+        view = cache.get(key)
+        if view is None:
+            self.submatrix_misses += 1
+            view = link_state.round_view(listeners, senders)
+            cache[key] = view
+            while len(cache) > self.submatrix_max_entries:
+                cache.popitem(last=False)
+        else:
+            self.submatrix_hits += 1
+            cache.move_to_end(key)
+        link_state.note_round(view)
+        return view
+
+    def region_records(self, tiling) -> dict[int, dict[int, np.ndarray]]:
+        """Per-slot participant ids regrouped per region tile (lazy, cached).
+
+        For every slot, a dict mapping each occupied tile of ``tiling`` to the
+        ids of the slot's participants located in it, in participant order —
+        the per-region compilation of the slot plan.  The grouping is pure
+        bookkeeping (participant *execution* order never changes; the RNG
+        contract forbids that), consumed by the tiled introspection counters
+        and by tests pinning the tiling against the global plan.
+        """
+        if self._region_records is None:
+            grouped: dict[int, dict[int, np.ndarray]] = {}
+            tile_of = tiling.tile_of
+            for slot, ids in self.participant_arrays.items():
+                tiles = tile_of[ids]
+                by_tile: dict[int, np.ndarray] = {}
+                for tile in np.unique(tiles):
+                    members = ids[tiles == tile]
+                    members.setflags(write=False)
+                    by_tile[int(tile)] = members
+                grouped[slot] = by_tile
+            self._region_records = grouped
+        return self._region_records
 
     # -- introspection ----------------------------------------------------------------
     def cache_info(self) -> dict:

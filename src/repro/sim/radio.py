@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import abc
 import math
+import os
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -41,6 +42,7 @@ import numpy as np
 from ..core.messages import Frame
 from ..core.protocol import ChannelState, Observation, SILENCE
 from ..registry import ChannelPlugin, register_channel
+from .linkstate import FriisLinkState, RoundView, SparseLinkState, UnitDiskLinkState
 
 __all__ = [
     "Transmission",
@@ -48,7 +50,34 @@ __all__ = [
     "UnitDiskChannel",
     "FriisChannel",
     "message_observation",
+    "LinkStateMemoryError",
+    "link_state_budget_bytes",
+    "DEFAULT_LINK_STATE_MAX_BYTES",
 ]
+
+#: Default byte budget for one dense link-state matrix (1 GiB).  Above it,
+#: :meth:`Channel.link_state` refuses to allocate and points at the sparse
+#: tier instead of letting a 10^5-node run OOM minutes into construction.
+DEFAULT_LINK_STATE_MAX_BYTES = 1 << 30
+
+
+def link_state_budget_bytes() -> int:
+    """The dense link-state byte budget (``REPRO_LINK_STATE_MAX_BYTES``).
+
+    Values ``<= 0`` disable the guard entirely; unset or unparsable values
+    fall back to :data:`DEFAULT_LINK_STATE_MAX_BYTES`.
+    """
+    raw = os.environ.get("REPRO_LINK_STATE_MAX_BYTES", "").strip()
+    if not raw:
+        return DEFAULT_LINK_STATE_MAX_BYTES
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_LINK_STATE_MAX_BYTES
+
+
+class LinkStateMemoryError(MemoryError):
+    """A dense link-state matrix would exceed the configured byte budget."""
 
 _COLLISION = Observation(ChannelState.COLLISION)
 
@@ -119,6 +148,61 @@ class Channel(abc.ABC):
         :class:`FriisChannel`) and opaque to the engine, which only passes it
         back to :meth:`observe_links`.  Only called when
         :meth:`link_signature` returned a key.
+
+        Implementations must call :meth:`_check_dense_budget` before
+        allocating: a dense matrix over the ``REPRO_LINK_STATE_MAX_BYTES``
+        budget raises :class:`LinkStateMemoryError` naming the sparse/tiled
+        knob instead of OOM-ing mid-run.
+        """
+        raise NotImplementedError
+
+    def _check_dense_budget(self, num_nodes: int, itemsize: int) -> None:
+        """Refuse dense ``N x N`` allocations above the configured byte budget."""
+        budget = link_state_budget_bytes()
+        if budget <= 0:
+            return
+        needed = num_nodes * num_nodes * itemsize
+        if needed > budget:
+            raise LinkStateMemoryError(
+                f"dense link state for {num_nodes} nodes needs "
+                f"{needed:,} bytes ({itemsize} byte(s) per node pair), over the "
+                f"REPRO_LINK_STATE_MAX_BYTES budget of {budget:,}. Enable the "
+                f"sparse spatially-tiled tier instead — pass "
+                f"use_spatial_tiling=True to build_simulation()/Simulation, or "
+                f"set REPRO_SPATIAL_TILING=1 — or raise the budget if you "
+                f"really want the dense matrix."
+            )
+
+    def link_state_sparse(self, positions: np.ndarray) -> SparseLinkState:
+        """Sparse (CSR + region tiling) link state for a static deployment.
+
+        Returns a :class:`~repro.sim.linkstate.SparseLinkState` whose
+        ``submatrix`` is bit-identical to slicing :meth:`link_state` but whose
+        memory is ``O(N * neighborhood)``.  Channels without a sparse tier
+        raise ``NotImplementedError``; the engine then falls back to the
+        dense path (subject to the byte budget).
+        """
+        raise NotImplementedError
+
+    def supports_sparse_rounds(self) -> bool:
+        """Whether :meth:`resolve_links_sparse` can resolve this configuration.
+
+        ``False`` routes sparse-state rounds through exact on-demand
+        :meth:`~repro.sim.linkstate.SparseLinkState.submatrix` blocks and the
+        dense :meth:`resolve_links` kernels instead.
+        """
+        return False
+
+    def resolve_links_sparse(
+        self,
+        view: RoundView,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        """Resolve one round from a CSR :class:`~repro.sim.linkstate.RoundView`.
+
+        Must produce exactly the observations of :meth:`resolve_links` on the
+        corresponding dense submatrix and consume the RNG identically.
         """
         raise NotImplementedError
 
@@ -245,6 +329,7 @@ class UnitDiskChannel(Channel):
         """
         pos = np.asarray(positions, dtype=float)
         num_nodes = pos.shape[0]
+        self._check_dense_budget(num_nodes, 1)
         audible = np.empty((num_nodes, num_nodes), dtype=bool)
         block = 512
         for start in range(0, num_nodes, block):
@@ -252,6 +337,53 @@ class UnitDiskChannel(Channel):
                 self._distances(pos[start : start + block], pos) <= self.radius + 1e-12
             )
         return audible
+
+    def link_state_sparse(self, positions: np.ndarray) -> UnitDiskLinkState:
+        """CSR audibility built per tile; bit-identical to :meth:`link_state`.
+
+        Unit-disk audibility beyond the radius is exactly ``False``, so the
+        CSR stores the complete physics — no truncation is involved.
+        """
+        return UnitDiskLinkState(np.asarray(positions, dtype=float), self.radius, self.norm)
+
+    def supports_sparse_rounds(self) -> bool:
+        """CSR round views cover the deterministic and loss-only kernels.
+
+        Capture configurations need each listener's full audible column set
+        (their RNG draws are data-dependent), so they fall back to exact
+        on-demand submatrices through the scalar reference loop — same
+        dispatch rule as the dense vectorized kernel.
+        """
+        return self.use_vectorized_kernels and self.capture_probability == 0.0
+
+    def resolve_links_sparse(
+        self,
+        view: RoundView,
+        transmissions: Sequence[Transmission],
+        rng: np.random.Generator,
+    ) -> list[Observation]:
+        """CSR fast path of :meth:`resolve_links` (dense kernel is the oracle).
+
+        Mirrors the vectorized branch of :meth:`_resolve_audible` statement
+        for statement: SILENCE for zero audible transmissions, one batched
+        loss draw per single-transmission listener in listener order, and the
+        summed column index of a single hit *is* its ``argmax``.
+        """
+        counts = view.counts
+        num_listeners = counts.shape[0]
+        out = np.empty(num_listeners, dtype=object)
+        out[:] = _COLLISION
+        out[counts == 0] = SILENCE
+        singles = np.flatnonzero(counts == 1)
+        if singles.size and self.loss_probability > 0.0:
+            draws = rng.random(singles.size)
+            singles = singles[draws >= self.loss_probability]
+        if singles.size:
+            tx_index = view.tx_sum[singles]
+            for tx in np.unique(tx_index):
+                obs = message_observation(transmissions[int(tx)].frame)
+                out[singles[tx_index == tx]] = obs
+        return list(out)
 
     def consumes_rng(self) -> bool:
         return self.capture_probability > 0.0 or self.loss_probability > 0.0
@@ -456,6 +588,7 @@ class FriisChannel(Channel):
         """Received power between every pair of nodes (row: listener, column: sender)."""
         pos = np.asarray(positions, dtype=float)
         num_nodes = pos.shape[0]
+        self._check_dense_budget(num_nodes, 8)
         powers = np.empty((num_nodes, num_nodes), dtype=float)
         block = 512
         for start in range(0, num_nodes, block):
@@ -466,6 +599,22 @@ class FriisChannel(Channel):
                 self.tx_power * (self.reference_distance / dist) ** self.path_loss_exponent
             )
         return powers
+
+    def link_state_sparse(self, positions: np.ndarray) -> FriisLinkState:
+        """Sparse Friis state: positions + sense-range CSR, no power matrix.
+
+        Rounds resolve through exact on-demand submatrices (every sender's
+        power still reaches every listener's interference sum), so the sparse
+        tier changes memory, never physics — see
+        :class:`~repro.sim.linkstate.FriisLinkState`.
+        """
+        return FriisLinkState(
+            np.asarray(positions, dtype=float),
+            sense_range=self.sense_range,
+            tx_power=self.tx_power,
+            reference_distance=self.reference_distance,
+            path_loss_exponent=self.path_loss_exponent,
+        )
 
     def observe(
         self,

@@ -1,10 +1,19 @@
-"""Grid deployments for the analytical model.
+"""Grid deployments and grid-bucketed spatial queries.
 
 The paper's running-time analysis places one device at every integer grid
 point of an ``width x height`` rectangle and measures communication in the
 L-infinity norm.  These helpers build that topology (optionally sub-sampled)
 and compute the quantities the analysis refers to (diameter, neighborhood
 size, maximum tolerable number of Byzantine devices).
+
+:class:`GridBuckets` is the scale-enabling piece: a spatial hash of an
+``(N, 2)`` position array into square cells, answering radius queries and
+building CSR neighbor structures without ever touching an ``N x N`` matrix.
+Its results are *exact* — candidate pairs are over-collected from surrounding
+cells and then filtered with the very same elementwise distance expressions
+the dense code paths use, so the returned neighbor sets (and therefore
+everything built on top of them: link states, schedules, tilings) are
+bit-identical to the brute-force computation.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["GridSpec", "grid_positions", "grid_index_of", "GridTopology"]
+__all__ = ["GridSpec", "grid_positions", "grid_index_of", "GridTopology", "GridBuckets"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -131,3 +140,145 @@ class GridTopology:
     def center_index(self) -> int:
         """Index of the grid point closest to the geometric center."""
         return self.index_of(self.spec.width // 2, self.spec.height // 2)
+
+
+def _bucket_distances(block: np.ndarray, candidates: np.ndarray, norm: str) -> np.ndarray:
+    """Distance matrix between two position blocks, mirroring the dense kernels.
+
+    Uses exactly the elementwise expression sequence of
+    :func:`repro.topology.geometry.pairwise_distances` and the channels'
+    ``_distances`` helpers (subtract, abs/max for L-infinity; subtract,
+    square, 2-term sum, sqrt for L2).  Elementwise float64 ufuncs give the
+    same bits regardless of array shape, so filtering candidate pairs with
+    these values reproduces the dense predicate exactly.
+    """
+    diff = block[:, None, :] - candidates[None, :, :]
+    if norm == "linf":
+        return np.max(np.abs(diff), axis=-1)
+    if norm == "l2":
+        return np.sqrt(np.sum(diff**2, axis=-1))
+    raise ValueError(f"unknown norm {norm!r}; expected 'linf' or 'l2'")
+
+
+class GridBuckets:
+    """Spatial hash of positions into square cells for exact radius queries.
+
+    Parameters
+    ----------
+    positions:
+        ``(N, 2)`` float array of device coordinates.
+    cell_size:
+        Side of the hash cells.  A cell size equal to the query threshold
+        keeps the candidate window at the 5x5 surrounding cells; any positive
+        value is correct (only the constant factor moves).
+
+    Queries return neighbor sets identical to the brute-force dense
+    computation: candidate cells are taken with one extra ring beyond
+    ``ceil(threshold / cell_size)`` (insurance against boundary rounding) and
+    candidates are filtered with :func:`_bucket_distances`, the same
+    elementwise arithmetic as the dense paths.
+    """
+
+    __slots__ = ("positions", "cell_size", "_cells", "_cell_of")
+
+    def __init__(self, positions: np.ndarray, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        pos = np.asarray(positions, dtype=float)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise ValueError(f"positions must have shape (N, 2), got {pos.shape}")
+        self.positions = pos
+        self.cell_size = float(cell_size)
+        cols = np.floor(pos[:, 0] / self.cell_size).astype(np.int64)
+        rows = np.floor(pos[:, 1] / self.cell_size).astype(np.int64)
+        self._cell_of = np.stack([cols, rows], axis=1)
+        # Bucket members keyed by (col, row); argsort is stable, so each
+        # bucket's member array is ascending in node id.
+        self._cells: dict[tuple[int, int], np.ndarray] = {}
+        if pos.shape[0]:
+            span = rows.max() - rows.min() + 1
+            flat = (cols - cols.min()) * span + (rows - rows.min())
+            order = np.argsort(flat, kind="stable")
+            sorted_flat = flat[order]
+            boundaries = np.flatnonzero(np.diff(sorted_flat)) + 1
+            for chunk in np.split(order, boundaries):
+                first = int(chunk[0])
+                self._cells[(int(cols[first]), int(rows[first]))] = chunk
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._cells)
+
+    def _candidates_around(self, col: int, row: int, reach: int) -> np.ndarray:
+        """Ids in the ``(2*reach+1)^2`` cell window around ``(col, row)``, ascending."""
+        chunks = []
+        cells = self._cells
+        for dc in range(-reach, reach + 1):
+            for dr in range(-reach, reach + 1):
+                members = cells.get((col + dc, row + dr))
+                if members is not None:
+                    chunks.append(members)
+        if not chunks:
+            return np.empty(0, dtype=np.intp)
+        out = np.concatenate(chunks)
+        out.sort()
+        return out
+
+    def _reach(self, threshold: float) -> int:
+        # One extra ring beyond the geometric bound: a pair excluded by the
+        # window then has per-coordinate separation strictly greater than
+        # threshold + cell_size, far outside any floating-point rounding of
+        # the distance predicate.
+        return int(math.ceil(threshold / self.cell_size)) + 1
+
+    def query(self, center, threshold: float, norm: str = "l2") -> np.ndarray:
+        """Ids of positions within ``threshold`` of ``center`` (ascending).
+
+        Equivalent to filtering the brute-force distance row with
+        ``distance <= threshold`` — callers that need the dense paths'
+        tolerance fold it into ``threshold`` themselves.
+        """
+        c = np.asarray(center, dtype=float).reshape(2)
+        col = int(math.floor(c[0] / self.cell_size))
+        row = int(math.floor(c[1] / self.cell_size))
+        candidates = self._candidates_around(col, row, self._reach(threshold))
+        if not candidates.size:
+            return candidates
+        dist = _bucket_distances(c[None, :], self.positions[candidates], norm)[0]
+        return candidates[dist <= threshold]
+
+    def neighbor_arrays(
+        self, threshold: float, norm: str = "l2", *, include_self: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR ``(indptr, indices)`` of the radius-``threshold`` neighbor graph.
+
+        Row ``i`` of the structure (``indices[indptr[i]:indptr[i+1]]``, always
+        ascending) lists exactly the ids the dense predicate
+        ``distance(i, j) <= threshold`` accepts, computed one occupied cell at
+        a time so peak memory is ``O(occupancy * window)`` instead of
+        ``O(N^2)``.
+        """
+        n = self.positions.shape[0]
+        rows_of: list = [None] * n
+        reach = self._reach(threshold)
+        for (col, row), members in self._cells.items():
+            candidates = self._candidates_around(col, row, reach)
+            dist = _bucket_distances(
+                self.positions[members], self.positions[candidates], norm
+            )
+            mask = dist <= threshold
+            if not include_self:
+                own_col = np.searchsorted(candidates, members)
+                mask[np.arange(members.size), own_col] = False
+            for local, node in enumerate(members):
+                rows_of[int(node)] = candidates[mask[local]]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for i in range(n):
+            row_ids = rows_of[i]
+            indptr[i + 1] = indptr[i] + (row_ids.size if row_ids is not None else 0)
+        if n and indptr[-1]:
+            indices = np.concatenate([r for r in rows_of if r is not None and r.size])
+        else:
+            indices = np.empty(0, dtype=np.intp)
+        indices = indices.astype(np.intp, copy=False)
+        return indptr, indices

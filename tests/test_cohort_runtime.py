@@ -157,7 +157,10 @@ class TestCohortGrouping:
         sim = build_simulation(tiny_grid_deployment, nw_config, use_cohort_runtime=True)
         sim.run(600)
         info = sim.plan_cache_info()
-        assert set(info) == {"submatrix", "round_memo", "transmissions_interned", "cohort_runtime"}
+        assert set(info) == {
+            "submatrix", "round_memo", "transmissions_interned", "cohort_runtime",
+            "spatial_tiling",
+        }
         cohort_info = info["cohort_runtime"]
         assert set(cohort_info) == {
             "enabled", "active", "initial_cohorts", "cohorts", "shared_members",

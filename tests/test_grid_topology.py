@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.topology.grid import GridSpec, GridTopology, grid_index_of, grid_positions
+from repro.topology.grid import (
+    GridBuckets,
+    GridSpec,
+    GridTopology,
+    grid_index_of,
+    grid_positions,
+)
 
 
 class TestGridSpec:
@@ -93,3 +101,89 @@ class TestGridTopology:
     def test_radius_in_cells_with_spacing(self):
         topo = GridTopology(GridSpec(5, 5, spacing=2.0), radius=4.0)
         assert topo.radius_in_cells == 2
+
+
+class TestGridBuckets:
+    """Grid-bucketed neighbor queries must equal the brute-force computation.
+
+    The bucketed path over-collects candidates from surrounding cells and
+    filters with the same elementwise distance expressions as the dense code,
+    so the property is exact set equality — no tolerance.
+    """
+
+    @staticmethod
+    def _brute_force(positions, center, threshold, norm):
+        diff = positions - np.asarray(center, dtype=float)[None, :]
+        if norm == "linf":
+            dist = np.max(np.abs(diff), axis=-1)
+        else:
+            dist = np.sqrt(np.sum(diff**2, axis=-1))
+        return np.flatnonzero(dist <= threshold)
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 40)), min_size=1, max_size=60
+        ),
+        cell=st.sampled_from([1.0, 1.5, 3.0, 7.0]),
+        threshold=st.sampled_from([0.5, 1.0, 2.0, 4.0, 9.0]),
+        norm=st.sampled_from(["l2", "linf"]),
+        center=st.tuples(st.integers(0, 40), st.integers(0, 40)),
+    )
+    def test_query_matches_brute_force(self, points, cell, threshold, norm, center):
+        # Half-integer coordinates produce exact-boundary distances, the
+        # adversarial case for a threshold predicate.
+        pos = np.asarray(points, dtype=float) / 2.0
+        buckets = GridBuckets(pos, cell_size=cell)
+        got = buckets.query(np.asarray(center, dtype=float) / 2.0, threshold, norm=norm)
+        expected = self._brute_force(pos, np.asarray(center, dtype=float) / 2.0, threshold, norm)
+        assert got.tolist() == expected.tolist()
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)), min_size=2, max_size=50
+        ),
+        threshold=st.sampled_from([1.0, 2.5, 5.0]),
+        norm=st.sampled_from(["l2", "linf"]),
+        include_self=st.booleans(),
+    )
+    def test_neighbor_arrays_match_brute_force(self, points, threshold, norm, include_self):
+        pos = np.asarray(points, dtype=float) / 2.0
+        buckets = GridBuckets(pos, cell_size=threshold)
+        indptr, indices = buckets.neighbor_arrays(threshold, norm, include_self=include_self)
+        assert indptr[0] == 0 and indptr[-1] == indices.size
+        for node in range(pos.shape[0]):
+            row = indices[indptr[node] : indptr[node + 1]]
+            expected = self._brute_force(pos, pos[node], threshold, norm)
+            if not include_self:
+                expected = expected[expected != node]
+            assert row.tolist() == expected.tolist(), f"node {node}"
+
+    @pytest.mark.parametrize("norm", ["l2", "linf"])
+    def test_large_deployment_matches_brute_force(self, norm):
+        """Fixed-seed large-N spot check (the property tests stay small)."""
+        rng = np.random.default_rng(123)
+        pos = rng.uniform(0.0, 50.0, size=(3000, 2))
+        threshold = 2.0
+        buckets = GridBuckets(pos, cell_size=threshold)
+        indptr, indices = buckets.neighbor_arrays(threshold, norm, include_self=True)
+        diff = pos[:, None, :] - pos[None, :, :]
+        if norm == "linf":
+            dist = np.max(np.abs(diff), axis=-1)
+        else:
+            dist = np.sqrt(np.sum(diff**2, axis=-1))
+        dense = dist <= threshold
+        src = np.repeat(np.arange(3000), np.diff(indptr))
+        assert np.array_equal(
+            np.flatnonzero(dense.ravel()), src * 3000 + indices
+        )
+
+    def test_cell_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GridBuckets(np.zeros((3, 2)), cell_size=0.0)
+
+    def test_unknown_norm_rejected(self):
+        buckets = GridBuckets(np.zeros((3, 2)), cell_size=1.0)
+        with pytest.raises(ValueError):
+            buckets.query((0.0, 0.0), 1.0, norm="l1")

@@ -273,3 +273,87 @@ class TestWarmStoreByteIdentity:
         assert warm_store.stats.misses == 0
         assert warm_store.stats.hits == cold_store.stats.misses
         assert export(warm_rows) == export(cold_rows)
+
+
+class TestSpatialTilingEquivalence:
+    """Tiled-vs-dense link state must not move a bit either.
+
+    Same discipline as the kernel and cohort layers: full-record identity
+    across protocols, channels and loss/capture settings, plus the explicit
+    channel-RNG stream-position check.  The 600- and 1200-node cases are the
+    PR's stated scale pins — uniform deployments at the benchmark macros'
+    density, run tiled and untiled back to back.
+    """
+
+    @pytest.mark.parametrize(
+        "protocol,channel,loss,capture",
+        [
+            ("neighborwatch", "unitdisk", 0.0, 0.0),
+            ("neighborwatch", "unitdisk", 0.2, 0.0),
+            ("neighborwatch", "unitdisk", 0.2, 0.5),
+            ("neighborwatch", "friis", 0.0, 0.0),
+            ("neighborwatch", "friis", 0.25, 0.0),
+            ("neighborwatch2", "unitdisk", 0.1, 0.0),
+            ("multipath", "unitdisk", 0.0, 0.0),
+            ("epidemic", "unitdisk", 0.1, 0.0),
+        ],
+    )
+    def test_full_run_identical_and_rng_position_matches(
+        self, uniform_small_deployment, protocol, channel, loss, capture
+    ):
+        from repro.sim.builder import build_simulation
+        from repro.sim.config import ScenarioConfig
+        from repro.sim.engine import clear_link_cache
+
+        kwargs = dict(
+            protocol=protocol, radius=3.0, seed=17, channel=channel,
+            loss_probability=loss, capture_probability=capture,
+        )
+        kwargs["message_length"] = 2 if protocol == "multipath" else 3
+        if protocol == "multipath":
+            kwargs["multipath_tolerance"] = 1
+        config = ScenarioConfig(**kwargs)
+
+        results = {}
+        for tiled in (False, True):
+            clear_link_cache()
+            sim = build_simulation(uniform_small_deployment, config, use_spatial_tiling=tiled)
+            record = sim.run(4000).to_record()
+            results[tiled] = (record, sim.rng.random())
+        assert results[True][0] == results[False][0]
+        assert results[True][1] == results[False][1]
+
+    @pytest.mark.parametrize(
+        "protocol,num_nodes",
+        [("neighborwatch", 600), ("epidemic", 1200)],
+    )
+    def test_scale_pins_600_and_1200_nodes(self, protocol, num_nodes):
+        """The acceptance-scale runs: tiled byte-identity at 600/1200 nodes.
+
+        Serialized-record equality covers the exported rows and the bytes a
+        ResultStore would persist; the RNG draw pins the stream position.
+        """
+        from repro.experiments.factories import UniformDeploymentFactory
+        from repro.sim.builder import build_simulation
+        from repro.sim.config import ScenarioConfig
+        from repro.sim.engine import clear_link_cache
+
+        deployment = UniformDeploymentFactory(num_nodes, 20.0, 20.0)(5)
+        config = ScenarioConfig(
+            protocol=protocol, radius=4.0, message_length=4, seed=5
+        )
+        serialized = {}
+        for tiled in (False, True):
+            clear_link_cache()
+            sim = build_simulation(deployment, config, use_spatial_tiling=tiled)
+            result = sim.run(20000)
+            serialized[tiled] = (
+                json.dumps(result.to_record(), sort_keys=True, default=str),
+                sim.rng.random(),
+            )
+            info = sim.plan_cache_info()["spatial_tiling"]
+            assert info["enabled"] is tiled
+            if tiled:
+                assert info["sparse_nnz"] < num_nodes * num_nodes
+                assert info["rounds_resolved"] > 0
+        assert serialized[True] == serialized[False]

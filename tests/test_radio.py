@@ -213,3 +213,83 @@ class TestLinkStateEquivalence:
         state = chan.link_state(positions)
         expected = chan._distances(positions, positions) <= 3.0 + 1e-12
         assert np.array_equal(state, expected)
+
+
+class TestLinkStateMemoryBudget:
+    """The dense link-state byte budget must refuse quadratic allocations with
+    a message that names the sparse/tiled escape hatch."""
+
+    def test_budget_exceeded_names_the_tiling_knob(self, monkeypatch):
+        from repro.sim.radio import LinkStateMemoryError
+
+        monkeypatch.setenv("REPRO_LINK_STATE_MAX_BYTES", "1024")
+        chan = UnitDiskChannel(2.0)
+        positions = np.zeros((64, 2))  # 64*64 = 4096 bytes > 1024
+        with pytest.raises(LinkStateMemoryError) as excinfo:
+            chan.link_state(positions)
+        message = str(excinfo.value)
+        assert "use_spatial_tiling" in message
+        assert "REPRO_SPATIAL_TILING" in message
+        assert "REPRO_LINK_STATE_MAX_BYTES" in message
+
+    def test_friis_budget_counts_eight_bytes_per_pair(self, monkeypatch):
+        from repro.sim.radio import LinkStateMemoryError
+
+        monkeypatch.setenv("REPRO_LINK_STATE_MAX_BYTES", "10000")
+        positions = np.random.default_rng(0).uniform(0, 5, size=(40, 2))
+        # 40*40*1 = 1600 bytes fits for unitdisk ...
+        assert UnitDiskChannel(2.0).link_state(positions) is not None
+        # ... but 40*40*8 = 12800 bytes does not for friis.
+        with pytest.raises(LinkStateMemoryError):
+            FriisChannel(2.0).link_state(positions)
+
+    def test_budget_disabled_with_nonpositive_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LINK_STATE_MAX_BYTES", "0")
+        assert UnitDiskChannel(2.0).link_state(np.zeros((64, 2))) is not None
+
+    def test_sparse_tier_is_not_budgeted(self, monkeypatch):
+        from repro.sim.linkstate import UnitDiskLinkState
+
+        monkeypatch.setenv("REPRO_LINK_STATE_MAX_BYTES", "1024")
+        positions = np.random.default_rng(1).uniform(0, 20, size=(64, 2))
+        state = UnitDiskChannel(2.0).link_state_sparse(positions)
+        assert isinstance(state, UnitDiskLinkState)
+        assert state.nnz < 64 * 64
+
+
+class TestSparseLinkState:
+    """Sparse link states must recompute exact dense blocks from positions."""
+
+    @pytest.mark.parametrize("norm", ["l2", "linf"])
+    def test_unitdisk_submatrix_bitwise_equal(self, norm):
+        rng = np.random.default_rng(11)
+        positions = rng.uniform(0, 15, size=(120, 2))
+        chan = UnitDiskChannel(3.0, norm=norm)
+        dense = chan.link_state(positions)
+        sparse = chan.link_state_sparse(positions)
+        listeners = list(range(0, 120, 3))
+        senders = list(range(1, 120, 7))
+        assert np.array_equal(
+            sparse.submatrix(listeners, senders), dense[np.ix_(listeners, senders)]
+        )
+
+    def test_friis_submatrix_bitwise_equal(self):
+        rng = np.random.default_rng(12)
+        positions = rng.uniform(0, 15, size=(90, 2))
+        chan = FriisChannel(reception_range=3.0)
+        dense = chan.link_state(positions)
+        sparse = chan.link_state_sparse(positions)
+        listeners = list(range(0, 90, 2))
+        senders = list(range(1, 90, 5))
+        assert np.array_equal(
+            sparse.submatrix(listeners, senders), dense[np.ix_(listeners, senders)]
+        )
+
+    def test_supports_sparse_rounds_classification(self):
+        assert UnitDiskChannel(3.0).supports_sparse_rounds()
+        assert UnitDiskChannel(3.0, loss_probability=0.2).supports_sparse_rounds()
+        assert not UnitDiskChannel(3.0, capture_probability=0.5).supports_sparse_rounds()
+        vec_off = UnitDiskChannel(3.0)
+        vec_off.use_vectorized_kernels = False
+        assert not vec_off.supports_sparse_rounds()
+        assert not FriisChannel(3.0).supports_sparse_rounds()

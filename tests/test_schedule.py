@@ -288,3 +288,37 @@ class TestGreedyColouringReference:
                 slot += 1
             reference[node] = slot
         assert [sched.slot_of_node(i) for i in range(n)] == reference.tolist()
+
+
+class TestBucketedNodeSchedule:
+    """Above BUCKETED_SCHEDULE_MIN_NODES the conflict and listening
+    neighborhoods come from grid-bucketed queries; the slot assignment and the
+    neighbor-slot tables must equal the dense-matrix oracle exactly."""
+
+    @pytest.mark.parametrize("norm", ["l2", "linf"])
+    def test_matches_dense_oracle(self, norm, monkeypatch):
+        import repro.core.schedule as schedule_module
+
+        dep = uniform_deployment(400, 25, 25, rng=17)
+        monkeypatch.setattr(schedule_module, "BUCKETED_SCHEDULE_MIN_NODES", 10**9)
+        dense = NodeSchedule(dep.positions, 2.0, dep.source_index, norm=norm)
+        dense_table = [dense.neighbor_slots_of_node(i) for i in range(400)]
+        monkeypatch.setattr(schedule_module, "BUCKETED_SCHEDULE_MIN_NODES", 1)
+        bucketed = NodeSchedule(dep.positions, 2.0, dep.source_index, norm=norm)
+        bucketed_table = [bucketed.neighbor_slots_of_node(i) for i in range(400)]
+        assert [bucketed.slot_of_node(i) for i in range(400)] == [
+            dense.slot_of_node(i) for i in range(400)
+        ]
+        assert bucketed_table == dense_table
+        assert bucketed.num_slots == dense.num_slots
+
+    def test_listen_radius_override_matches(self, monkeypatch):
+        import repro.core.schedule as schedule_module
+
+        dep = uniform_deployment(150, 12, 12, rng=3)
+        monkeypatch.setattr(schedule_module, "BUCKETED_SCHEDULE_MIN_NODES", 1)
+        bucketed = NodeSchedule(dep.positions, 2.0, dep.source_index)
+        monkeypatch.setattr(schedule_module, "BUCKETED_SCHEDULE_MIN_NODES", 10**9)
+        dense = NodeSchedule(dep.positions, 2.0, dep.source_index)
+        for node in (0, 7, 149):
+            assert bucketed.neighbor_slots_of_node(node, 5.0) == dense.neighbor_slots_of_node(node, 5.0)
