@@ -1,6 +1,6 @@
 # Convenience entry points; every target assumes the repo root as cwd.
 PYTHON ?= python
-PR ?= 6
+PR ?= 7
 export PYTHONPATH := src
 
 .PHONY: test bench bench-baseline bench-smoke profile
@@ -11,30 +11,31 @@ test:
 
 # Capture a post-change benchmark run into BENCH_$(PR).json (merges with the
 # stored baseline and computes speedups; fails on series-hash drift).
-# PR 6's varied knob is the link-state tier: the baseline is the dense matrix
-# path (--tiling off), the current run the sparse spatially-tiled CSR tier
-# (--tiling on, which also unlocks the requires_tiling 10^5-node macro).  Set
-# BENCH_RUNTIME=scalar/cohort to additionally pin the protocol runtime (the
-# PR 4 knob); unset, the environment default (cohort) applies to both labels.
-BENCH_RUNTIME ?=
-RUNTIME_FLAG = $(if $(BENCH_RUNTIME),--runtime $(BENCH_RUNTIME),)
-BENCH_TILING_BASELINE ?= off
-BENCH_TILING_CURRENT ?= on
+# PR 7's varied knob is the protocol execution runtime: the baseline is the
+# cohort tier with the struct-of-arrays kernels pinned off, the current run
+# the SoA slot kernels (--runtime soa).  Both labels use --tiling on, which
+# resolves to the auto threshold for the suite (small deployments stay
+# dense — forcing CSR onto them was the DUAL/MAPSZ regression in BENCH_6)
+# and forces the sparse CSR tier for the paper-scale macros, so the
+# requires_tiling 10^5-node macros run under both labels.
+BENCH_RUNTIME_BASELINE ?= cohort
+BENCH_RUNTIME_CURRENT ?= soa
+BENCH_TILING ?= on
 bench:
-	$(PYTHON) benchmarks/capture.py --pr $(PR) --label current $(RUNTIME_FLAG) --tiling $(BENCH_TILING_CURRENT)
+	$(PYTHON) benchmarks/capture.py --pr $(PR) --label current --runtime $(BENCH_RUNTIME_CURRENT) --tiling $(BENCH_TILING)
 
 # Capture the pre-change baseline (run this before starting a perf change).
 bench-baseline:
-	$(PYTHON) benchmarks/capture.py --pr $(PR) --label baseline $(RUNTIME_FLAG) --tiling $(BENCH_TILING_BASELINE)
+	$(PYTHON) benchmarks/capture.py --pr $(PR) --label baseline --runtime $(BENCH_RUNTIME_BASELINE) --tiling $(BENCH_TILING)
 
 # CI smoke: verify BENCH_$(PR).json exists and its suite hashes reproduce,
-# then check a medium-scale export is byte-identical tiled vs untiled.
+# then check a medium-scale export is byte-identical SoA-on vs SoA-off.
 bench-smoke:
 	$(PYTHON) benchmarks/capture.py --check BENCH_$(PR).json
-	REPRO_SPATIAL_TILING=0 $(PYTHON) -m repro.experiments run FIG7 --scale small --export json > /tmp/untiled.json
-	REPRO_SPATIAL_TILING=1 $(PYTHON) -m repro.experiments run FIG7 --scale small --export json > /tmp/tiled.json
-	cmp /tmp/untiled.json /tmp/tiled.json
-	rm -f /tmp/untiled.json /tmp/tiled.json
+	REPRO_SOA_KERNELS=1 $(PYTHON) -m repro.experiments run FIG5 --scale small --export json > /tmp/soa.json
+	REPRO_SOA_KERNELS=0 $(PYTHON) -m repro.experiments run FIG5 --scale small --export json > /tmp/nosoa.json
+	cmp /tmp/soa.json /tmp/nosoa.json
+	rm -f /tmp/soa.json /tmp/nosoa.json
 
 # Profile one experiment's sweep (top cumulative hot spots to stderr).
 profile:

@@ -27,19 +27,28 @@ Usage::
     PYTHONPATH=src python benchmarks/capture.py --pr 4 --label current --suite-only
     PYTHONPATH=src python benchmarks/capture.py --pr 6 --label baseline --tiling off
     PYTHONPATH=src python benchmarks/capture.py --pr 6 --label current --tiling on
+    PYTHONPATH=src python benchmarks/capture.py --pr 7 --label baseline --runtime cohort --tiling on
+    PYTHONPATH=src python benchmarks/capture.py --pr 7 --label current --runtime soa --tiling on
     PYTHONPATH=src python benchmarks/capture.py --check BENCH_4.json
 
-``--runtime {cohort,scalar}`` pins the protocol execution runtime for the
-capture (``REPRO_COHORT_RUNTIME``): PR 4's baseline is the per-device scalar
-oracle, its current run the cohort runtime — the hashes must agree exactly,
-which is itself part of the bit-identity contract.
+``--runtime {cohort,scalar,soa}`` pins the protocol execution runtime for the
+capture: ``scalar`` is the per-device oracle (``REPRO_COHORT_RUNTIME=0``,
+``REPRO_SOA_KERNELS=0``), ``cohort`` the shared-state batched path with the
+struct-of-arrays kernels off, and ``soa`` (PR 7) enables the struct-of-arrays
+slot kernels on top of the cohort default — the hashes must agree exactly
+across all three, which is itself part of the bit-identity contract.
 
 ``--tiling {on,off}`` pins the link-state tier the same way
 (``REPRO_SPATIAL_TILING``): PR 6's baseline is the dense matrix path, its
-current run the sparse spatially-tiled CSR tier.  Macros flagged
-``requires_tiling`` (the 10^5-node scale target, whose dense link state would
-not fit in memory) only run with tiling on; every macro that runs under both
-labels must hash identically.
+current run the sparse spatially-tiled CSR tier.  ``on`` resolves to *auto*
+for the suite section and to *forced* for the macros: BENCH_6 showed that
+forcing the CSR tier onto the suite's small deployments costs real time
+(DUAL 0.39x, MAPSZ 0.59x — per-sender Python round loops where one dense
+slice would do) while saving memory those runs never needed, so the suite
+honors the node-count auto threshold and only the paper-scale macros pin the
+sparse tier.  Macros flagged ``requires_tiling`` (the 10^5-node scale
+targets, whose dense link state would not fit in memory) only run with
+tiling on; every macro that runs under both labels must hash identically.
 
 ``--check`` re-runs the (quick) suite and verifies the stored hashes of the
 newest run still reproduce — the CI smoke job uses it so a drifted series can
@@ -117,6 +126,28 @@ MACROS = (
         "seed": 5,
         "requires_tiling": True,
     },
+    # The PR 7 scale target: NeighborWatchRB at 10^5 nodes.  Unlike the
+    # epidemic flood, the meta-square relay needs occupied squares, so this
+    # macro keeps the nw-unitdisk-1200 density (~3 devices per unit area,
+    # ~5 per R/3-square; the epidemic macro's 0.125 leaves most squares
+    # empty and the relay never completes).  The struct-of-arrays slot
+    # kernels carry the 6-phase 2Bit exchanges in packed-bitmask algebra,
+    # which is what makes the protocol (not just the flood) tractable at
+    # this size — so, like requires_tiling vs the dense baseline, the macro
+    # only runs when the SoA tier is on (a cohort/scalar baseline would
+    # take hours).
+    {
+        "name": "nw-unitdisk-100k",
+        "protocol": "neighborwatch",
+        "channel": "unitdisk",
+        "num_nodes": 100_000,
+        "map_size": 183.0,
+        "radius": 4.0,
+        "message_length": 4,
+        "seed": 5,
+        "requires_tiling": True,
+        "requires_soa": True,
+    },
 )
 
 
@@ -178,12 +209,20 @@ def capture_macros(log) -> dict:
 
     Macros flagged ``requires_tiling`` are skipped (with a log line) unless
     spatial tiling resolves to *on* for their node count — their dense link
-    state would not fit in memory, which is the point of the flag.
+    state would not fit in memory, which is the point of the flag.  Macros
+    flagged ``requires_soa`` are likewise skipped unless the struct-of-arrays
+    kernels are enabled: they are scale targets the SoA tier unlocks, not
+    before/after comparisons, and running them on the cohort or scalar tier
+    would take hours.
     """
     from repro.experiments.factories import UniformDeploymentFactory
     from repro.sim.builder import build_channel, run_scenario
     from repro.sim.config import ScenarioConfig
-    from repro.sim.engine import _cached_link_state, default_spatial_tiling
+    from repro.sim.engine import (
+        _cached_link_state,
+        default_soa_kernels,
+        default_spatial_tiling,
+    )
     from repro.sim.linkstate import SparseLinkState
 
     section: dict = {}
@@ -191,6 +230,9 @@ def capture_macros(log) -> dict:
         tiled = default_spatial_tiling(macro["num_nodes"])
         if macro.get("requires_tiling") and not tiled:
             log(f"  macro {macro['name']:<22} skipped (needs spatial tiling on)")
+            continue
+        if macro.get("requires_soa") and not default_soa_kernels():
+            log(f"  macro {macro['name']:<22} skipped (needs SoA kernels on)")
             continue
         deployment = UniformDeploymentFactory(
             macro["num_nodes"], macro["map_size"], macro["map_size"]
@@ -202,8 +244,9 @@ def capture_macros(log) -> dict:
             seed=macro["seed"],
             channel=macro["channel"],
         )
+        info: dict = {}
         started = time.perf_counter()
-        result = run_scenario(deployment, config)
+        result = run_scenario(deployment, config, info_sink=info)
         elapsed = time.perf_counter() - started
         entry = {
             "elapsed_s": round(elapsed, 4),
@@ -212,6 +255,15 @@ def capture_macros(log) -> dict:
             "num_nodes": macro["num_nodes"],
             "channel": macro["channel"],
             "protocol": macro["protocol"],
+            # Which execution tier actually carried the run — SoA slot
+            # kernels, cohort batching, or the scalar oracle — with the SoA
+            # compile/fallback counters when that tier was active.
+            "runtime_tiers": {
+                "soa_kernels": info.get("soa_kernels", {"enabled": False}),
+                "cohort_runtime": {
+                    "enabled": bool(info.get("cohort_runtime", {}).get("enabled"))
+                },
+            },
         }
         # The engine's module-level link cache still holds the state this run
         # used (same channel signature + positions), live round counters
@@ -323,22 +375,28 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--runtime",
-        choices=("cohort", "scalar"),
+        choices=("cohort", "scalar", "soa"),
         default=None,
         help="force the protocol execution runtime for this capture (sets "
-        "REPRO_COHORT_RUNTIME): 'scalar' records the per-device oracle "
-        "baseline, 'cohort' the shared-state batched path; results are "
-        "bit-identical, only the wall clock moves (default: environment)",
+        "REPRO_COHORT_RUNTIME / REPRO_SOA_KERNELS): 'scalar' records the "
+        "per-device oracle baseline, 'cohort' the shared-state batched path "
+        "with the struct-of-arrays kernels off, 'soa' the struct-of-arrays "
+        "slot kernels (cohort batching still covers ineligible runs); "
+        "results are bit-identical, only the wall clock moves "
+        "(default: environment)",
     )
     parser.add_argument(
         "--tiling",
         choices=("on", "off"),
         default=None,
-        help="force the spatially-tiled sparse link-state tier for this capture "
+        help="pin the spatially-tiled sparse link-state tier for this capture "
         "(sets REPRO_SPATIAL_TILING): 'off' records the dense baseline, 'on' "
-        "the sparse CSR path; results are bit-identical, only memory and the "
-        "wall clock move (default: environment / auto threshold).  Macros "
-        "flagged requires_tiling only run with tiling on",
+        "resolves to the auto node-count threshold for the suite (forcing "
+        "CSR onto small deployments is a measured slowdown) and forces the "
+        "sparse CSR path for the paper-scale macros; results are "
+        "bit-identical, only memory and the wall clock move (default: "
+        "environment / auto threshold).  Macros flagged requires_tiling "
+        "only run with tiling on",
     )
     parser.add_argument(
         "--check",
@@ -348,19 +406,32 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    import os
+
     if args.runtime is not None:
-        import os
+        # 'soa' layers on top of the cohort default: eligible runs compile to
+        # the struct-of-arrays kernels, everything else (Friis, lossy
+        # channels) still batches through cohorts.  'cohort' and 'scalar'
+        # pin the kernels off so each tier is measured in isolation.
+        os.environ["REPRO_COHORT_RUNTIME"] = "0" if args.runtime == "scalar" else "1"
+        os.environ["REPRO_SOA_KERNELS"] = "1" if args.runtime == "soa" else "0"
 
-        os.environ["REPRO_COHORT_RUNTIME"] = "1" if args.runtime == "cohort" else "0"
-    if args.tiling is not None:
-        import os
-
-        os.environ["REPRO_SPATIAL_TILING"] = "1" if args.tiling == "on" else "0"
+    def tiling_env(section: str) -> None:
+        # 'on' means auto for the suite (small deployments pay for forced
+        # CSR — see the module docstring) but forced for the macros, whose
+        # scale is the sparse tier's reason to exist.
+        if args.tiling is None:
+            return
+        if args.tiling == "off":
+            os.environ["REPRO_SPATIAL_TILING"] = "0"
+        else:
+            os.environ["REPRO_SPATIAL_TILING"] = "auto" if section == "suite" else "1"
 
     def log(message: str) -> None:
         print(message, file=sys.stderr)
 
     if args.check is not None:
+        tiling_env("suite")
         return check(Path(args.check), args.suite_scale, log)
 
     path = Path(args.output) if args.output else Path(f"BENCH_{args.pr}.json")
@@ -371,8 +442,10 @@ def main(argv=None) -> int:
     run: dict = {"environment": _environment(), "suite_scale": args.suite_scale}
     log(f"capturing {args.label!r} -> {path}")
     if not args.macros_only:
+        tiling_env("suite")
         run["suite"] = capture_suite(args.suite_scale, args.cache_dir, log)
     if not args.suite_only:
+        tiling_env("macros")
         run["macros"] = capture_macros(log)
     document.setdefault("runs", {})[args.label] = run
 

@@ -64,6 +64,7 @@ class EpidemicNode(Protocol):
     """
 
     shareable = True
+    soa_compilable = True
 
     def __init__(
         self,
@@ -117,6 +118,35 @@ class EpidemicNode(Protocol):
             self._remaining_broadcasts,
             self.context.message_length,
         )
+
+    def soa_state_spec(self, slot: int) -> Optional[dict]:
+        """Role of this device in ``slot`` for the SoA compiler.
+
+        Every group member is a potential adopter (an owner with nothing to
+        flood listens in its own slot like everyone else); owners additionally
+        expose the queue-consuming broadcast decision.
+        """
+        return {
+            "role": "member",
+            "owner": slot == self._my_slot,
+            "pop": self._decide_broadcast,
+            "adopt": self._soa_try_adopt,
+        }
+
+    def _soa_try_adopt(self, payload: tuple) -> bool:
+        """Adopt a sole decoded payload, with the same validation as observe().
+
+        Returns whether the device newly adopted (the SoA kernel stamps the
+        delivery round from this).
+        """
+        if self._message is not None:
+            return False
+        if len(payload) != self.context.message_length:
+            return False
+        if any(bit not in (0, 1) for bit in payload):
+            return False
+        self._adopt(tuple(int(b) for b in payload))
+        return True
 
     def _decide_broadcast(self) -> Optional[Bits]:
         """Consume one rebroadcast if the device has something to flood."""

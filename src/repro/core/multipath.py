@@ -98,15 +98,30 @@ class MultiPathNode(Protocol):
     bits) while otherwise running the correct protocol; combined with
     ``relay_heard=False`` in their config this matches Section 6.1 exactly.
 
-    The state machine is expressed through the phase-machine API, but the
-    protocol deliberately stays ``shareable = False``: its commit rule
-    (:meth:`_check_commit`) and HEARD-cause resolution measure distances from
-    *this device's position*, so the transitions are member-dependent — two
-    devices in identical protocol state can still commit differently.  Every
-    MultiPathRB device therefore runs as a singleton cohort.
+    The state machine is expressed through the phase-machine API.  The commit
+    rule (:meth:`_check_commit`) and HEARD-cause resolution measure distances
+    from *this device's position*, so plain state-keyed sharing is unsound —
+    but every one of those distance comparisons is answered by the device's
+    *region profile* (:func:`~repro.core.regions.region_profile_of`): the
+    R-ball membership set and the per-slot ``2R`` owner views.  The protocol
+    therefore declares itself ``shareable`` under the opt-in
+    :attr:`~repro.core.protocol.Protocol.position_cohort_attr` contract — the
+    cohort runtime groups two devices only when their profiles (and states,
+    via :meth:`cohort_key`) are equal, which under the paper's standard ``3R``
+    slot separation degenerates to singletons (the historical behaviour) but
+    batches genuinely position-equivalent devices in dense deployments.
+
+    The transitions consume only channel activity
+    (``shared_observation_attr = "busy"``) and no randomness, and the slot
+    machinery is the same 2Bit/1Hop stack as NeighborWatchRB, so the protocol
+    is also ``soa_compilable``: deterministic unit-disk slots lower to the
+    struct-of-arrays kernels of :mod:`repro.sim.soa`.
     """
 
-    shareable = False
+    shareable = True
+    shared_observation_attr = "busy"
+    position_cohort_attr = "region_profile"
+    soa_compilable = True
 
     def __init__(
         self,
@@ -130,6 +145,7 @@ class MultiPathNode(Protocol):
         self._my_slot = -1
         self._is_source = False
         self._delivered_message: Optional[Bits] = None
+        self._region_profile_cache: Optional[tuple] = None
 
     # -- setup -----------------------------------------------------------------------------
     def setup(self, context: NodeContext) -> None:
@@ -197,6 +213,59 @@ class MultiPathNode(Protocol):
         slots = set(self._receivers)
         slots.add(self._my_slot)
         return sorted(slots)
+
+    # -- cohort runtime hooks ----------------------------------------------------------------------
+    @property
+    def region_profile(self) -> tuple:
+        """Region-derived view of this device's position (lazily computed).
+
+        Exposed through :attr:`position_cohort_attr` so the cohort runtime
+        folds it into the grouping key; computed on first access because the
+        profile scans every slot's owners and is only needed when cohort
+        grouping runs.
+        """
+        cached = self._region_profile_cache
+        if cached is None:
+            from .regions import region_profile_of
+
+            cached = region_profile_of(self._schedule, self.context.position, self.context.radius)
+            self._region_profile_cache = cached
+        return cached
+
+    def cohort_key(self):
+        """Everything that distinguishes this device's post-setup state.
+
+        For honest non-source devices the dynamic state (votes, commits,
+        streams) is empty at construction, so the slot assignment, the
+        receiver slot/peer maps and the configuration fully determine the
+        machine; the source and preloaded (lying) devices hold different
+        initial commitments and are keyed apart.  Position equivalence is
+        *not* captured here — the runtime folds :attr:`region_profile` in
+        separately via :attr:`position_cohort_attr`.
+        """
+        return (
+            self.config.tolerance,
+            self.config.relay_heard,
+            self.config.idle_veto,
+            self._my_slot,
+            tuple(sorted(self._peer_of_slot.items())),
+            self._is_source,
+            self._preloaded,
+            self.context.message_length,
+        )
+
+    def soa_state_spec(self, slot: int) -> Optional[dict]:
+        """Role of this device in ``slot`` for the SoA compiler."""
+        if slot == self._my_slot:
+            return {
+                "role": "owner",
+                "sender": self._sender,
+                "idle_veto": self.config.idle_veto,
+            }
+        receiver = self._receivers.get(slot)
+        if receiver is None:
+            return None
+        return {"role": "receiver", "receiver": receiver, "drain_slot": self._drain_stream}
 
     # -- slot lifecycle ---------------------------------------------------------------------------------
     def _begin_slot(self, slot: int) -> None:

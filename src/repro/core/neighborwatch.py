@@ -114,6 +114,7 @@ class NeighborWatchNode(Protocol):
 
     shareable = True
     shared_observation_attr = "busy"
+    soa_compilable = True
 
     def __init__(
         self,
@@ -202,6 +203,30 @@ class NeighborWatchNode(Protocol):
             self._preloaded,
             self.context.message_length,
         )
+
+    def soa_state_spec(self, slot: int) -> Optional[dict]:
+        """Role of this device in ``slot`` for the SoA compiler.
+
+        In its own slot the device either streams bits from ``_sender`` or
+        blocks (``idle_veto`` fixes whether an idle owner vetoes
+        unconditionally); in a receiver slot the kernel drives the bound
+        :class:`OneHopReceiver` stream and re-runs the commit pipeline after
+        an accepted bit.
+        """
+        if slot == self._my_slot:
+            return {
+                "role": "owner",
+                "sender": self._sender,
+                "idle_veto": self.config.idle_veto,
+            }
+        receiver = self._receivers.get(slot)
+        if receiver is None:
+            return None
+        return {
+            "role": "receiver",
+            "receiver": receiver,
+            "update_commits": self._update_commits,
+        }
 
     # -- slot lifecycle ----------------------------------------------------------------------
     def _begin_slot(self, slot: int) -> None:

@@ -117,6 +117,25 @@ class OneHopSender:
         """
         return (tuple(self._bits), self._sent_count)
 
+    # -- SoA kernel accessors -----------------------------------------------------------
+    def soa_current_pair(self) -> tuple[int, int]:
+        """``(parity, data)`` of the next pending bit, without allocating.
+
+        The SoA kernels drive the 2Bit exchange in mask algebra and never
+        construct the per-slot :class:`TwoBitSender`; the caller guarantees
+        :attr:`has_pending`.
+        """
+        return (parity_of_index(self._sent_count + 1), self._bits[self._sent_count])
+
+    def soa_advance(self) -> None:
+        """Mark the current bit delivered (SoA kernel success path).
+
+        Bypasses ``begin_slot``/``finish_slot``, so the attempt/success
+        tallies are not maintained on the SoA tier — they are statistics
+        excluded from :meth:`state_signature` for exactly that reason.
+        """
+        self._sent_count += 1
+
     def clone(self) -> "OneHopSender":
         """Independent state-identical copy (cohort splits, possibly mid-slot)."""
         other = OneHopSender.__new__(OneHopSender)
@@ -248,6 +267,17 @@ class OneHopReceiver:
         retransmission hold the same stream and behave identically).
         """
         return tuple(self._received)
+
+    # -- SoA kernel accessor ------------------------------------------------------------
+    def soa_append(self, data: int) -> None:
+        """Append an accepted data bit (SoA kernel accept path).
+
+        The kernel performs the veto/parity/completion checks in mask algebra
+        and bypasses the per-slot :class:`TwoBitReceiver` objects, so the
+        failed/accepted/ignored tallies are not maintained on the SoA tier;
+        the accepted stream — the behaviour-relevant state — is.
+        """
+        self._received.append(data)
 
     def clone(self) -> "OneHopReceiver":
         """Independent state-identical copy (cohort splits, possibly mid-slot)."""

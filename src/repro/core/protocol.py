@@ -164,6 +164,23 @@ class Protocol(abc.ABC):
     #: leave it ``None`` unless the restriction provably holds.
     shared_observation_attr: Optional[str] = None
 
+    #: Name of an instance attribute holding a hashable *region profile*, or
+    #: ``None``.  When set, the cohort runtime folds ``getattr(self, attr)``
+    #: into the grouping key next to :meth:`cohort_key` — the opt-in contract
+    #: for protocols whose transitions depend on position only *through* the
+    #: paper's region decomposition (MultiPathRB's commit rule).  Two devices
+    #: may then share a machine exactly when their region-derived views are
+    #: equal, without the position itself entering :meth:`cohort_key`.
+    position_cohort_attr: Optional[str] = None
+
+    #: Whether this protocol family can be lowered to the struct-of-arrays
+    #: execution tier (:mod:`repro.sim.soa`).  Only phase machines whose
+    #: transitions consume no RNG and read nothing of an observation beyond
+    #: :attr:`shared_observation_attr` may set this — see the SoA lowering
+    #: contract in :mod:`repro.core.runtime`.  Compilation additionally
+    #: requires the class to provide :meth:`soa_state_spec`.
+    soa_compilable: bool = False
+
     def setup(self, context: NodeContext) -> None:
         """Bind the protocol instance to a device.  Called once before round 0."""
         self.context = context
@@ -233,6 +250,20 @@ class Protocol(abc.ABC):
         that never influence a transition (attempt counters, failure tallies)
         should be excluded so transient divergences can heal.  ``None`` (the
         default) disables re-merging for the protocol.
+        """
+        return None
+
+    # -- struct-of-arrays lowering hook -----------------------------------------
+    def soa_state_spec(self, slot: int) -> Optional[dict]:
+        """Description of this instance's role in a compiled SoA slot group.
+
+        Called once per ``(device, slot)`` pair by the SoA compiler for
+        :attr:`soa_compilable` protocols.  Returns ``None`` when the device is
+        a pure bystander in the slot, otherwise a dict understood by the
+        family's slot kernel in :mod:`repro.sim.soa` (e.g. which per-slot
+        receiver object backs the device, whether the device owns the slot).
+        The base implementation returns ``None``; compilable families
+        override it.
         """
         return None
 

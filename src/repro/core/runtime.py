@@ -44,6 +44,34 @@ State-machine state must therefore be plain deep-copyable Python data; large
 immutable collaborators (the schedule, the node context, protocol config
 objects) are *shared* across clones via
 :meth:`~repro.core.protocol.Protocol.shared_on_clone`.
+
+The SoA lowering contract
+-------------------------
+The third execution tier (:mod:`repro.sim.soa`) goes one step beyond sharing:
+for *simple* phase machines it compiles each slot's participants into packed
+per-group state masks and replays the slot with a handful of bitwise
+operations instead of per-device (or per-cohort) ``phase_act`` /
+``phase_observe`` calls.  A protocol family opts in by declaring
+``soa_compilable = True`` and implementing
+:meth:`~repro.core.protocol.Protocol.soa_state_spec`, and may do so only when
+
+* its transitions consume **no randomness** and read **nothing** of an
+  observation beyond the declared
+  :attr:`~repro.core.protocol.Protocol.shared_observation_attr` projection
+  (for the bit-exchange stack: ``busy``) or — for payload protocols such as
+  the epidemic counters — the decoded frame of an uncontended round, and
+* a slot's evolution is a *closed function* of the group's state: every
+  device whose state the slot can change declares the slot in its interest
+  set, so the compiler sees the full support of the transition, and
+* the slot kernel mutates the **same protocol objects** the scalar path
+  would: SoA keeps no shadow state beyond per-slot role masks that are
+  recomputable from the objects, which is what lets any slot occurrence fall
+  back to the scalar loop (adversary extras, flex transmitters) and resume
+  compiled execution afterwards.
+
+Bit-identity remains the hard contract: record order, RNG draw order (the
+tier is only eligible on channel configurations that consume no RNG) and
+every exported row must match the per-device oracle byte for byte.
 """
 
 from __future__ import annotations

@@ -38,10 +38,26 @@ __all__ = [
     "TwoBitSender",
     "TwoBitReceiver",
     "TwoBitBlocker",
+    "soa_veto_mask",
 ]
 
 #: Number of rounds in one 2Bit-Protocol exchange.
 NUM_PHASES = 6
+
+
+def soa_veto_mask(
+    senders_mask: int, b1_mask: int, b2_mask: int, ack1_busy: int, ack2_busy: int
+) -> int:
+    """Vectorised round-R5 veto decision over a packed bitmask of senders.
+
+    Bit ``i`` of each argument describes sender ``i`` of a SoA slot group:
+    its two transmitted bits (``b1_mask``/``b2_mask``) and whether the
+    channel was busy in its two ack rounds (``ack1_busy``/``ack2_busy``).
+    The four veto conditions of :meth:`TwoBitSender._should_veto` collapse
+    to "the ack echo differs from the transmitted bit" per bit pair, i.e. a
+    XOR: bit ``i`` of the result is set iff sender ``i`` vetoes in R5.
+    """
+    return ((b1_mask ^ ack1_busy) | (b2_mask ^ ack2_busy)) & senders_mask
 
 
 class TwoBitOutcome(enum.Enum):

@@ -342,6 +342,44 @@ def _memory_lines(context: Mapping[str, Any]) -> list[str]:
     return lines
 
 
+def _tier_lines(context: Mapping[str, Any]) -> list[str]:
+    """Execution-tier eligibility lines for ``describe`` output.
+
+    Mirrors the gate in :meth:`repro.sim.engine.Simulation`: deterministic
+    unit-disk scenarios lower to the struct-of-arrays slot kernels, anything
+    that consumes per-delivery randomness (loss, capture) or per-phase power
+    sums (Friis) runs on the cohort runtime instead.  Purely advisory — the
+    engine re-evaluates eligibility at build time.
+    """
+    channel = str(context.get("channel", "unitdisk"))
+    loss = float(context.get("loss_probability", 0.0) or 0.0)
+    capture = float(context.get("capture_probability", 0.0) or 0.0)
+    blockers = []
+    if channel != "unitdisk":
+        blockers.append(
+            f"{channel} channel: busy depends on summed received power, not slot membership"
+        )
+    if loss > 0.0:
+        blockers.append(f"loss_probability={loss:g} consumes per-delivery randomness")
+    if capture > 0.0:
+        blockers.append(f"capture_probability={capture:g} consumes per-delivery randomness")
+    if blockers:
+        lines = ["execution tier: cohort runtime (struct-of-arrays kernels ineligible)"]
+        lines.extend(f"  - {reason}" for reason in blockers)
+        return lines
+    lines = [
+        "execution tier: struct-of-arrays slot kernels (deterministic unit-disk "
+        "slots; REPRO_SOA_KERNELS=0 falls back to the cohort runtime)"
+    ]
+    jammers = context.get("num_jammers") or context.get("jammer_fraction")
+    if jammers:
+        lines.append(
+            "  jammed neighborhoods fall back per-slot to the scalar loop; "
+            "unjammed slots stay compiled"
+        )
+    return lines
+
+
 def describe_spec(spec: ExperimentSpec, *, scale: Optional[str] = None) -> str:
     """A human-readable dump of the resolved spec: parameters, axes, grid size."""
     import json
@@ -357,6 +395,7 @@ def describe_spec(spec: ExperimentSpec, *, scale: Optional[str] = None) -> str:
     for key, value in context.items():
         lines.append(f"  {key} = {json.dumps(value, default=str)}")
     lines.extend(_memory_lines(context))
+    lines.extend(_tier_lines(context))
     if spec.axes:
         lines.append("axes (cartesian product, in order):")
         total = 1

@@ -144,6 +144,15 @@ class CohortRuntime:
             # protocol that breaks that rule must degrade to finer cohorts,
             # never to members executing slots they did not declare.
             full_key = (type(proto), key, tuple(proto.interests()))
+            # Region-keyed grouping (opt-in): protocols whose transitions
+            # depend on position only through the paper's region decomposition
+            # (MultiPathRB's commit geometry) expose that view as a hashable
+            # profile; folding it in here means two members share a machine
+            # exactly when their region-derived views — R-ball membership,
+            # per-slot owner neighborhoods — are equal.
+            attr = getattr(proto, "position_cohort_attr", None)
+            if attr is not None:
+                full_key = full_key + (getattr(proto, attr),)
             groups.setdefault(full_key, []).append(node)
 
         #: Saved per-member contexts: clones are rebound to the context of

@@ -53,17 +53,19 @@ def build_simulation(
     trace: Optional[EventLog] = None,
     use_cohort_runtime: Optional[bool] = None,
     use_spatial_tiling: Optional[bool] = None,
+    use_soa_kernels: Optional[bool] = None,
 ) -> Simulation:
     """Wire a deployment, a scenario and a fault plan into a Simulation.
 
-    ``use_cohort_runtime`` and ``use_spatial_tiling`` are forwarded to
-    :class:`~repro.sim.engine.Simulation` (``None`` = process default): the
-    first selects between shared-cohort and per-device execution of the
-    protocol state machines, the second between the sparse spatially-tiled
-    link-state tier and the dense ``N x N`` matrices.  Both are pure
-    memory/throughput knobs — results are bit-identical either way, so they
-    are *not* part of :class:`ScenarioConfig` and never enter store
-    fingerprints.
+    ``use_cohort_runtime``, ``use_spatial_tiling`` and ``use_soa_kernels``
+    are forwarded to :class:`~repro.sim.engine.Simulation` (``None`` =
+    process default): the first selects between shared-cohort and per-device
+    execution of the protocol state machines, the second between the sparse
+    spatially-tiled link-state tier and the dense ``N x N`` matrices, the
+    third enables the struct-of-arrays slot kernels for eligible
+    protocol/channel combinations.  All three are pure memory/throughput
+    knobs — results are bit-identical either way, so they are *not* part of
+    :class:`ScenarioConfig` and never enter store fingerprints.
     """
     faults = faults if faults is not None else FaultPlan()
     faults.validate_for(deployment.num_nodes, deployment.source_index)
@@ -128,6 +130,7 @@ def build_simulation(
         trace=trace,
         use_cohort_runtime=use_cohort_runtime,
         use_spatial_tiling=use_spatial_tiling,
+        use_soa_kernels=use_soa_kernels,
     )
 
 
@@ -140,8 +143,16 @@ def run_scenario(
     max_rounds: Optional[int] = None,
     use_cohort_runtime: Optional[bool] = None,
     use_spatial_tiling: Optional[bool] = None,
+    use_soa_kernels: Optional[bool] = None,
+    info_sink: Optional[dict] = None,
 ) -> RunResult:
-    """Build and run a scenario to completion (or to the round cap)."""
+    """Build and run a scenario to completion (or to the round cap).
+
+    When ``info_sink`` is given, the simulation's post-run
+    :meth:`~repro.sim.engine.Simulation.plan_cache_info` snapshot is copied
+    into it — runtime-tier telemetry (cohort/SoA/tiling counters) for
+    benchmark captures, without widening the closed result-metadata schema.
+    """
     simulation = build_simulation(
         deployment,
         config,
@@ -149,6 +160,7 @@ def run_scenario(
         trace=trace,
         use_cohort_runtime=use_cohort_runtime,
         use_spatial_tiling=use_spatial_tiling,
+        use_soa_kernels=use_soa_kernels,
     )
     faults = faults if faults is not None else FaultPlan()
     if max_rounds is None:
@@ -163,6 +175,8 @@ def run_scenario(
             bits_per_hop=bits_per_hop,
         )
     result = simulation.run(max_rounds)
+    if info_sink is not None:
+        info_sink.update(simulation.plan_cache_info())
     # The metadata schema is closed: every key written here is declared in
     # repro.sim.results.METADATA_FIELDS, and validate_metadata rejects drift
     # so that serialized records keep a stable shape.

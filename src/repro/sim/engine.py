@@ -44,6 +44,19 @@ things and re-merging when their states reconverge.  The per-device loop in
 :meth:`Simulation._run_slot_scalar` remains the tested oracle behind
 ``use_cohort_runtime=False`` (or ``REPRO_COHORT_RUNTIME=0``).
 
+Struct-of-arrays slot kernels
+-----------------------------
+Above both sits the struct-of-arrays tier (:mod:`repro.sim.soa`): slots whose
+participants all run one of the simple soa-compilable phase machines
+(epidemic flooding, NeighborWatchRB, MultiPathRB) over a deterministic
+unit-disk channel are compiled into packed-bitmask kernels that execute the
+whole six-round broadcast interval as a handful of integer operations,
+touching per-device Python only where state commits.  The knob is
+``use_soa_kernels`` (env ``REPRO_SOA_KERNELS``, default on); slot
+occurrences joined by an opportunistic adversary transmitter, and every
+non-compilable configuration, fall back to the cohort/scalar tiers, which
+remain the tested oracles.
+
 Spatially-tiled link state
 --------------------------
 Below the plan, the *channel* layer can run on the sparse spatially-tiled
@@ -83,12 +96,14 @@ from .node import SimNode
 from .plan import REC_ID, REC_NODE, REC_ACT, REC_OBSERVE, REC_END_SLOT, REC_HONEST, REC_POSITION, SlotPlan
 from .radio import Channel, Transmission
 from .results import NodeOutcome, RunResult
+from .soa import SoaRuntime
 
 __all__ = [
     "Simulation",
     "link_cache_info",
     "clear_link_cache",
     "default_cohort_runtime",
+    "default_soa_kernels",
     "default_spatial_tiling",
     "SPATIAL_TILING_AUTO_NODES",
 ]
@@ -136,6 +151,21 @@ def default_cohort_runtime() -> bool:
     only the wall clock.
     """
     value = os.environ.get("REPRO_COHORT_RUNTIME", "1").strip().lower()
+    return value not in ("0", "false", "no", "off")
+
+
+def default_soa_kernels() -> bool:
+    """Process-wide default for :class:`Simulation`'s ``use_soa_kernels``.
+
+    Controlled by the ``REPRO_SOA_KERNELS`` environment variable (default
+    on; ``0``/``false``/``no``/``off`` disable it).  Like the cohort and
+    tiling knobs this is a pure throughput setting: the struct-of-arrays
+    slot kernels (:mod:`repro.sim.soa`) are bit-identical to the per-device
+    oracle — exported rows, store fingerprints, ``delivery_round`` stamps,
+    broadcast counts and RNG stream positions included — so it lives outside
+    :class:`~repro.sim.config.ScenarioConfig` and never enters fingerprints.
+    """
+    value = os.environ.get("REPRO_SOA_KERNELS", "1").strip().lower()
     return value not in ("0", "false", "no", "off")
 
 #: Bounded cache of channel link states (audibility sets / power matrices),
@@ -248,6 +278,17 @@ class Simulation:
         (:func:`default_spatial_tiling` — auto-on above
         :data:`SPATIAL_TILING_AUTO_NODES` nodes).  Results are bit-identical
         either way; only memory and the round-resolution kernels change.
+    use_soa_kernels:
+        Whether to compile eligible slots into struct-of-arrays bitmask
+        kernels (:mod:`repro.sim.soa`) — the fastest execution tier,
+        available when every participant of a slot runs one of the simple
+        soa-compilable phase machines and the channel satisfies
+        :meth:`~repro.sim.radio.Channel.supports_soa_rounds`.  ``None``
+        (default) reads the process default (:func:`default_soa_kernels` —
+        on unless ``REPRO_SOA_KERNELS=0``).  When any slot compiles, the
+        cohort runtime is not constructed (the tiers cannot share protocol
+        instances) and uncompiled slots run on the scalar oracle loop.
+        Results are bit-identical on every tier.
     """
 
     def __init__(
@@ -261,6 +302,7 @@ class Simulation:
         trace: Optional[EventLog] = None,
         use_cohort_runtime: Optional[bool] = None,
         use_spatial_tiling: Optional[bool] = None,
+        use_soa_kernels: Optional[bool] = None,
     ) -> None:
         self.nodes = list(nodes)
         for idx, node in enumerate(self.nodes):
@@ -304,11 +346,37 @@ class Simulation:
         # consume RNG (otherwise replaying a cached round would desynchronise
         # the generator relative to the scalar reference execution).
         self._memo_rounds = self._link_state is not None and not channel.consumes_rng()
+        # The SoA tier compiles whole slots into bitmask kernels.  It needs
+        # a channel whose busy predicate is a pure audibility disjunction
+        # with no RNG, a link state to read audibility from, and no event
+        # trace (kernels never materialize per-broadcast events; tracing
+        # runs stay on the cohort/scalar tiers).
+        if use_soa_kernels is None:
+            use_soa_kernels = default_soa_kernels()
+        self.use_soa_kernels = bool(use_soa_kernels)
+        self.soa_runtime: Optional[SoaRuntime] = None
+        if (
+            self.use_soa_kernels
+            and trace is None
+            and self._link_state is not None
+            and channel.supports_soa_rounds()
+        ):
+            runtime = SoaRuntime(
+                self.nodes, self.plan, self._link_state, schedule.phases_per_slot
+            )
+            if runtime.groups:
+                self.soa_runtime = runtime
+        self._soa_groups = self.soa_runtime.groups if self.soa_runtime is not None else {}
         if use_cohort_runtime is None:
             use_cohort_runtime = default_cohort_runtime()
+        # Compiled SoA slots never reach the cohort runtime, and the two
+        # tiers cannot coexist (cohorts rebind node protocols to shared
+        # machines, which would invalidate the compiled per-device specs) —
+        # with any SoA group present, uncompiled slots and fallback
+        # occurrences execute on the scalar oracle loop instead.
         self.cohort_runtime: Optional[CohortRuntime] = (
             CohortRuntime(self.nodes, self.plan, tiling=self.tiling)
-            if use_cohort_runtime
+            if use_cohort_runtime and self.soa_runtime is None
             else None
         )
         # Hot-path dispatch: when construction compiled no multi-member cohort
@@ -320,9 +388,9 @@ class Simulation:
         )
 
     def plan_cache_info(self) -> dict:
-        """Snapshot of the plan's and cohort runtime's per-simulation caches.
+        """Snapshot of the plan's and runtime tiers' per-simulation caches.
 
-        Returns a dict with four keys:
+        Returns a dict with these keys:
 
         * ``"submatrix"`` — the link-state submatrix LRU:
           ``{"entries", "max_entries", "hits", "misses"}``;
@@ -341,6 +409,15 @@ class Simulation:
           by sharing, the number of copy-on-divergence splits performed, and
           the number of reconverged sibling cohorts re-merged (plus
           ``"cross_region_cohorts"`` when spatial tiling is on);
+        * ``"soa_kernels"`` — ``{"enabled": False}`` when the
+          struct-of-arrays tier is off or no slot compiled, otherwise
+          ``{"enabled": True, "slots_compiled", "member_slots", "slots_run",
+          "scalar_fallbacks", "busy_cache_hits", "busy_cache_misses",
+          "busy_cache_entries"}``: how many slots (and slot-memberships)
+          compiled into bitmask kernels, how many slot occurrences executed
+          on the tier vs. fell back to the oracle loop because an
+          opportunistic transmitter joined, and the busy-pattern memo
+          counters;
         * ``"spatial_tiling"`` — ``{"enabled": False}`` on the dense path,
           otherwise ``{"enabled": True, "tiles", "occupied_tiles",
           "tile_side", "grid_cols", "grid_rows", "sparse_nnz",
@@ -355,6 +432,8 @@ class Simulation:
         info = self.plan.cache_info()
         runtime = self.cohort_runtime
         info["cohort_runtime"] = runtime.info() if runtime is not None else {"enabled": False}
+        soa = self.soa_runtime
+        info["soa_kernels"] = soa.info() if soa is not None else {"enabled": False}
         state = self._link_state
         if isinstance(state, SparseLinkState):
             info["spatial_tiling"] = {
@@ -404,6 +483,8 @@ class Simulation:
                 slots_since_check = 0
                 if stop_when_delivered and self._all_honest_delivered():
                     terminated = True
+        if self.soa_runtime is not None:
+            self.soa_runtime.flush_broadcasts()
         self._record_deliveries()
         terminated = self._all_honest_delivered()
         return self._build_result(terminated)
@@ -416,6 +497,8 @@ class Simulation:
             cycle, slot = next(slot_starts)
             self._run_slot(cycle, slot)
             self.round_index += phases
+        if self.soa_runtime is not None:
+            self.soa_runtime.flush_broadcasts()
         self._record_deliveries()
 
     # -- internals -------------------------------------------------------------------------
@@ -435,6 +518,20 @@ class Simulation:
                 occurrence_key = (slot, tuple(r[REC_ID] for r in extras))
         if not records:
             return
+        soa_groups = self._soa_groups
+        if soa_groups:
+            group = soa_groups.get(slot)
+            if group is not None:
+                if extras:
+                    # Opportunistic joiners put unmodeled frames on the air;
+                    # this occurrence runs on the oracle loop (against the
+                    # same protocol objects — the next occurrence resumes on
+                    # the SoA tier by re-reading their state).
+                    self.soa_runtime.scalar_fallbacks += 1
+                    self._run_slot_scalar(cycle, slot, records, occurrence_key)
+                else:
+                    self.soa_runtime.run_slot(self, group)
+                return
         runtime = self._slot_runtime
         if runtime is not None:
             runtime.run_slot(self, cycle, slot, extras, occurrence_key)

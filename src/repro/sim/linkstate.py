@@ -46,6 +46,23 @@ __all__ = [
 ]
 
 
+def _index_dtype(num_nodes: int, nnz: int) -> np.dtype:
+    """Smallest safe integer dtype for the CSR ``indptr``/``indices`` arrays.
+
+    ``indices`` stores node ids (< ``num_nodes``) and ``indptr`` stores
+    offsets into ``indices`` (<= ``nnz``); when both fit in a signed 32-bit
+    integer the arrays are halved.  At the 10^5-node scale the CSR pair is
+    the dominant live allocation, so this is a real saving, and every
+    consumer (fancy indexing, ``searchsorted``, arithmetic against ``intp``
+    arrays) is dtype-agnostic.  Beyond 2^31 - 1 links the structure falls
+    back to int64 rather than overflow.
+    """
+    limit = np.iinfo(np.int32).max
+    if num_nodes <= limit and nnz <= limit:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
 class ChannelLinkState(abc.ABC):
     """Common interface of dense and sparse link-state representations."""
 
@@ -129,6 +146,14 @@ class SparseLinkState(ChannelLinkState):
         self.indptr, self.indices = buckets.neighbor_arrays(
             self.interaction_radius + 1e-12, norm, include_self=True
         )
+        # Downcast the CSR pair to int32 when safe — the values are identical,
+        # only the storage shrinks, and sparse_bytes/dense_bytes_avoided track
+        # the change automatically through .nbytes.
+        dtype = _index_dtype(self.positions.shape[0], int(self.indices.size))
+        if self.indices.dtype != dtype:
+            self.indices = self.indices.astype(dtype)
+        if self.indptr.dtype != dtype:
+            self.indptr = self.indptr.astype(dtype)
         self.tiling = RegionTiling(self.positions, side=self.interaction_radius)
         self._interior_links, self._boundary_links = self.tiling.classify_links(
             self.indptr, self.indices
@@ -182,6 +207,7 @@ class SparseLinkState(ChannelLinkState):
         out = {"sparse": True, **self.tiling.info()}
         out.update(
             sparse_nnz=self.nnz,
+            index_dtype=str(self.indices.dtype),
             interior_links=self._interior_links,
             boundary_links=self._boundary_links,
             dense_bytes_avoided=self.dense_bytes_avoided,

@@ -249,6 +249,19 @@ class Channel(abc.ABC):
         """
         return True
 
+    def supports_soa_rounds(self) -> bool:
+        """Whether the struct-of-arrays tier may bypass round resolution.
+
+        The SoA slot kernels (:mod:`repro.sim.soa`) compute per-listener
+        channel activity directly as a *disjunction* of pairwise audibility
+        masks and never touch the generator.  That is only sound when this
+        configuration (a) consumes no RNG and (b) reports a listener as busy
+        exactly when at least one transmission is individually audible to it
+        — channels whose busy predicate aggregates sub-threshold contributions
+        (Friis carrier sensing sums received powers) must return ``False``.
+        """
+        return False
+
     def hears(self, listener_position: Sequence[float], transmitter_position: Sequence[float]) -> bool:
         """Whether a single transmission at ``transmitter_position`` is audible.
 
@@ -355,6 +368,21 @@ class UnitDiskChannel(Channel):
         dispatch rule as the dense vectorized kernel.
         """
         return self.use_vectorized_kernels and self.capture_probability == 0.0
+
+    def supports_soa_rounds(self) -> bool:
+        """Deterministic unit-disk rounds satisfy the SoA busy contract.
+
+        Audibility beyond the radius is exactly ``False`` and a listener is
+        busy iff *some* transmission is within range, so busy is the
+        disjunction the SoA kernels compute.  Capture and loss draw from the
+        generator per listener, which the kernels bypass — those
+        configurations stay on the cohort/scalar tiers.
+        """
+        return (
+            self.use_vectorized_kernels
+            and self.capture_probability == 0.0
+            and self.loss_probability == 0.0
+        )
 
     def resolve_links_sparse(
         self,

@@ -1,0 +1,443 @@
+"""Struct-of-arrays (SoA) slot kernels — the third execution tier.
+
+The cohort runtime (:mod:`repro.sim.batch`) removes redundant *protocol*
+evaluations by sharing one state machine across observation-identical
+devices, but it still walks every cohort and every singleton through the
+six-phase machinery each slot.  For the simple phase machines — the
+epidemic counters and the 1Hop/2Bit streams behind NeighborWatchRB and
+MultiPathRB — the whole slot is a closed-form function of a few packed
+bitmasks, because their transitions consume no RNG and read the channel
+only through the shared ``busy`` flag.  This module compiles such slots
+once (:class:`SoaRuntime`) and then executes each slot occurrence as a
+handful of integer mask operations over *all* of the slot's devices at
+once, fanning out to per-device Python only at the state-commit boundary
+(a sender advancing its stream, a receiver accepting a bit, a device
+adopting the flood payload).
+
+The contract is bit-identity with the per-device oracle
+(:meth:`repro.sim.engine.Simulation._run_slot_scalar`): identical protocol
+state trajectories, identical ``delivery_round`` stamps, identical
+broadcast counts, identical RNG stream positions (trivially — compiled
+slots are only formed under :meth:`~repro.sim.radio.Channel.supports_soa_rounds`,
+which implies the channel never draws).  Kernels mutate the *same*
+protocol objects the scalar loop would, so any slot occurrence can fall
+back to the scalar path (opportunistic adversary transmitters joining a
+slot) and the next occurrence resumes on the SoA tier with no
+reconciliation step: per-slot role masks are recomputed from the live
+objects at slot entry.
+
+Mask conventions
+----------------
+Within one compiled slot group the members are indexed ``0..n-1`` in
+participant (node id) order; a *mask* is a Python integer whose bit ``i``
+refers to member ``i``.  Channel activity is computed through a
+group-local CSR adjacency (``indices[indptr[j]:indptr[j+1]]`` lists the
+local members that hear local member ``j``), and each distinct
+transmitter mask is resolved once and memoized — in steady state a slot's
+busy pattern repeats every cycle, so the six phases cost six dictionary
+hits.
+
+The six-phase stream recurrence mirrors :mod:`repro.core.twobit` exactly:
+data rounds R1/R3 carry the parity and data bits, ack rounds R2/R4 echo
+them, R5 carries sender vetoes (:func:`~repro.core.twobit.soa_veto_mask`)
+plus blocker activity, R6 relays the veto.  Per-slot statistics kept by
+the per-device helpers (attempt/failure tallies) are *not* maintained —
+they are excluded from ``state_signature`` precisely because they never
+influence behaviour.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.epidemic import EpidemicNode
+from ..core.multipath import MultiPathNode
+from ..core.neighborwatch import NeighborWatchNode
+from ..core.twobit import NUM_PHASES, soa_veto_mask
+from .node import SimNode
+from .plan import REC_HONEST, REC_ID, REC_NODE, SlotPlan
+
+__all__ = ["SoaRuntime"]
+
+#: Busy-pattern memo bound per slot group (cleared wholesale on overflow;
+#: steady-state slots cycle through a handful of transmitter masks).
+_BUSY_CACHE_MAX = 4096
+
+
+def _pack_mask(flags: np.ndarray) -> int:
+    """Boolean member array -> packed little-endian mask (bit i == flags[i])."""
+    return int.from_bytes(np.packbits(flags, bitorder="little").tobytes(), "little")
+
+
+def _mask_indices(mask: int, n: int) -> np.ndarray:
+    """Packed mask -> ascending array of the set member indices below ``n``."""
+    raw = np.frombuffer(mask.to_bytes((n + 7) // 8, "little"), dtype=np.uint8)
+    return np.nonzero(np.unpackbits(raw, count=n, bitorder="little"))[0]
+
+
+class _SlotGroup:
+    """Compiled state of one slot: members, adjacency and role bindings."""
+
+    __slots__ = (
+        "slot",
+        "run",
+        "n",
+        "nodes",
+        "honest",
+        "member_ids",
+        "indptr",
+        "indices",
+        "busy_cache",
+        "bcast",
+        "owners",
+        "receivers",
+        "adopts",
+        "runtime",
+    )
+
+    def phase_busy(self, tx_mask: int) -> int:
+        """Channel-busy mask for one phase, counting member broadcasts.
+
+        Resolves the disjunction of the transmitters' audibility rows via
+        the per-group memo; the memo entry also retains the unpacked
+        transmitter indices so the broadcast tally needs no re-unpacking on
+        a hit.
+        """
+        if not tx_mask:
+            return 0
+        entry = self.busy_cache.get(tx_mask)
+        if entry is None:
+            runtime = self.runtime
+            runtime.busy_cache_misses += 1
+            idx = _mask_indices(tx_mask, self.n)
+            heard = np.zeros(self.n, dtype=bool)
+            indptr, indices = self.indptr, self.indices
+            for j in idx:
+                heard[indices[indptr[j] : indptr[j + 1]]] = True
+            entry = (_pack_mask(heard), idx)
+            cache = self.busy_cache
+            if len(cache) >= _BUSY_CACHE_MAX:
+                cache.clear()
+            cache[tx_mask] = entry
+        else:
+            self.runtime.busy_cache_hits += 1
+        busy, idx = entry
+        self.bcast[idx] += 1
+        return busy
+
+
+def _run_stream_slot(sim, group: _SlotGroup) -> None:
+    """One six-phase 1Hop/2Bit slot over all members at once.
+
+    Role masks are rebuilt from the live sender/receiver objects at entry
+    (cheap — a slot group holds one TDMA neighborhood), which is what makes
+    scalar fallback occurrences free of bookkeeping: whatever an
+    interleaved scalar slot did to the objects is simply re-read here.
+    """
+    senders = b1 = b2 = always = cond = 0
+    slot_senders = None
+    for i, bit, sender, idle_veto in group.owners:
+        if sender.has_pending:
+            parity, data = sender.soa_current_pair()
+            senders |= bit
+            if parity:
+                b1 |= bit
+            if data:
+                b2 |= bit
+            if slot_senders is None:
+                slot_senders = [(bit, sender)]
+            else:
+                slot_senders.append((bit, sender))
+        elif idle_veto:
+            always |= bit
+        else:
+            cond |= bit
+    active = parity1 = 0
+    for i, bit, receiver, post in group.receivers:
+        if receiver.complete:
+            continue
+        active |= bit
+        if receiver.expected_parity:
+            parity1 |= bit
+
+    phase_busy = group.phase_busy
+    busy0 = phase_busy(b1)
+    heard1 = busy0 & active
+    busy1 = phase_busy(heard1)
+    busy2 = phase_busy(b2)
+    heard2 = busy2 & active
+    busy3 = phase_busy(heard2)
+    # Conditional blockers arm on any activity they heard in the four
+    # data/ack rounds (TwoBitBlocker listens R1-R4 and jams R5/R6).
+    blockers = always | (cond & (busy0 | busy1 | busy2 | busy3))
+    busy4 = phase_busy(soa_veto_mask(senders, b1, b2, busy1, busy3) | blockers)
+    heard_veto = busy4 & active
+    busy5 = phase_busy(heard_veto | blockers)
+
+    if slot_senders is not None:
+        final = busy5 & senders
+        for bit, sender in slot_senders:
+            if not (final & bit):
+                sender.soa_advance()
+
+    # A receiver accepts exactly when its slot was veto-free and the parity
+    # it heard matches the next expected one (XNOR against the parity mask);
+    # the data bit is its R3 observation.
+    accepted = active & ~heard_veto & ~(heard1 ^ parity1)
+    if accepted:
+        end_round = sim.round_index + NUM_PHASES
+        nodes = group.nodes
+        honest = group.honest
+        for i, bit, receiver, post in group.receivers:
+            if accepted & bit:
+                receiver.soa_append(1 if heard2 & bit else 0)
+                post()
+                node = nodes[i]
+                if honest[i] and node.delivery_round is None and node.delivered:
+                    node.mark_delivered(end_round)
+
+
+def _run_epidemic_slot(sim, group: _SlotGroup) -> None:
+    """One single-phase epidemic slot: flood decisions + sole-decode adoption.
+
+    A listener decodes a payload exactly when *one* transmission is audible
+    to it (two or more collide into undecodable noise), which is the
+    deterministic unit-disk rule the scalar channel kernels apply; the
+    adoption callback revalidates payload shape and the member's
+    not-yet-adopted status, so stale role assumptions are impossible.
+    """
+    transmitters = None
+    for i, pop in group.owners:
+        payload = pop()
+        if payload is not None:
+            if transmitters is None:
+                transmitters = [(i, tuple(payload))]
+            else:
+                transmitters.append((i, tuple(payload)))
+    if transmitters is None:
+        return
+    indptr, indices = group.indptr, group.indices
+    bcast = group.bcast
+    adopts = group.adopts
+    nodes = group.nodes
+    honest = group.honest
+    end_round = sim.round_index + 1
+    if len(transmitters) == 1:
+        j, payload = transmitters[0]
+        bcast[j] += 1
+        sole = indices[indptr[j] : indptr[j + 1]]
+        payload_of_sole = None
+    else:
+        counts = np.zeros(group.n, dtype=np.int64)
+        sender_of = np.zeros(group.n, dtype=np.int64)
+        payload_of = {}
+        for j, payload in transmitters:
+            bcast[j] += 1
+            payload_of[j] = payload
+            rows = indices[indptr[j] : indptr[j + 1]]
+            counts[rows] += 1
+            sender_of[rows] = j
+        sole = np.nonzero(counts == 1)[0]
+        payload_of_sole = (payload_of, sender_of)
+    for i in sole:
+        i = int(i)
+        if payload_of_sole is not None:
+            payload = payload_of_sole[0][int(payload_of_sole[1][i])]
+        if adopts[i](payload):
+            node = nodes[i]
+            if honest[i] and node.delivery_round is None and node.delivered:
+                node.mark_delivered(end_round)
+
+
+#: Protocol family -> (kernel, required rounds per slot).  NeighborWatchRB
+#: and MultiPathRB share the stream kernel: both drive 1Hop/2Bit exchanges
+#: and differ only in the post-accept callback their ``soa_state_spec``
+#: binds (the commit-pipeline rerun vs. the control-stream drain).
+_FAMILIES = (
+    (NeighborWatchNode, _run_stream_slot, NUM_PHASES),
+    (MultiPathNode, _run_stream_slot, NUM_PHASES),
+    (EpidemicNode, _run_epidemic_slot, 1),
+)
+
+
+class SoaRuntime:
+    """Per-simulation compilation and execution of SoA slot groups.
+
+    Construction walks the plan's slot records and compiles every slot
+    whose participants all belong to one :data:`soa-compilable <_FAMILIES>`
+    family (adversaries of a different class in the static records reject
+    the slot; opportunistic joiners are handled per occurrence by the
+    engine's scalar fallback).  ``groups`` maps each compiled slot to its
+    :class:`_SlotGroup`; an empty map means the simulation gains nothing
+    from this tier and the engine discards the runtime.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[SimNode],
+        plan: SlotPlan,
+        link_state,
+        phases_per_slot: int,
+    ) -> None:
+        self.groups: dict[int, _SlotGroup] = {}
+        self.member_slots = 0
+        self.slots_run = 0
+        self.scalar_fallbacks = 0
+        self.busy_cache_hits = 0
+        self.busy_cache_misses = 0
+        for slot, records in plan.slot_records.items():
+            group = self._compile_slot(slot, records, link_state, phases_per_slot)
+            if group is not None:
+                self.groups[slot] = group
+                self.member_slots += group.n
+
+    # -- compilation -----------------------------------------------------------------
+    def _compile_slot(
+        self, slot: int, records: tuple, link_state, phases_per_slot: int
+    ) -> Optional[_SlotGroup]:
+        first = records[0][REC_NODE].protocol
+        kernel = required_phases = None
+        family = None
+        for cls, run, phases in _FAMILIES:
+            if isinstance(first, cls):
+                family, kernel, required_phases = cls, run, phases
+                break
+        if family is None or phases_per_slot != required_phases:
+            return None
+        specs = []
+        for record in records:
+            proto = record[REC_NODE].protocol
+            if (
+                not isinstance(proto, family)
+                or not getattr(proto, "soa_compilable", False)
+                or getattr(proto, "may_transmit_anywhere", False)
+            ):
+                return None
+            spec = proto.soa_state_spec(slot)
+            if spec is None:
+                return None
+            specs.append(spec)
+
+        n = len(records)
+        member_ids = np.asarray([record[REC_ID] for record in records], dtype=np.int64)
+        if n > 1 and np.any(np.diff(member_ids) <= 0):
+            return None
+        adjacency = self._group_adjacency(member_ids, link_state)
+        if adjacency is None:
+            return None
+
+        group = _SlotGroup()
+        group.slot = slot
+        group.run = kernel
+        group.n = n
+        group.nodes = tuple(record[REC_NODE] for record in records)
+        group.honest = tuple(record[REC_HONEST] for record in records)
+        group.member_ids = member_ids
+        group.indptr, group.indices = adjacency
+        group.busy_cache = {}
+        group.bcast = np.zeros(n, dtype=np.int64)
+        group.runtime = self
+        group.adopts = None
+        owners = []
+        receivers = []
+        if kernel is _run_epidemic_slot:
+            for i, spec in enumerate(specs):
+                if spec["owner"]:
+                    owners.append((i, spec["pop"]))
+            group.adopts = tuple(spec["adopt"] for spec in specs)
+        else:
+            for i, spec in enumerate(specs):
+                bit = 1 << i
+                if spec["role"] == "owner":
+                    owners.append((i, bit, spec["sender"], spec["idle_veto"]))
+                else:
+                    post = spec.get("update_commits")
+                    if post is None:
+                        post = partial(spec["drain_slot"], slot)
+                    receivers.append((i, bit, spec["receiver"], post))
+        group.owners = tuple(owners)
+        group.receivers = tuple(receivers)
+        return group
+
+    @staticmethod
+    def _group_adjacency(member_ids: np.ndarray, link_state):
+        """Group-local hearers-of-sender CSR from the channel's link state.
+
+        ``indices[indptr[j]:indptr[j+1]]`` lists the local indices that hear
+        local member ``j`` — column ``j`` of the members' audibility
+        submatrix on the dense tier, the intersection of ``j``'s global CSR
+        neighborhood with the member set on the sparse tier (unit-disk
+        audibility is symmetric, so rows and columns agree).
+        """
+        n = member_ids.size
+        matrix = None
+        if isinstance(link_state, np.ndarray):
+            matrix = link_state
+        elif hasattr(link_state, "matrix"):
+            matrix = link_state.matrix
+        if matrix is not None:
+            sub = np.asarray(matrix[np.ix_(member_ids, member_ids)], dtype=bool)
+            hearers, senders = np.nonzero(sub)
+            order = np.argsort(senders, kind="stable")
+            indices = np.ascontiguousarray(hearers[order])
+            counts = np.bincount(senders, minlength=n)
+        elif hasattr(link_state, "indptr"):
+            global_indptr = link_state.indptr
+            global_indices = link_state.indices
+            per_member = []
+            counts = np.zeros(n, dtype=np.int64)
+            for j, gid in enumerate(member_ids):
+                nbrs = np.asarray(global_indices[global_indptr[gid] : global_indptr[gid + 1]])
+                pos = np.minimum(np.searchsorted(member_ids, nbrs), n - 1)
+                local = pos[member_ids[pos] == nbrs]
+                per_member.append(local)
+                counts[j] = local.size
+            indices = (
+                np.concatenate(per_member) if per_member else np.zeros(0, dtype=np.int64)
+            )
+        else:
+            return None
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, np.asarray(indices, dtype=np.int64)
+
+    # -- execution -------------------------------------------------------------------
+    def run_slot(self, sim, group: _SlotGroup) -> None:
+        """Execute one compiled slot occurrence (no opportunistic joiners)."""
+        self.slots_run += 1
+        group.run(sim, group)
+
+    def flush_broadcasts(self) -> None:
+        """Fold the batched per-member broadcast tallies into the nodes.
+
+        Called by the engine at the end of ``run()``/``run_slots()`` — the
+        only points where ``SimNode.broadcasts`` is consumed.  Idempotent:
+        each flush zeroes the accumulators, and scalar-fallback occurrences
+        increment the nodes directly, so the two paths compose.
+        """
+        for group in self.groups.values():
+            counts = group.bcast
+            hot = np.nonzero(counts)[0]
+            if hot.size == 0:
+                continue
+            nodes = group.nodes
+            for i in hot:
+                nodes[i].broadcasts += int(counts[i])
+            counts[:] = 0
+
+    # -- introspection ---------------------------------------------------------------
+    def info(self) -> dict:
+        """Counters for :meth:`Simulation.plan_cache_info` (see its docstring)."""
+        return {
+            "enabled": True,
+            "slots_compiled": len(self.groups),
+            "member_slots": self.member_slots,
+            "slots_run": self.slots_run,
+            "scalar_fallbacks": self.scalar_fallbacks,
+            "busy_cache_hits": self.busy_cache_hits,
+            "busy_cache_misses": self.busy_cache_misses,
+            "busy_cache_entries": sum(len(g.busy_cache) for g in self.groups.values()),
+        }

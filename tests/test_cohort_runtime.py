@@ -78,7 +78,7 @@ def _nw_scenario(seed: int, scenario: str):
 
 def _cohort_sim(deployment, config, faults=None, **runtime_kwargs):
     """A simulation driven by a freshly attached, configurable CohortRuntime."""
-    sim = build_simulation(deployment, config, faults, use_cohort_runtime=False)
+    sim = build_simulation(deployment, config, faults, use_cohort_runtime=False, use_soa_kernels=False)
     runtime = CohortRuntime(sim.nodes, sim.plan, **runtime_kwargs)
     sim.cohort_runtime = runtime
     sim._slot_runtime = runtime if runtime.cohorts else None
@@ -94,7 +94,7 @@ def _instrumented_oracle(deployment, config, faults):
     care).  Rounds the machine transmits in or declares opaque are excluded,
     mirroring exactly what the cohort runtime is allowed to split on.
     """
-    sim = build_simulation(deployment, config, faults, use_cohort_runtime=False)
+    sim = build_simulation(deployment, config, faults, use_cohort_runtime=False, use_soa_kernels=False)
     streams: dict[int, list] = {}
     for node in sim.nodes:
         proto = node.protocol
@@ -124,7 +124,7 @@ def _instrumented_oracle(deployment, config, faults):
 
 class TestCohortGrouping:
     def test_square_members_share_interests_and_machines(self, tiny_grid_deployment, nw_config):
-        sim = build_simulation(tiny_grid_deployment, nw_config, use_cohort_runtime=True)
+        sim = build_simulation(tiny_grid_deployment, nw_config, use_cohort_runtime=True, use_soa_kernels=False)
         runtime = sim.cohort_runtime
         assert runtime is not None and runtime.cohorts
         for cohort in runtime.cohorts:
@@ -138,7 +138,7 @@ class TestCohortGrouping:
         jammers = random_fault_selection(25, 2, exclude=[12], rng=9)
         liars = random_fault_selection(25, 2, exclude=[12] + list(jammers), rng=10)
         faults = FaultPlan(jammers=tuple(jammers), jammer_budget=10, liars=tuple(liars))
-        sim = build_simulation(tiny_grid_deployment, nw_config, faults, use_cohort_runtime=True)
+        sim = build_simulation(tiny_grid_deployment, nw_config, faults, use_cohort_runtime=True, use_soa_kernels=False)
         runtime = sim.cohort_runtime
         shared = set(runtime.cohort_of)
         assert tiny_grid_deployment.source_index not in shared
@@ -146,7 +146,7 @@ class TestCohortGrouping:
             assert node_id not in shared
 
     def test_multipath_runs_all_singleton_on_the_scalar_loop(self, tiny_grid_deployment, mp_config):
-        sim = build_simulation(tiny_grid_deployment, mp_config, use_cohort_runtime=True)
+        sim = build_simulation(tiny_grid_deployment, mp_config, use_cohort_runtime=True, use_soa_kernels=False)
         info = sim.plan_cache_info()["cohort_runtime"]
         assert info["enabled"] is True
         assert info["active"] is False
@@ -154,12 +154,12 @@ class TestCohortGrouping:
         assert sim._slot_runtime is None
 
     def test_plan_cache_info_shape(self, tiny_grid_deployment, nw_config):
-        sim = build_simulation(tiny_grid_deployment, nw_config, use_cohort_runtime=True)
+        sim = build_simulation(tiny_grid_deployment, nw_config, use_cohort_runtime=True, use_soa_kernels=False)
         sim.run(600)
         info = sim.plan_cache_info()
         assert set(info) == {
             "submatrix", "round_memo", "transmissions_interned", "cohort_runtime",
-            "spatial_tiling",
+            "soa_kernels", "spatial_tiling",
         }
         cohort_info = info["cohort_runtime"]
         assert set(cohort_info) == {
@@ -168,7 +168,7 @@ class TestCohortGrouping:
         }
         assert cohort_info["share_hits"] > 0
 
-        scalar = build_simulation(tiny_grid_deployment, nw_config, use_cohort_runtime=False)
+        scalar = build_simulation(tiny_grid_deployment, nw_config, use_cohort_runtime=False, use_soa_kernels=False)
         assert scalar.plan_cache_info()["cohort_runtime"] == {"enabled": False}
 
 
@@ -246,7 +246,7 @@ class TestRemerge:
             channel="friis", loss_probability=0.3,
         )
         clear_link_cache()
-        oracle = build_simulation(tiny_grid_deployment, config, use_cohort_runtime=False)
+        oracle = build_simulation(tiny_grid_deployment, config, use_cohort_runtime=False, use_soa_kernels=False)
         oracle_result = oracle.run(MAX_ROUNDS)
 
         clear_link_cache()
@@ -270,7 +270,7 @@ class TestRemerge:
                 assert node.protocol is cohort.machine
 
     def test_state_signature_gates_merging(self, tiny_grid_deployment, nw_config):
-        sim = build_simulation(tiny_grid_deployment, nw_config, use_cohort_runtime=True)
+        sim = build_simulation(tiny_grid_deployment, nw_config, use_cohort_runtime=True, use_soa_kernels=False)
         machine = sim.cohort_runtime.cohorts[0].machine
         signature = machine.state_signature()
         assert signature is not None
@@ -282,7 +282,7 @@ class TestRemerge:
 
 class TestCloneForSplit:
     def test_clone_matches_deepcopy_and_is_independent(self, tiny_grid_deployment, nw_config):
-        sim = build_simulation(tiny_grid_deployment, nw_config, use_cohort_runtime=True)
+        sim = build_simulation(tiny_grid_deployment, nw_config, use_cohort_runtime=True, use_soa_kernels=False)
         sim.run_slots(40)
         machine = None
         for cohort in sim.cohort_runtime.cohorts:

@@ -1,0 +1,311 @@
+"""Struct-of-arrays slot kernels: eligibility, counters and oracle fidelity.
+
+PR 7 added a third execution tier (:mod:`repro.sim.soa`): deterministic
+unit-disk broadcast slots of the busy-driven protocols lower to packed-bitmask
+kernels that run whole slot groups in mask algebra, bypassing the per-device
+phase machines.  These tests pin
+
+* the control surface — the ``use_soa_kernels`` knob, the
+  ``REPRO_SOA_KERNELS`` env default and the eligibility gate (unit-disk only,
+  no loss/capture, no trace), with ``plan_cache_info()["soa_kernels"]``
+  counters;
+* the hard contract — exported records *and* the channel RNG stream position
+  are bit-identical across the SoA, cohort and scalar tiers, including runs
+  where jammers force per-slot scalar fallbacks; and
+* the region-keyed MultiPath cohort contract that rode along: devices whose
+  :func:`~repro.core.regions.region_profile_of` profiles (and states) are
+  equal share one machine, split exactly when their busy streams diverge, and
+  never group when the profiles differ.  Under the paper's standard ``3R``
+  slot separation such cohorts cannot exist (two same-slot devices are more
+  than ``3R`` apart, hence have disjoint R-balls), so the geometries below
+  deliberately shrink ``schedule_separation``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.builder import build_simulation
+from repro.sim.config import FaultPlan, ScenarioConfig
+from repro.sim.engine import clear_link_cache, default_soa_kernels
+from repro.sim.events import EventLog
+from repro.topology.deployment import Deployment, uniform_deployment
+
+MAX_ROUNDS = 2500
+
+#: (knob kwargs, human name) for the three execution tiers.
+TIERS = (
+    ("soa", {"use_soa_kernels": True}),
+    ("cohort", {"use_soa_kernels": False, "use_cohort_runtime": True}),
+    ("scalar", {"use_soa_kernels": False, "use_cohort_runtime": False}),
+)
+
+
+def _run_tiers(deployment, config, faults=None, max_rounds=MAX_ROUNDS):
+    """Run one scenario per tier; returns {tier: (record, rng_tail, info)}."""
+    out = {}
+    for tier, kwargs in TIERS:
+        clear_link_cache()
+        sim = build_simulation(deployment, config, faults, **kwargs)
+        result = sim.run(max_rounds)
+        # The post-run generator draw pins the RNG stream position: if any
+        # tier consumed the channel generator differently, the tails differ.
+        out[tier] = (result.to_record(), sim.rng.random(), sim.plan_cache_info())
+    return out
+
+
+def _assert_tiers_identical(runs):
+    soa_record, soa_tail, _ = runs["soa"]
+    for tier in ("cohort", "scalar"):
+        record, tail, _ = runs[tier]
+        assert record == soa_record, f"soa record differs from {tier}"
+        assert tail == soa_tail, f"soa RNG position differs from {tier}"
+
+
+class TestDefaultKnob:
+    def test_env_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOA_KERNELS", raising=False)
+        assert default_soa_kernels()
+
+    def test_env_forces_off(self, monkeypatch):
+        for value in ("0", "false", "no", "off"):
+            monkeypatch.setenv("REPRO_SOA_KERNELS", value)
+            assert not default_soa_kernels()
+
+    def test_env_default_is_honored_by_the_engine(self, uniform_small_deployment, nw_config, monkeypatch):
+        monkeypatch.setenv("REPRO_SOA_KERNELS", "0")
+        sim = build_simulation(uniform_small_deployment, nw_config)
+        assert not sim.use_soa_kernels
+        assert sim.plan_cache_info()["soa_kernels"] == {"enabled": False}
+
+
+class TestEligibility:
+    def test_unitdisk_deterministic_compiles(self, uniform_small_deployment, nw_config):
+        sim = build_simulation(uniform_small_deployment, nw_config, use_soa_kernels=True)
+        info = sim.plan_cache_info()["soa_kernels"]
+        assert info["enabled"]
+        assert info["slots_compiled"] > 0
+        assert info["member_slots"] >= info["slots_compiled"]
+        # The SoA tier replaces cohort execution outright (the cohort runtime
+        # rebinds node protocols to shared machines, which would invalidate
+        # the compiled slot specs).
+        assert sim.plan_cache_info()["cohort_runtime"] == {"enabled": False}
+
+    def test_friis_is_ineligible(self, uniform_small_deployment):
+        config = ScenarioConfig(
+            protocol="neighborwatch", radius=3.0, message_length=3, seed=11, channel="friis"
+        )
+        sim = build_simulation(uniform_small_deployment, config, use_soa_kernels=True)
+        assert sim.plan_cache_info()["soa_kernels"] == {"enabled": False}
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [{"loss_probability": 0.2}, {"capture_probability": 0.5}],
+        ids=["loss", "capture"],
+    )
+    def test_rng_consuming_channels_are_ineligible(self, uniform_small_deployment, overrides):
+        config = ScenarioConfig(
+            protocol="neighborwatch", radius=3.0, message_length=3, seed=11, **overrides
+        )
+        sim = build_simulation(uniform_small_deployment, config, use_soa_kernels=True)
+        assert sim.plan_cache_info()["soa_kernels"] == {"enabled": False}
+
+    def test_tracing_disables_the_kernels(self, uniform_small_deployment, nw_config):
+        sim = build_simulation(
+            uniform_small_deployment, nw_config, trace=EventLog(), use_soa_kernels=True
+        )
+        assert sim.plan_cache_info()["soa_kernels"] == {"enabled": False}
+
+
+class TestThreeTierEquivalence:
+    """Records and RNG positions must agree bit-for-bit across all tiers."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        protocol=st.sampled_from(["neighborwatch", "multipath", "epidemic"]),
+        idle_veto=st.booleans(),
+    )
+    def test_random_uniform_deployments(self, seed, protocol, idle_veto):
+        deployment = uniform_deployment(70, 7.5, 7.5, rng=seed % 101)
+        config = ScenarioConfig(
+            protocol=protocol,
+            radius=3.0,
+            message_length=2,
+            seed=seed,
+            idle_veto=idle_veto,
+        )
+        runs = _run_tiers(deployment, config)
+        _assert_tiers_identical(runs)
+        info = runs["soa"][2]["soa_kernels"]
+        assert info["enabled"] and info["slots_run"] > 0
+
+    def test_crashed_and_liars_ride_along(self, uniform_small_deployment, nw_config):
+        faults = FaultPlan(crashed=(5, 17), liars=(9,))
+        runs = _run_tiers(uniform_small_deployment, nw_config, faults)
+        _assert_tiers_identical(runs)
+        assert runs["soa"][2]["soa_kernels"]["slots_run"] > 0
+
+    def test_tiling_composes_with_the_kernels(self, uniform_small_deployment, nw_config):
+        clear_link_cache()
+        sim = build_simulation(
+            uniform_small_deployment, nw_config, use_soa_kernels=True, use_spatial_tiling=True
+        )
+        tiled = (sim.run(MAX_ROUNDS).to_record(), sim.rng.random())
+        runs = _run_tiers(uniform_small_deployment, nw_config)
+        assert tiled == (runs["soa"][0], runs["soa"][1])
+
+
+class TestScalarFallback:
+    def test_jammers_fall_back_per_slot_without_drift(self, uniform_small_deployment, nw_config):
+        faults = FaultPlan(jammers=(21,), jammer_budget=40, jam_probability=0.5)
+        runs = _run_tiers(uniform_small_deployment, nw_config, faults)
+        _assert_tiers_identical(runs)
+        info = runs["soa"][2]["soa_kernels"]
+        # The jammer is an extra in its neighborhood's slots: those
+        # occurrences run on the scalar loop, every other slot stays compiled.
+        assert info["scalar_fallbacks"] > 0
+        assert info["slots_run"] > 0
+
+
+class TestCounters:
+    def test_busy_cache_and_run_counters_accumulate(self, uniform_small_deployment, nw_config):
+        sim = build_simulation(uniform_small_deployment, nw_config, use_soa_kernels=True)
+        before = sim.plan_cache_info()["soa_kernels"]
+        assert before["slots_run"] == 0 and before["busy_cache_misses"] == 0
+        sim.run(MAX_ROUNDS)
+        info = sim.plan_cache_info()["soa_kernels"]
+        assert info["slots_run"] > 0
+        assert info["busy_cache_misses"] > 0
+        assert info["busy_cache_entries"] <= info["busy_cache_misses"]
+
+
+def _mp_cluster_deployment(profile_break: float = 0.0) -> Deployment:
+    """A Friis geometry producing one genuine two-member MultiPath cohort.
+
+    The candidate pair shares the unit square ``(10, 5)`` (side ``R/3`` for
+    ``R = 3``), one R-ball and one set of 2R owner views, so their region
+    profiles are equal; at 0.6 apart (> ``schedule_separation`` 0.5) the
+    greedy colouring gives both slot 1.  Node 3 — a preloaded liar, hence a
+    sender with pending COMMIT frames — conflicts with nobody and also lands
+    in slot 1, co-owning the pair's broadcast interval.  Its distance to the
+    two members straddles the Friis carrier-sense range (``1.5 * R = 4.5``):
+    4.45 to the near member (busy) and 5.05 to the far one (silent).  The
+    pair are blockers in their own slot and listen during phases 0-3, so the
+    liar's first data-bit broadcast is the first state-relevant divergence,
+    which must split the cohort.  The liar stays outside both R-balls
+    (> 3) and inside both 2R owner views (< 6), so the region profiles stay
+    equal.  ``profile_break`` shifts the far member right; at 0.5 it crosses
+    into the next region square, which must keep the devices singleton even
+    though their protocol states are identical.
+    """
+    positions = np.asarray(
+        [
+            [1.0, 1.0],  # source, out of sense range of everything
+            [10.2, 5.0],  # near pair member
+            [10.8 + profile_break, 5.0],  # far pair member
+            [5.75, 5.0],  # straddling liar, co-owner of the pair's slot
+        ]
+    )
+    return Deployment(positions=positions, width=16.0, height=10.0, source_index=0)
+
+
+def _mp_cluster_config() -> ScenarioConfig:
+    # separation < pair distance (0.6): the pair may share a slot.  Friis
+    # busy depends on exact distances (not the R-ball), which is what lets
+    # two profile-equal devices diverge at all — under unit disk an equal
+    # R-ball implies identical busy forever.
+    return ScenarioConfig(
+        protocol="multipath",
+        radius=3.0,
+        message_length=2,
+        multipath_tolerance=0,
+        seed=3,
+        channel="friis",
+        schedule_separation=0.5,
+    )
+
+
+class TestRegionKeyedMultipathCohorts:
+    def test_profile_equal_pair_shares_then_splits_at_divergence(self):
+        deployment = _mp_cluster_deployment()
+        config = _mp_cluster_config()
+        # The liar is the divergence driver: a slot-1 co-owner with preloaded
+        # COMMIT frames, straddling the pair's carrier-sense range.
+        faults = FaultPlan(liars=(3,))
+
+        clear_link_cache()
+        oracle = build_simulation(
+            deployment, config, faults, use_cohort_runtime=False, use_soa_kernels=False
+        )
+        oracle_record = oracle.run(400).to_record()
+
+        clear_link_cache()
+        sim = build_simulation(
+            deployment, config, faults, use_cohort_runtime=True, use_soa_kernels=False
+        )
+        pair = [n.protocol for n in sim.nodes if n.node_id in (1, 2)]
+        assert pair[0].region_profile == pair[1].region_profile
+        info = sim.plan_cache_info()["cohort_runtime"]
+        assert info["enabled"] and info["shared_members"] == 2
+
+        record = sim.run(400).to_record()
+        assert record == oracle_record
+        after = sim.plan_cache_info()["cohort_runtime"]
+        assert after["divergence_splits"] > 0
+
+    def test_profile_mismatch_stays_singleton(self):
+        deployment = _mp_cluster_deployment(profile_break=0.5)
+        config = _mp_cluster_config()
+        clear_link_cache()
+        sim = build_simulation(
+            deployment,
+            config,
+            FaultPlan(liars=(3,)),
+            use_cohort_runtime=True,
+            use_soa_kernels=False,
+        )
+        pair = [n.protocol for n in sim.nodes if n.node_id in (1, 2)]
+        assert pair[0].region_profile != pair[1].region_profile
+        info = sim.plan_cache_info()["cohort_runtime"]
+        assert info["shared_members"] == 0
+
+    def test_standard_separation_forbids_multipath_cohorts(
+        self, tiny_grid_deployment, mp_config
+    ):
+        # The paper's 3R separation: same-slot devices are > 3R apart, so no
+        # two can share an R-ball and the region key degenerates to
+        # singletons — the historical all-singleton behaviour.
+        sim = build_simulation(
+            tiny_grid_deployment, mp_config, use_cohort_runtime=True, use_soa_kernels=False
+        )
+        assert sim.plan_cache_info()["cohort_runtime"]["shared_members"] == 0
+
+
+class TestDescribeTierEligibility:
+    """``experiments describe`` must advertise which execution tier runs."""
+
+    def test_unitdisk_spec_reports_soa(self):
+        from repro.experiments.driver import describe_spec
+        from repro.experiments.registry import get_spec
+
+        text = describe_spec(get_spec("FIG5"), scale="small")
+        assert "execution tier: struct-of-arrays slot kernels" in text
+
+    def test_blockers_and_fallback_notes(self):
+        from repro.experiments.driver import _tier_lines
+
+        friis = _tier_lines({"channel": "friis"})
+        assert friis[0].startswith("execution tier: cohort runtime")
+        assert any("friis" in line for line in friis)
+        assert any(
+            "loss_probability=0.2" in line
+            for line in _tier_lines({"loss_probability": 0.2})
+        )
+        assert any(
+            "capture_probability=0.5" in line
+            for line in _tier_lines({"capture_probability": 0.5})
+        )
+        assert any("per-slot" in line for line in _tier_lines({"num_jammers": 15}))

@@ -75,7 +75,12 @@ class TestDenseLinkStateBytes:
 
 def _build(deployment, config, tiled):
     clear_link_cache()
-    return build_simulation(deployment, config, use_spatial_tiling=tiled)
+    # The SoA tier bypasses per-round link-state resolution entirely; these
+    # tests exercise the tiled round kernels and their counters, so they pin
+    # the cohort/scalar tiers.
+    return build_simulation(
+        deployment, config, use_spatial_tiling=tiled, use_soa_kernels=False
+    )
 
 
 class TestEngineIntegration:
@@ -255,6 +260,43 @@ class TestPlanRoundViewCache:
         assert plan.submatrix_hits == 1
         # The exchange counters accumulate on hits too.
         assert sparse.rounds_resolved == 2
+
+
+class TestCsrIndexDtype:
+    """PR 7 halves the CSR pair to int32 whenever node count and link count
+    both fit; the values are identical and the overflow guard keeps int64
+    available past 2^31 - 1."""
+
+    def test_small_topologies_use_int32(self):
+        rng = np.random.default_rng(3)
+        positions = rng.uniform(0, 15, size=(120, 2))
+        sparse = UnitDiskChannel(3.0).link_state_sparse(positions)
+        assert sparse.indices.dtype == np.int32
+        assert sparse.indptr.dtype == np.int32
+        assert sparse.info()["index_dtype"] == "int32"
+        assert sparse.sparse_bytes == (
+            sparse.indices.nbytes + sparse.indptr.nbytes + sparse.positions.nbytes
+        )
+
+    def test_downcast_preserves_values(self):
+        from repro.topology.grid import GridBuckets
+
+        rng = np.random.default_rng(9)
+        positions = rng.uniform(0, 15, size=(150, 2))
+        sparse = UnitDiskChannel(3.0).link_state_sparse(positions)
+        indptr, indices = GridBuckets(positions, cell_size=3.0).neighbor_arrays(
+            3.0 + 1e-12, "l2", include_self=True
+        )
+        assert np.array_equal(sparse.indptr, indptr)
+        assert np.array_equal(sparse.indices, indices)
+
+    def test_overflow_guard_falls_back_to_int64(self):
+        from repro.sim.linkstate import _index_dtype
+
+        limit = int(np.iinfo(np.int32).max)
+        assert _index_dtype(limit, limit) == np.dtype(np.int32)
+        assert _index_dtype(limit + 1, 0) == np.dtype(np.int64)
+        assert _index_dtype(10, limit + 1) == np.dtype(np.int64)
 
 
 class TestDescribeMemoryEstimate:
