@@ -3,7 +3,7 @@ PYTHON ?= python
 PR ?= 7
 export PYTHONPATH := src
 
-.PHONY: test bench bench-baseline bench-smoke profile
+.PHONY: test bench bench-baseline bench-smoke chaos-smoke profile
 
 # Tier-1 verification (unit/property tests only; benchmarks excluded).
 test:
@@ -36,6 +36,19 @@ bench-smoke:
 	REPRO_SOA_KERNELS=0 $(PYTHON) -m repro.experiments run FIG5 --scale small --export json > /tmp/nosoa.json
 	cmp /tmp/soa.json /tmp/nosoa.json
 	rm -f /tmp/soa.json /tmp/nosoa.json
+
+# CI smoke for the fault-tolerant fabric: the focused chaos/integrity test
+# files, then a seeded chaos-backend run that must export byte-identical
+# rows to a plain run (every injected fault recovered).  No --timeout here:
+# seeded plans may draw "delay" faults, and with a budget in force those are
+# deliberately stretched past it (the injected sleep would dominate the
+# smoke's wall-clock); the timeout path is covered by the pytest files.
+chaos-smoke:
+	$(PYTHON) -m pytest -x -q tests/test_backends.py tests/test_store_integrity.py
+	$(PYTHON) -m repro.experiments run DUAL --scale small --export json > /tmp/chaos-plain.json
+	REPRO_CHAOS_SEED=7 REPRO_CHAOS_RATE=0.7 $(PYTHON) -m repro.experiments run DUAL --scale small --backend chaos --max-retries 3 --export json > /tmp/chaos-faulty.json
+	cmp /tmp/chaos-plain.json /tmp/chaos-faulty.json
+	rm -f /tmp/chaos-plain.json /tmp/chaos-faulty.json
 
 # Profile one experiment's sweep (top cumulative hot spots to stderr).
 profile:

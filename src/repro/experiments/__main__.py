@@ -28,15 +28,24 @@ reserved for genuine failures inside a running experiment.
 
 ``--workers`` fans the seeded repetitions out over processes via
 :class:`~repro.sim.runner.SweepExecutor`; results are bit-identical for every
-worker count, so it is purely a throughput knob.  ``--cache-dir`` routes the
-sweep through the content-addressed :class:`~repro.store.ResultStore`
-(``--resume`` requires the directory to exist, ``--no-cache`` ignores it for
-one invocation); a warm-cache rerun prints byte-identical rows while
-dispatching zero simulations.  ``--export {json,csv}`` writes machine-readable
-rows to stdout (status lines move to stderr).  ``--profile`` dumps the top-25
-cumulative cProfile entries to stderr; ``--profile-out PATH`` (implies
-``--profile``) additionally writes the raw :mod:`pstats` file for cross-PR
-diffing.
+worker count, so it is purely a throughput knob.  ``--backend`` picks the
+executor backend by registry key (``serial``, ``process-pool``, ``chaos``;
+default: inferred from ``--workers``), ``--timeout`` puts a wall-clock budget
+on every repetition and ``--max-retries`` bounds the supervised retries for
+transient faults — results stay bit-identical under every recovery path.
+``--cache-dir`` routes the sweep through the content-addressed
+:class:`~repro.store.ResultStore` (``--resume`` requires the directory to
+exist, ``--no-cache`` ignores it for one invocation); a warm-cache rerun
+prints byte-identical rows while dispatching zero simulations.  ``--export
+{json,csv}`` writes machine-readable rows to stdout (status lines move to
+stderr).  ``--profile`` dumps the top-25 cumulative cProfile entries to
+stderr; ``--profile-out PATH`` (implies ``--profile``) additionally writes
+the raw :mod:`pstats` file for cross-PR diffing.
+
+Exit codes: 0 success, 2 usage error, 3 when repetitions exhausted their
+retries and were quarantined (the rest of the sweep completed and, with a
+cache dir, persisted), 130 on interrupt (with a resume hint when a cache dir
+was in use).
 """
 
 from __future__ import annotations
@@ -50,6 +59,7 @@ from typing import Optional, Sequence
 from ..analysis.tables import format_table, to_csv
 from ..registry import RegistryError
 from ..sim.runner import SweepExecutor
+from ..sim.supervision import SweepFailure, SweepInterrupted
 from .driver import describe_spec, run_spec
 from .registry import EXPERIMENTS, get_spec
 from .spec import ExperimentSpec, SpecValidationError, load_spec
@@ -97,6 +107,27 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="repetitions each worker picks up at a time (amortises overhead)",
+    )
+    run.add_argument(
+        "--backend",
+        default=None,
+        help="executor backend registry key: serial, process-pool, or chaos "
+        "(default: inferred from --workers; chaos injects deterministic "
+        "faults from REPRO_CHAOS_* for recovery drills)",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds for each repetition attempt; "
+        "overruns are retried and eventually quarantined (default: none)",
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retries per repetition for transient faults — timeouts, worker "
+        "crashes, injected chaos (default: 2)",
     )
     run.add_argument(
         "--cache-dir",
@@ -266,7 +297,23 @@ def _command_run(args) -> int:
     try:
         spec = _resolve_spec(args)
         scale = _resolve_scale(spec, args.scale)
-        executor = SweepExecutor(args.workers, chunk_size=args.chunk_size)
+        if args.backend is not None:
+            # Resolve the key eagerly so a typo is a clean usage error, not a
+            # traceback from the first sweep's lazy backend construction.
+            from ..registry import EXECUTOR_BACKENDS
+
+            EXECUTOR_BACKENDS.get(args.backend)
+        if args.max_retries is not None and args.max_retries < 0:
+            raise ValueError("--max-retries must be >= 0")
+        if args.timeout is not None and args.timeout <= 0:
+            raise ValueError("--timeout must be positive")
+        executor = SweepExecutor(
+            args.workers,
+            chunk_size=args.chunk_size,
+            backend=args.backend,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+        )
         store = _build_store(args)
     except (RegistryError, SpecValidationError, ValueError) as exc:
         return _usage_error(exc)
@@ -297,6 +344,38 @@ def _command_run(args) -> int:
             if profiler is not None:
                 profiler.disable()
             return _usage_error(exc)
+        except SweepFailure as exc:
+            # The sweep finished everything it could; only the quarantined
+            # repetitions are missing.  Report them and exit distinctly so
+            # scripts can tell "partial" from "crashed".
+            if profiler is not None:
+                profiler.disable()
+            for failure in exc.failures:
+                print(f"error: {failure.describe()}", file=sys.stderr)
+            print(
+                f"error: {len(exc.failures)} repetition(s) exhausted their retries "
+                f"and were quarantined ({executor.telemetry.summary()})",
+                file=sys.stderr,
+            )
+            if store is not None:
+                print(
+                    "note: completed repetitions are cached; rerun with the same "
+                    f"--cache-dir {args.cache_dir} to retry only the failures",
+                    file=sys.stderr,
+                )
+            return 3
+        except KeyboardInterrupt as exc:
+            if profiler is not None:
+                profiler.disable()
+            print("interrupted", file=sys.stderr)
+            if isinstance(exc, SweepInterrupted):
+                print(
+                    f"note: {exc.completed} repetition(s) were computed and cached "
+                    f"before the interrupt ({exc.pending} still pending); resume with "
+                    f"--cache-dir {exc.cache_dir} --resume",
+                    file=sys.stderr,
+                )
+            return 130
         if profiler is not None:
             profiler.disable()
         elapsed = time.perf_counter() - started
@@ -322,6 +401,14 @@ def _command_run(args) -> int:
             f" cache-dir={args.cache_dir}"
             f" cache-hits={store.stats.hits} cache-misses={store.stats.misses}"
         )
+        if store.stats.torn_lines or store.stats.checksum_failures:
+            summary += (
+                f" torn-lines={store.stats.torn_lines}"
+                f" checksum-failures={store.stats.checksum_failures}"
+            )
+    if executor.telemetry.recovered:
+        # Only worth a line when something actually went wrong and was healed.
+        summary += f" [fabric: {executor.telemetry.summary()}]"
     print(summary + "\n", file=status)
 
     rows = list(rows)

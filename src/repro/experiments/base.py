@@ -29,6 +29,15 @@ here and by every experiment's ``run_*`` function) routes the sweep through a
 :class:`~repro.store.CachingSweepExecutor`: repetitions already on disk are
 not re-simulated, misses are persisted as they complete, and the resulting
 rows are byte-identical to an uncached run.
+
+The same bit-identity extends to fault recovery: the executor dispatches
+every repetition under the supervision envelope of
+:mod:`repro.sim.supervision` (timeout, bounded retry, quarantine), so a sweep
+that survives worker crashes or injected chaos faults produces exactly the
+rows a fault-free run would.  Jobs that exhaust their retries surface
+together as a :class:`~repro.sim.supervision.SweepFailure` *after* every
+other point completed — callers that want partial figures can catch it and
+keep the rows computed so far via a cache dir.
 """
 
 from __future__ import annotations

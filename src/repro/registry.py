@@ -19,6 +19,8 @@ Registries
 :data:`METRICS`           row builders deriving table rows from sweep points
 :data:`DRIVERS`           experiment drivers executing a resolved ExperimentSpec
 :data:`EXPERIMENT_SPECS`  the built-in :class:`~repro.experiments.spec.ExperimentSpec`
+:data:`EXECUTOR_BACKENDS` :class:`~repro.sim.backends.ExecutorBackend` classes
+                          ("serial", "process-pool", "chaos")
 ========================  ===========================================================
 
 Usage::
@@ -67,6 +69,7 @@ __all__ = [
     "METRICS",
     "DRIVERS",
     "EXPERIMENT_SPECS",
+    "EXECUTOR_BACKENDS",
     "register_protocol",
     "register_channel",
     "register_deployment",
@@ -74,6 +77,7 @@ __all__ = [
     "register_metric",
     "register_driver",
     "register_experiment_spec",
+    "register_executor_backend",
 ]
 
 
@@ -351,6 +355,17 @@ def _validate_experiment_spec(key: str, spec: Any) -> None:
         raise RegistryError(f"experiment {key!r} must be an ExperimentSpec with a name")
 
 
+def _validate_executor_backend(key: str, cls: Any) -> None:
+    if not isinstance(cls, type):
+        raise RegistryError(
+            f"executor backend {key!r} must be a class (construction needs the "
+            "executor's knobs, so instances cannot be shared)"
+        )
+    for method in ("from_knobs", "run_attempts", "close"):
+        if not callable(getattr(cls, method, None)):
+            raise RegistryError(f"executor backend {key!r} lacks a callable {method}()")
+
+
 # -- the registries -----------------------------------------------------------------------
 _CORE_PROTOCOL_MODULES = (
     "repro.core.neighborwatch",
@@ -387,6 +402,11 @@ EXPERIMENT_SPECS = Registry(
     validator=_validate_experiment_spec,
     builtin_modules=("repro.experiments.builtin",),
 )
+EXECUTOR_BACKENDS = Registry(
+    "executor backend",
+    validator=_validate_executor_backend,
+    builtin_modules=("repro.sim.backends",),
+)
 
 
 def register_protocol(key: str, *, aliases: Sequence[str] = ()):
@@ -422,3 +442,8 @@ def register_driver(key: str, *, aliases: Sequence[str] = ()):
 def register_experiment_spec(spec, *, aliases: Sequence[str] = ()):
     """Register an :class:`~repro.experiments.spec.ExperimentSpec` under its name."""
     return EXPERIMENT_SPECS.register(spec.name, spec, aliases=aliases)
+
+
+def register_executor_backend(key: str, *, aliases: Sequence[str] = ()):
+    """Class decorator registering an :class:`~repro.sim.backends.ExecutorBackend`."""
+    return EXECUTOR_BACKENDS.register(key, aliases=aliases)

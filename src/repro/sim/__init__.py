@@ -11,12 +11,44 @@ from .radio import Channel, FriisChannel, Transmission, UnitDiskChannel, message
 from .results import NodeOutcome, RunResult
 from .rng import RngFactory
 from .runner import SweepExecutor, SweepTask, resolve_workers, run_repetition
+from .backends import (
+    ChaosBackend,
+    ChaosPlan,
+    ExecutorBackend,
+    FaultSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
+from .supervision import (
+    FabricTelemetry,
+    JobFailure,
+    SupervisionPolicy,
+    SweepFailure,
+    SweepInterrupted,
+    TransientJobError,
+    backoff_delay,
+)
 
 __all__ = [
     "SweepExecutor",
     "SweepTask",
     "resolve_workers",
     "run_repetition",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ChaosBackend",
+    "ChaosPlan",
+    "FaultSpec",
+    "resolve_backend",
+    "SupervisionPolicy",
+    "FabricTelemetry",
+    "JobFailure",
+    "SweepFailure",
+    "SweepInterrupted",
+    "TransientJobError",
+    "backoff_delay",
     "build_channel",
     "build_schedule",
     "build_simulation",

@@ -1,0 +1,575 @@
+"""Pluggable executor backends for the sweep fabric.
+
+An :class:`ExecutorBackend` turns a wave of supervised
+:class:`~repro.sim.supervision.JobAttempt`s into
+:class:`~repro.sim.supervision.AttemptOutcome`s.  Backends are registry
+plugins (:data:`repro.registry.EXECUTOR_BACKENDS`) exactly like protocols and
+channels, so the multi-host work-queue backend of ROADMAP item 2 becomes one
+more ``@register_executor_backend`` class:
+
+``serial``
+    Runs attempts inline.  Timeouts are detected *post-hoc* (inline execution
+    cannot be preempted): an attempt whose wall-clock exceeds the budget is
+    failed and its result discarded, keeping timeout semantics uniform with
+    the pool.  Chaos worker-kill markers are simulated as crash outcomes —
+    dying for real would take the caller with it.
+``process-pool``
+    Fans chunks of attempts over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    Detects :class:`~concurrent.futures.process.BrokenProcessPool` (a worker
+    died mid-job), fails the in-flight attempts as ``worker-crash`` so the
+    supervisor re-dispatches them, and rebuilds the pool; overdue attempts
+    are abandoned as ``timeout`` and — once every worker is presumed stuck —
+    the pool is rebuilt with best-effort process termination.  If the pool
+    cannot be rebuilt, the backend *degrades to serial* execution instead of
+    failing the sweep.
+``chaos``
+    The test instrument: wraps another backend and injects scheduled faults
+    from a deterministic :class:`ChaosPlan` — raise inside
+    ``run_repetition``, kill the worker process, delay past the timeout,
+    truncate a result-store shard mid-append — so every recovery path above
+    is exercised by ordinary pytest, and bit-identity of the surviving
+    results can be asserted against a fault-free run.
+
+Every backend yields exactly one outcome per attempt, in completion order;
+ordering, retry budgets and quarantine live in the
+:class:`~repro.sim.supervision.Supervisor`, not here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional, Sequence
+
+from ..registry import EXECUTOR_BACKENDS, register_executor_backend
+from .supervision import (
+    AttemptOutcome,
+    FabricTelemetry,
+    JobAttempt,
+    TransientJobError,
+)
+
+__all__ = [
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ChaosBackend",
+    "ChaosInjectedError",
+    "ChaosPlan",
+    "FaultSpec",
+    "resolve_backend",
+]
+
+#: Exit status a chaos-killed worker dies with (visible in BrokenProcessPool).
+_CHAOS_EXIT_CODE = 13
+
+
+class ChaosInjectedError(TransientJobError):
+    """The chaos backend's injected exception: transient by construction."""
+
+
+class ExecutorBackend:
+    """Contract every executor backend satisfies (see the module docstring)."""
+
+    #: Canonical registry key; filled in at registration.
+    key: Optional[str] = None
+
+    def __init__(self, *, telemetry: Optional[FabricTelemetry] = None) -> None:
+        self.telemetry = telemetry if telemetry is not None else FabricTelemetry()
+
+    @classmethod
+    def from_knobs(
+        cls,
+        *,
+        workers: int = 0,
+        chunk_size: int = 1,
+        telemetry: Optional[FabricTelemetry] = None,
+    ) -> "ExecutorBackend":
+        """Build an instance from the executor's generic knobs."""
+        return cls(telemetry=telemetry)
+
+    def run_attempts(
+        self, attempts: Sequence[JobAttempt], *, timeout: Optional[float] = None
+    ) -> Iterator[AttemptOutcome]:
+        """Execute ``attempts``, yielding one outcome each in completion order."""
+        raise NotImplementedError
+
+    def notify_persisted(self, fingerprint: str, path) -> None:
+        """Hook: a result just landed in the store shard at ``path`` (no-op)."""
+
+    def close(self, *, cancel_futures: bool = True) -> None:
+        """Release backend resources; queued-but-unstarted work is cancelled."""
+
+
+def _execute_attempt(attempt: JobAttempt):
+    """Run one attempt's simulation (worker side); honours chaos markers."""
+    from .runner import run_repetition
+
+    chaos = attempt.chaos
+    if chaos is not None:
+        kind = chaos[0]
+        if kind == "raise":
+            raise ChaosInjectedError(
+                f"chaos: injected failure (position {attempt.position}, "
+                f"attempt {attempt.attempt})"
+            )
+        if kind == "kill-worker":
+            os._exit(_CHAOS_EXIT_CODE)
+        if kind == "delay":
+            time.sleep(float(chaos[1]))
+    return run_repetition(attempt.task, attempt.repetition)
+
+
+def _run_attempt_chunk(chunk: Sequence[JobAttempt]) -> list[tuple]:
+    """Worker entry point: one payload per attempt, exceptions caught per job.
+
+    Catching per attempt keeps one bad simulation from failing its chunk
+    siblings; only a process death (chaos kill, OOM) loses the whole chunk.
+    """
+    payloads: list[tuple] = []
+    for attempt in chunk:
+        try:
+            payloads.append(("ok", _execute_attempt(attempt)))
+        except Exception as exc:  # noqa: BLE001 - classified for the supervisor
+            payloads.append(
+                (
+                    "error",
+                    f"{type(exc).__name__}: {exc}",
+                    isinstance(exc, TransientJobError),
+                )
+            )
+    return payloads
+
+
+@register_executor_backend("serial", aliases=("inline",))
+class SerialBackend(ExecutorBackend):
+    """Run attempts inline in the calling process."""
+
+    def run_attempts(
+        self, attempts: Sequence[JobAttempt], *, timeout: Optional[float] = None
+    ) -> Iterator[AttemptOutcome]:
+        for attempt in attempts:
+            if attempt.chaos is not None and attempt.chaos[0] == "kill-worker":
+                # Dying for real would kill the caller; simulate the crash
+                # outcome the pool backend would observe.
+                yield AttemptOutcome(
+                    attempt,
+                    kind="worker-crash",
+                    error="chaos: worker killed (simulated inline)",
+                    retryable=True,
+                )
+                continue
+            started = time.perf_counter()
+            try:
+                result = _execute_attempt(attempt)
+            except Exception as exc:  # noqa: BLE001 - classified for the supervisor
+                yield AttemptOutcome(
+                    attempt,
+                    kind="exception",
+                    error=f"{type(exc).__name__}: {exc}",
+                    retryable=isinstance(exc, TransientJobError),
+                )
+                continue
+            elapsed = time.perf_counter() - started
+            if timeout is not None and elapsed > timeout:
+                # Post-hoc enforcement: the work is done, but a result that
+                # blew its budget is still failed so serial and pool sweeps
+                # agree on what a timeout means.
+                yield AttemptOutcome(
+                    attempt,
+                    kind="timeout",
+                    error=f"repetition took {elapsed:.3f}s > timeout {timeout:.3f}s",
+                    retryable=True,
+                )
+                continue
+            yield AttemptOutcome(attempt, result=result)
+
+
+@register_executor_backend("process-pool", aliases=("pool", "processpool"))
+class ProcessPoolBackend(ExecutorBackend):
+    """Fan attempts over a process pool with crash/timeout recovery.
+
+    ``timeout`` budgets are per repetition; a chunk of ``n`` attempts gets
+    ``n * timeout``.  Deadlines are measured from the moment a chunk enters
+    the running window (at most ``workers`` chunks at a time are submitted,
+    so submission ≈ start).  An overdue chunk is abandoned — its attempts
+    fail as ``timeout`` and any late result is discarded; once as many
+    chunks were abandoned as there are workers, every worker is presumed
+    stuck and the pool is rebuilt (terminating the stuck processes
+    best-effort).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        chunk_size: int = 1,
+        telemetry: Optional[FabricTelemetry] = None,
+    ) -> None:
+        super().__init__(telemetry=telemetry)
+        from .runner import resolve_workers
+
+        self.workers = max(1, resolve_workers(workers))
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = int(chunk_size)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._abandoned = 0
+        self._serial: Optional[SerialBackend] = None
+
+    @classmethod
+    def from_knobs(cls, *, workers=0, chunk_size=1, telemetry=None):
+        return cls(workers, chunk_size=chunk_size, telemetry=telemetry)
+
+    @property
+    def degraded(self) -> bool:
+        return self._serial is not None
+
+    def close(self, *, cancel_futures: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=cancel_futures)
+            self._pool = None
+
+    # -- pool lifecycle ----------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _discard_pool(self, *, terminate: bool) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = []
+        try:
+            processes = list(getattr(pool, "_processes", {}).values())
+        except Exception:  # pragma: no cover - interpreter-internal shape change
+            pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        if terminate:
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - already-dead process
+                    pass
+
+    def _rebuild_pool(self, *, terminate: bool) -> bool:
+        """Replace the pool; on failure flip into serial degradation."""
+        self._discard_pool(terminate=terminate)
+        self._abandoned = 0
+        self.telemetry.pool_rebuilds += 1
+        try:
+            self._ensure_pool()
+            return True
+        except Exception:
+            self._degrade()
+            return False
+
+    def _degrade(self) -> None:
+        if self._serial is None:
+            self.telemetry.degraded_to_serial += 1
+            self._serial = SerialBackend(telemetry=self.telemetry)
+
+    # -- execution ---------------------------------------------------------------------
+    def run_attempts(
+        self, attempts: Sequence[JobAttempt], *, timeout: Optional[float] = None
+    ) -> Iterator[AttemptOutcome]:
+        queue = deque(
+            list(attempts[i : i + self.chunk_size])
+            for i in range(0, len(attempts), self.chunk_size)
+        )
+        pending: dict[Future, tuple[list[JobAttempt], float]] = {}
+        while queue or pending:
+            if self.degraded:
+                while queue:
+                    yield from self._serial.run_attempts(queue.popleft(), timeout=timeout)
+                # In-flight futures of the dead pool are handled below.
+            while queue and len(pending) < self.workers and not self.degraded:
+                chunk = queue.popleft()
+                future = self._submit(chunk)
+                if future is None:  # degradation kicked in mid-submit
+                    yield from self._serial.run_attempts(chunk, timeout=timeout)
+                    continue
+                pending[future] = (chunk, time.monotonic())
+            if not pending:
+                continue
+            done, _ = wait(set(pending), timeout=self._poll(pending, timeout), return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                chunk, _started = pending.pop(future)
+                try:
+                    payloads = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    yield from self._crash_outcomes(chunk)
+                    continue
+                except CancelledError:
+                    # The future was cancelled by a pool teardown racing this
+                    # drain; the job never ran — re-dispatchable, not a bug.
+                    yield from self._crash_outcomes(chunk)
+                    continue
+                except Exception as exc:  # noqa: BLE001 - e.g. unpicklable result
+                    for attempt in chunk:
+                        yield AttemptOutcome(
+                            attempt,
+                            kind="exception",
+                            error=f"{type(exc).__name__}: {exc}",
+                            retryable=False,
+                        )
+                    continue
+                for attempt, payload in zip(chunk, payloads):
+                    if payload[0] == "ok":
+                        yield AttemptOutcome(attempt, result=payload[1])
+                    else:
+                        yield AttemptOutcome(
+                            attempt,
+                            kind="exception",
+                            error=payload[1],
+                            retryable=bool(payload[2]),
+                        )
+            if broken:
+                # A dead worker poisons every sibling future of the pool:
+                # fail them all as crashes (the supervisor re-dispatches) and
+                # rebuild so the next wave has workers again.
+                for future, (chunk, _started) in list(pending.items()):
+                    del pending[future]
+                    yield from self._crash_outcomes(chunk)
+                self._rebuild_pool(terminate=False)
+                continue
+            if timeout is not None:
+                now = time.monotonic()
+                for future, (chunk, started) in list(pending.items()):
+                    if now - started <= timeout * len(chunk):
+                        continue
+                    future.cancel()
+                    del pending[future]
+                    self._abandoned += 1
+                    for attempt in chunk:
+                        yield AttemptOutcome(
+                            attempt,
+                            kind="timeout",
+                            error=(
+                                f"no result within {timeout * len(chunk):.3f}s; "
+                                "worker abandoned"
+                            ),
+                            retryable=True,
+                        )
+                if self._abandoned >= self.workers:
+                    # Every worker is presumed stuck on an abandoned chunk:
+                    # requeue what never ran and rebuild with termination.
+                    for future, (chunk, _started) in list(pending.items()):
+                        del pending[future]
+                        queue.appendleft(chunk)
+                    self._rebuild_pool(terminate=True)
+
+    def _submit(self, chunk: list[JobAttempt]) -> Optional[Future]:
+        for _ in range(2):
+            if self.degraded:
+                return None
+            try:
+                return self._ensure_pool().submit(_run_attempt_chunk, chunk)
+            except Exception:
+                # Pool unusable (broken, shut down, or unbuildable): one
+                # rebuild attempt, then graceful degradation to serial.
+                if not self._rebuild_pool(terminate=False):
+                    return None
+        return None  # pragma: no cover - second loop iteration always returns
+
+    def _crash_outcomes(self, chunk: Sequence[JobAttempt]) -> Iterator[AttemptOutcome]:
+        for attempt in chunk:
+            yield AttemptOutcome(
+                attempt,
+                kind="worker-crash",
+                error="worker process died (BrokenProcessPool)",
+                retryable=True,
+            )
+
+    def _poll(
+        self, pending: dict, timeout: Optional[float]
+    ) -> Optional[float]:
+        """How long ``wait`` may block: until the earliest pending deadline."""
+        if timeout is None:
+            return None
+        now = time.monotonic()
+        earliest = min(
+            started + timeout * len(chunk) for chunk, started in pending.values()
+        )
+        return max(0.01, earliest - now)
+
+
+# -- chaos ---------------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One scheduled fault: fires when job ``position`` runs attempt ``attempt``.
+
+    Kinds: ``raise`` (exception inside ``run_repetition``), ``kill-worker``
+    (the worker process dies), ``delay`` (sleep ``seconds`` before running —
+    past the timeout, this exercises the timeout path), ``truncate-shard``
+    (tear the store shard line the job's result was just appended to).
+    """
+
+    kind: str
+    position: int
+    attempt: int = 0
+    seconds: float = 0.25
+
+    _KINDS = ("raise", "kill-worker", "delay", "truncate-shard")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {self._KINDS}")
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosPlan:
+    """A deterministic fault schedule: explicit specs plus an optional seeded rate.
+
+    The seeded part is a pure function of ``(seed, position)`` — an SHA-256
+    draw, never ``random()`` — so the same plan injects the same faults into
+    the same jobs on every run.  Seeded faults fire only on attempt 0, so
+    retries recover; persistent failures are modelled with explicit
+    :class:`FaultSpec`s covering several attempts.
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: Optional[int] = None
+    rate: float = 0.0
+    kinds: tuple[str, ...] = ("raise", "kill-worker", "delay")
+    delay_seconds: float = 0.25
+
+    def fault_for(self, position: int, attempt: int) -> Optional[FaultSpec]:
+        for fault in self.faults:
+            if fault.position == position and fault.attempt == attempt:
+                return fault
+        if self.seed is None or self.rate <= 0.0 or attempt != 0 or not self.kinds:
+            return None
+        digest = hashlib.sha256(f"chaos:{self.seed}:{position}".encode("utf8")).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2.0**64
+        if draw >= self.rate:
+            return None
+        kind = self.kinds[int.from_bytes(digest[8:10], "big") % len(self.kinds)]
+        return FaultSpec(kind=kind, position=position, seconds=self.delay_seconds)
+
+    @classmethod
+    def from_env(cls, environ=os.environ) -> "ChaosPlan":
+        """The plan the CLI's ``--backend chaos`` uses.
+
+        ``REPRO_CHAOS_PLAN`` names a JSON file of explicit fault specs
+        (``[{"kind": ..., "position": ..., ...}, ...]``); otherwise
+        ``REPRO_CHAOS_SEED`` / ``REPRO_CHAOS_RATE`` configure the seeded plan.
+        """
+        plan_path = environ.get("REPRO_CHAOS_PLAN")
+        if plan_path:
+            specs = json.loads(open(plan_path, "r", encoding="utf8").read())
+            return cls(faults=tuple(FaultSpec(**spec) for spec in specs))
+        seed = int(environ.get("REPRO_CHAOS_SEED", "0"))
+        rate = float(environ.get("REPRO_CHAOS_RATE", "0.1"))
+        return cls(seed=seed, rate=rate)
+
+
+@register_executor_backend("chaos")
+class ChaosBackend(ExecutorBackend):
+    """Deterministic fault injection around another backend.
+
+    ``raise``/``kill-worker``/``delay`` faults are attached to the forwarded
+    attempts as markers the worker entry point honours, so they fire inside
+    the real execution path of the inner backend; ``truncate-shard`` faults
+    wait for the caching executor's :meth:`notify_persisted` hook and tear
+    the just-appended shard line.  Injected counts land in
+    ``telemetry.injected``.
+    """
+
+    def __init__(
+        self,
+        inner: ExecutorBackend,
+        plan: ChaosPlan,
+        *,
+        telemetry: Optional[FabricTelemetry] = None,
+    ) -> None:
+        super().__init__(telemetry=telemetry)
+        self.inner = inner
+        self.inner.telemetry = self.telemetry
+        self.plan = plan
+        self._pending_truncations: dict[str, FaultSpec] = {}
+
+    @classmethod
+    def from_knobs(cls, *, workers=0, chunk_size=1, telemetry=None):
+        inner_key = "process-pool" if workers > 1 else "serial"
+        inner = EXECUTOR_BACKENDS.get(inner_key).from_knobs(
+            workers=workers, chunk_size=chunk_size, telemetry=telemetry
+        )
+        return cls(inner, ChaosPlan.from_env(), telemetry=telemetry)
+
+    def close(self, *, cancel_futures: bool = True) -> None:
+        self.inner.close(cancel_futures=cancel_futures)
+
+    def run_attempts(
+        self, attempts: Sequence[JobAttempt], *, timeout: Optional[float] = None
+    ) -> Iterator[AttemptOutcome]:
+        forwarded: list[JobAttempt] = []
+        for attempt in attempts:
+            fault = self.plan.fault_for(attempt.position, attempt.attempt)
+            if fault is None:
+                forwarded.append(attempt)
+                continue
+            if fault.kind == "truncate-shard":
+                from .supervision import job_key
+
+                self._pending_truncations[job_key(attempt.task, attempt.repetition)] = fault
+                forwarded.append(attempt)
+                continue
+            self.telemetry.record_injected(fault.kind)
+            seconds = fault.seconds
+            if fault.kind == "delay" and timeout is not None:
+                # "Delay past the timeout" tracks whatever budget is in force.
+                seconds = max(seconds, 1.5 * timeout)
+            forwarded.append(replace(attempt, chaos=(fault.kind, seconds)))
+        yield from self.inner.run_attempts(forwarded, timeout=timeout)
+
+    def notify_persisted(self, fingerprint: str, path) -> None:
+        fault = self._pending_truncations.pop(fingerprint, None)
+        if fault is None or path is None:
+            return
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return
+        if size <= 16:
+            return
+        # Tear the just-appended line: drop its trailing bytes (including the
+        # newline), exactly what a crash mid-append leaves behind.
+        os.truncate(path, size - 16)
+        self.telemetry.record_injected("truncate-shard")
+
+
+def resolve_backend(
+    spec,
+    *,
+    workers: int = 0,
+    chunk_size: int = 1,
+    telemetry: Optional[FabricTelemetry] = None,
+) -> ExecutorBackend:
+    """The backend an executor should drive.
+
+    ``spec`` may be an :class:`ExecutorBackend` instance (adopted as-is, with
+    the telemetry bound), a registry key, or ``None`` — which auto-selects
+    ``process-pool`` when ``workers > 1`` and ``serial`` otherwise, preserving
+    the historical ``SweepExecutor`` behaviour.
+    """
+    if isinstance(spec, ExecutorBackend):
+        if telemetry is not None:
+            spec.telemetry = telemetry
+            inner = getattr(spec, "inner", None)
+            if inner is not None:
+                inner.telemetry = telemetry
+        return spec
+    if spec is None:
+        spec = "process-pool" if workers > 1 else "serial"
+    cls = EXECUTOR_BACKENDS.get(spec)
+    return cls.from_knobs(workers=workers, chunk_size=chunk_size, telemetry=telemetry)

@@ -16,15 +16,23 @@ This module turns that property into throughput:
 * :func:`run_repetition` executes one ``(task, repetition)`` pair.  The
   scenario is cloned with :func:`dataclasses.replace`, so every config field —
   including ones added after this module was written — survives the cloning.
-* :class:`SweepExecutor` fans all ``(task, repetition)`` pairs of a sweep out
-  over a :class:`concurrent.futures.ProcessPoolExecutor` and reassembles the
-  results in task order.  Because each pair is fully determined by its seed,
-  the output is identical to a serial run regardless of the worker count.
+* :class:`SweepExecutor` drives all ``(task, repetition)`` pairs of a sweep
+  through a pluggable :class:`~repro.sim.backends.ExecutorBackend` (serial
+  inline execution, a process pool, or the fault-injecting chaos wrapper —
+  see :data:`repro.registry.EXECUTOR_BACKENDS`) under the supervision
+  envelope of :mod:`repro.sim.supervision`: per-repetition wall-clock
+  timeouts, bounded deterministic-backoff retry of transient failures
+  (worker crashes, timeouts), and quarantine of jobs that exhaust their
+  retries — reported together as a :class:`~repro.sim.supervision.SweepFailure`
+  after the rest of the sweep completed, instead of the first bad job
+  aborting the whole figure.  Because each pair is fully determined by its
+  seed, the output is identical for every backend, worker count and retry
+  history.
 
 ``SweepExecutor(workers=0)`` (the default) runs everything inline in the
 current process; experiments accept an executor so callers choose the degree
 of parallelism exactly once, e.g. via ``python -m repro.experiments <name>
---workers N``.
+--workers N [--backend KEY --timeout S --max-retries N]``.
 """
 
 from __future__ import annotations
@@ -34,7 +42,6 @@ import enum
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator, Optional, Sequence
 
@@ -44,6 +51,13 @@ from ..topology.deployment import Deployment
 from .builder import run_scenario
 from .config import FaultPlan, ScenarioConfig
 from .results import RunResult
+from .supervision import (
+    FabricTelemetry,
+    JobFailure,
+    Supervisor,
+    SupervisionPolicy,
+    SweepFailure,
+)
 
 __all__ = [
     "DeploymentFactory",
@@ -205,11 +219,6 @@ def run_repetition(task: SweepTask, repetition: int) -> RunResult:
     return run_scenario(deployment, task.scenario(seed), faults, max_rounds=task.max_rounds)
 
 
-def _run_chunk(chunk: Sequence[tuple[int, SweepTask, int]]) -> list[tuple[int, RunResult]]:
-    """Worker entry point: a chunk of positioned (task, repetition) pairs."""
-    return [(position, run_repetition(task, repetition)) for position, task, repetition in chunk]
-
-
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalise a worker-count knob: ``None`` means one per CPU, ``0``/``1`` serial."""
     if workers is None:
@@ -220,7 +229,7 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 
 class SweepExecutor:
-    """Execute sweep tasks, optionally fanning repetitions out over processes.
+    """Execute sweep tasks through a supervised, pluggable executor backend.
 
     Parameters
     ----------
@@ -232,21 +241,53 @@ class SweepExecutor:
         How many ``(task, repetition)`` jobs each worker picks up at a time.
         ``1`` (the default) gives the best load balance; larger chunks
         amortise pickling overhead when individual runs are very short.
+    backend:
+        An :class:`~repro.sim.backends.ExecutorBackend` instance or a
+        :data:`~repro.registry.EXECUTOR_BACKENDS` key (``"serial"``,
+        ``"process-pool"``, ``"chaos"``).  ``None`` auto-selects from
+        ``workers``, preserving the historical behaviour.
+    timeout / max_retries / policy:
+        The supervision envelope: per-repetition wall-clock budget, bounded
+        retry of transient failures with deterministic backoff, quarantine
+        after the budget is exhausted (see :mod:`repro.sim.supervision`).
+        ``policy`` supplies a full :class:`SupervisionPolicy` and wins over
+        the two shorthand knobs.
 
-    The worker pool is created lazily on the first parallel :meth:`run` and
-    reused across calls, so adaptive experiments that run many small sweeps
-    back-to-back (e.g. the FIG7 tolerated-fraction search) pay the pool
-    start-up cost once, not per sweep.  Call :meth:`close` — or use the
-    executor as a context manager — to release the workers; an unclosed pool
-    is torn down at interpreter exit.
+    The backend (and its worker pool, if any) is created lazily on the first
+    :meth:`run` and reused across calls, so adaptive experiments that run
+    many small sweeps back-to-back (e.g. the FIG7 tolerated-fraction search)
+    pay the pool start-up cost once, not per sweep.  Call :meth:`close` — or
+    use the executor as a context manager — to release the workers; queued
+    but unstarted jobs are *cancelled* at close, so a failed sweep never
+    blocks on work nobody will consume.  Recovery events are counted in
+    :attr:`telemetry`; jobs quarantined by the last :meth:`run` are in
+    :attr:`failures`.
     """
 
-    def __init__(self, workers: Optional[int] = 0, *, chunk_size: int = 1) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = 0,
+        *,
+        chunk_size: int = 1,
+        backend=None,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        policy: Optional[SupervisionPolicy] = None,
+    ) -> None:
         self.workers = resolve_workers(workers)
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.chunk_size = int(chunk_size)
-        self._pool: Optional[ProcessPoolExecutor] = None
+        if policy is None:
+            policy = SupervisionPolicy(
+                timeout=timeout,
+                max_retries=2 if max_retries is None else int(max_retries),
+            )
+        self.policy = policy
+        self.telemetry = FabricTelemetry()
+        self.failures: list[JobFailure] = []
+        self._backend_spec = backend
+        self._backend = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SweepExecutor(workers={self.workers}, chunk_size={self.chunk_size})"
@@ -255,11 +296,41 @@ class SweepExecutor:
     def parallel(self) -> bool:
         return self.workers > 1
 
-    def close(self) -> None:
-        """Shut down the worker pool (if one was started)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+    @property
+    def backend(self):
+        """The resolved backend (built lazily so construction stays cheap)."""
+        if self._backend is None:
+            from .backends import resolve_backend
+
+            self._backend = resolve_backend(
+                self._backend_spec,
+                workers=self.workers,
+                chunk_size=self.chunk_size,
+                telemetry=self.telemetry,
+            )
+        return self._backend
+
+    @property
+    def _pool(self):
+        """The live process pool, if the backend keeps one (introspection aid)."""
+        backend = self._backend
+        while backend is not None:
+            pool = getattr(backend, "_pool", None)
+            if pool is not None:
+                return pool
+            backend = getattr(backend, "inner", None)
+        return None
+
+    def close(self, *, cancel_futures: bool = True) -> None:
+        """Shut the backend down; queued-but-unstarted jobs are cancelled.
+
+        ``cancel_futures=True`` (the default) is what keeps a failed or
+        interrupted sweep from blocking on jobs that nobody will consume;
+        pass ``False`` to drain the queue instead.
+        """
+        if self._backend is not None:
+            self._backend.close(cancel_futures=cancel_futures)
+            self._backend = None
 
     def __enter__(self) -> "SweepExecutor":
         return self
@@ -267,35 +338,37 @@ class SweepExecutor:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+    def notify_persisted(self, fingerprint: str, path) -> None:
+        """Forward a store-append notification to the backend (chaos hook)."""
+        if self._backend is not None:
+            self._backend.notify_persisted(fingerprint, path)
 
     def iter_jobs(
         self, jobs: Sequence[tuple[SweepTask, int]]
     ) -> Iterator[tuple[int, RunResult]]:
         """Run ``(task, repetition)`` jobs, yielding ``(position, result)`` pairs.
 
-        Serial executors yield in job order; parallel executors yield in
+        Serial backends yield in job order; parallel backends yield in
         *completion* order (at ``chunk_size`` granularity), so a slow job
         never delays the delivery of jobs that finished after it.  That is
         what lets :class:`repro.store.CachingSweepExecutor` persist
         completions as they land: an interrupted parallel sweep keeps every
         repetition that finished, not just the prefix before the slowest job.
         Callers reassemble order from the yielded positions.
+
+        Jobs that exhaust their retry budget are quarantined: every other
+        job still completes (and is yielded, so a caching front end persists
+        it), then one :class:`~repro.sim.supervision.SweepFailure` reports
+        all of them together.  The quarantine records stay in
+        :attr:`failures` either way.
         """
         jobs = list(jobs)
-        if not self.parallel or len(jobs) <= 1:
-            for position, (task, repetition) in enumerate(jobs):
-                yield position, run_repetition(task, repetition)
-            return
-        pool = self._ensure_pool()
-        indexed = [(position, task, repetition) for position, (task, repetition) in enumerate(jobs)]
-        chunks = [indexed[i : i + self.chunk_size] for i in range(0, len(indexed), self.chunk_size)]
-        futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-        for future in as_completed(futures):
-            yield from future.result()
+        self.failures = []
+        supervisor = Supervisor(self.backend, self.policy, self.telemetry)
+        yield from supervisor.run(jobs)
+        if supervisor.failures:
+            self.failures = list(supervisor.failures)
+            raise SweepFailure(supervisor.failures)
 
     def run(self, tasks: Sequence[SweepTask]) -> list[list[RunResult]]:
         """Run every repetition of every task; results in task/repetition order.

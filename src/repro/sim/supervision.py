@@ -1,0 +1,357 @@
+"""The supervision envelope around sweep job execution.
+
+Every ``(task, repetition)`` pair an :class:`~repro.sim.backends.ExecutorBackend`
+dispatches is wrapped in a supervision envelope by :class:`Supervisor`:
+
+* a per-repetition **wall-clock timeout** (enforced by the backend — the
+  process pool abandons overdue workers, the serial backend detects overruns
+  post-hoc, since inline execution cannot be preempted);
+* **bounded retry** of transient failures (timeouts, worker crashes, and
+  exceptions deriving from :class:`TransientJobError`) with deterministic
+  exponential backoff: the delay of retry ``n`` is a pure function of the
+  job's fingerprint and ``n`` (:func:`backoff_delay`) — no ``random()`` and no
+  ``time()`` enter the decision logic, so the retry *schedule* of a sweep is
+  reproducible even though the wall clock obviously is not;
+* **quarantine** of jobs that exhaust ``max_retries`` (or fail
+  deterministically — a pure simulation that raised once will raise again, so
+  plain exceptions are not retried): the rest of the sweep still completes and
+  persists, and the failures surface together as :class:`JobFailure` records
+  inside one :class:`SweepFailure` raised at the end, instead of the first
+  bad job aborting the whole figure.
+
+Because every repetition is a pure function of its seed, a retried or
+re-dispatched job can only reproduce the same bytes — supervision is
+invisible in the results, which is what lets the chaos backend
+(:class:`~repro.sim.backends.ChaosBackend`) assert bit-identity under
+injected worker kills, delays and shard truncations.
+
+:class:`FabricTelemetry` counts every recovery event (retries, timeouts,
+worker crashes, pool rebuilds, quarantines, injected chaos faults) so a sweep
+can report what it survived.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from .results import RunResult
+    from .runner import SweepTask
+
+__all__ = [
+    "SupervisionPolicy",
+    "backoff_delay",
+    "job_key",
+    "JobAttempt",
+    "AttemptOutcome",
+    "JobFailure",
+    "FabricTelemetry",
+    "TransientJobError",
+    "SweepFailure",
+    "SweepInterrupted",
+    "Supervisor",
+]
+
+
+class TransientJobError(RuntimeError):
+    """An error worth retrying: raised by infrastructure, not by the simulation.
+
+    Exceptions raised inside ``run_repetition`` are deterministic in the seed
+    — re-running can only raise them again — so the supervisor does *not*
+    retry plain exceptions.  Raise (or subclass) this type for conditions that
+    a retry can actually fix; the chaos backend's injected faults derive from
+    it, which is how they exercise the retry path.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class SupervisionPolicy:
+    """Knobs of the supervision envelope (see the module docstring).
+
+    ``timeout`` is the per-repetition wall-clock budget in seconds (``None``
+    disables enforcement); with ``chunk_size > 1`` a chunk's budget is
+    ``timeout * len(chunk)``.  ``max_retries`` bounds how many times one job
+    is re-dispatched after its first attempt.  Backoff delays grow as
+    ``backoff_base * 2**(retry-1)`` capped at ``backoff_cap``, scaled by a
+    fingerprint-derived jitter factor in ``[0.5, 1.0)``.
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None to disable)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff parameters must be >= 0")
+
+
+def backoff_delay(fingerprint: str, attempt: int, policy: SupervisionPolicy) -> float:
+    """Seconds to wait before dispatching retry ``attempt`` (1-based) of a job.
+
+    A *pure function* of ``(fingerprint, attempt, policy)``: the exponential
+    span is jittered by a factor in ``[0.5, 1.0)`` derived from a SHA-256 over
+    the fingerprint and the attempt number — never from ``random()`` or the
+    clock — so two runs of the same sweep produce the same retry schedule,
+    while distinct jobs still de-synchronize instead of thundering back in
+    lock-step.
+    """
+    if attempt < 1:
+        raise ValueError("attempt numbers 1-based: the first retry is attempt 1")
+    span = min(policy.backoff_cap, policy.backoff_base * (2.0 ** (attempt - 1)))
+    digest = hashlib.sha256(f"backoff:{fingerprint}:{attempt}".encode("utf8")).digest()
+    jitter = 0.5 + 0.5 * (int.from_bytes(digest[:8], "big") / 2.0**64)
+    return span * jitter
+
+
+def job_key(task: "SweepTask", repetition: int) -> str:
+    """The stable identity of a job: its fingerprint when computable.
+
+    Tasks built from ad-hoc (non-dataclass) factories cannot be fingerprinted;
+    they fall back to a label-derived key so supervision still works — only
+    store integration requires true fingerprints.
+    """
+    try:
+        return task.fingerprint(repetition)
+    except TypeError:
+        return f"unfingerprintable:{task.label}:{task.base_seed}:{repetition}"
+
+
+@dataclass(slots=True)
+class JobAttempt:
+    """One dispatch of one ``(task, repetition)`` pair (picklable).
+
+    ``position`` indexes the sweep's job list, ``attempt`` is 0 for the first
+    dispatch.  ``chaos`` is an optional injection marker the chaos backend
+    attaches — a primitive tuple like ``("delay", 0.5)`` — honoured by the
+    worker entry point so faults fire inside the execution path they target.
+    """
+
+    position: int
+    task: "SweepTask"
+    repetition: int
+    attempt: int = 0
+    chaos: Optional[tuple] = None
+
+
+@dataclass(slots=True)
+class AttemptOutcome:
+    """What one dispatched attempt came back as.
+
+    ``kind`` is ``"ok"``, ``"exception"``, ``"timeout"`` or ``"worker-crash"``;
+    ``retryable`` marks whether the supervisor may re-dispatch (timeouts and
+    crashes always are; exceptions only when they derive from
+    :class:`TransientJobError`).
+    """
+
+    attempt: JobAttempt
+    result: Optional["RunResult"] = None
+    kind: str = "ok"
+    error: str = ""
+    retryable: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "ok"
+
+
+@dataclass(frozen=True, slots=True)
+class JobFailure:
+    """One quarantined job: every attempt failed (or the failure was final)."""
+
+    label: str
+    repetition: int
+    fingerprint: str
+    attempts: int
+    kind: str
+    error: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.label} repetition {self.repetition}: {self.kind} after "
+            f"{self.attempts} attempt{'s' if self.attempts != 1 else ''} — {self.error}"
+        )
+
+
+@dataclass(slots=True)
+class FabricTelemetry:
+    """Cumulative recovery counters of one executor (shared with its backend)."""
+
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    exceptions: int = 0
+    pool_rebuilds: int = 0
+    degraded_to_serial: int = 0
+    quarantined: int = 0
+    backoff_seconds: float = 0.0
+    #: Chaos-injected fault counts by kind (only the chaos backend writes it).
+    injected: dict[str, int] = field(default_factory=dict)
+
+    def record_injected(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    @property
+    def recovered(self) -> bool:
+        """Whether any recovery machinery actually fired during the sweep."""
+        return bool(
+            self.retries
+            or self.timeouts
+            or self.worker_crashes
+            or self.pool_rebuilds
+            or self.degraded_to_serial
+            or self.quarantined
+            or self.injected
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "exceptions": self.exceptions,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded_to_serial": self.degraded_to_serial,
+            "quarantined": self.quarantined,
+            "backoff_seconds": self.backoff_seconds,
+            "injected": dict(self.injected),
+        }
+
+    def summary(self) -> str:
+        """Compact ``key=value`` report of the counters that fired."""
+        parts = [
+            f"{name}={value}"
+            for name, value in (
+                ("retries", self.retries),
+                ("timeouts", self.timeouts),
+                ("worker-crashes", self.worker_crashes),
+                ("pool-rebuilds", self.pool_rebuilds),
+                ("degraded-to-serial", self.degraded_to_serial),
+                ("quarantined", self.quarantined),
+            )
+            if value
+        ]
+        if self.injected:
+            injected = ",".join(f"{kind}:{count}" for kind, count in sorted(self.injected.items()))
+            parts.append(f"injected={injected}")
+        return " ".join(parts)
+
+
+class SweepFailure(RuntimeError):
+    """Raised *after* a sweep completed everything it could: the quarantine report.
+
+    Carries the :class:`JobFailure` records of every job that exhausted its
+    retries.  By the time this surfaces, every other job's result has been
+    yielded (and, under a caching executor, persisted), so a re-run resumes
+    from the survivors instead of starting over.
+    """
+
+    def __init__(self, failures: Sequence[JobFailure]) -> None:
+        self.failures = list(failures)
+        count = len(self.failures)
+        head = self.failures[0].describe() if self.failures else "no failures"
+        suffix = f" (+{count - 1} more)" if count > 1 else ""
+        super().__init__(f"{count} sweep job{'s' if count != 1 else ''} quarantined: {head}{suffix}")
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """Ctrl-C during a cached sweep: completed repetitions are already on disk.
+
+    Subclasses :class:`KeyboardInterrupt` so non-CLI callers that catch the
+    plain interrupt keep working; the CLI catches this first to print a resume
+    hint and exit with the conventional SIGINT code (130).
+    """
+
+    def __init__(self, *, completed: int, pending: int, cache_dir) -> None:
+        self.completed = completed
+        self.pending = pending
+        self.cache_dir = cache_dir
+        super().__init__(
+            f"sweep interrupted: {completed} repetition(s) persisted, {pending} pending"
+        )
+
+
+class Supervisor:
+    """Drives jobs through a backend under a :class:`SupervisionPolicy`.
+
+    :meth:`run` yields ``(position, result)`` pairs as attempts succeed —
+    completion order, exactly like the historical executor — and collects
+    quarantined jobs in :attr:`failures` for the caller to report.  Retries
+    are dispatched in waves: each wave waits out the longest backoff delay
+    among its members (delays are per-job deterministic, see
+    :func:`backoff_delay`).
+    """
+
+    def __init__(self, backend, policy: SupervisionPolicy, telemetry: FabricTelemetry) -> None:
+        self.backend = backend
+        self.policy = policy
+        self.telemetry = telemetry
+        self.failures: list[JobFailure] = []
+
+    def run(self, jobs: Sequence[tuple["SweepTask", int]]) -> Iterator[tuple[int, "RunResult"]]:
+        wave = [
+            JobAttempt(position=position, task=task, repetition=repetition)
+            for position, (task, repetition) in enumerate(jobs)
+        ]
+        while wave:
+            retries: list[JobAttempt] = []
+            for outcome in self.backend.run_attempts(wave, timeout=self.policy.timeout):
+                self.telemetry.attempts += 1
+                attempt = outcome.attempt
+                if outcome.ok:
+                    yield attempt.position, outcome.result
+                    continue
+                self._count_failure(outcome)
+                next_attempt = attempt.attempt + 1
+                if outcome.retryable and next_attempt <= self.policy.max_retries:
+                    retries.append(
+                        JobAttempt(
+                            position=attempt.position,
+                            task=attempt.task,
+                            repetition=attempt.repetition,
+                            attempt=next_attempt,
+                        )
+                    )
+                else:
+                    self._quarantine(outcome)
+            if retries:
+                self.telemetry.retries += len(retries)
+                delay = max(
+                    backoff_delay(job_key(r.task, r.repetition), r.attempt, self.policy)
+                    for r in retries
+                )
+                self.telemetry.backoff_seconds += delay
+                if delay > 0:
+                    time.sleep(delay)
+            wave = retries
+
+    def _count_failure(self, outcome: AttemptOutcome) -> None:
+        if outcome.kind == "timeout":
+            self.telemetry.timeouts += 1
+        elif outcome.kind == "worker-crash":
+            self.telemetry.worker_crashes += 1
+        else:
+            self.telemetry.exceptions += 1
+
+    def _quarantine(self, outcome: AttemptOutcome) -> None:
+        attempt = outcome.attempt
+        self.telemetry.quarantined += 1
+        self.failures.append(
+            JobFailure(
+                label=attempt.task.label,
+                repetition=attempt.repetition,
+                fingerprint=job_key(attempt.task, attempt.repetition),
+                attempts=attempt.attempt + 1,
+                kind=outcome.kind,
+                error=outcome.error,
+            )
+        )

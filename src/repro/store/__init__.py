@@ -10,7 +10,10 @@ that determinism into incrementality:
   files under a cache directory;
 * :class:`CachingSweepExecutor` — a drop-in executor that answers repetitions
   from the store and persists misses as they complete, making every sweep
-  resumable and every rerun incremental.
+  resumable and every rerun incremental;
+* :mod:`repro.store.integrity` — offline ``verify``/``repair`` tooling for
+  cache directories (``python -m repro.store verify|repair <cache_dir>``),
+  sharing the loader's line parser so online and offline agree on "damaged".
 
 See ROADMAP.md ("Infrastructure notes") for the fingerprint scheme and the
 cache layout, and ``python -m repro.experiments <ID> --cache-dir PATH`` for
@@ -18,6 +21,23 @@ the command-line entry point.
 """
 
 from .executor import CachingSweepExecutor
-from .store import SCHEMA_VERSION, ResultStore, StoreStats
+from .integrity import ShardReport, repair_store, scan_store
+from .store import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    ResultStore,
+    StoreIntegrityWarning,
+    StoreStats,
+)
 
-__all__ = ["CachingSweepExecutor", "ResultStore", "StoreStats", "SCHEMA_VERSION"]
+__all__ = [
+    "CachingSweepExecutor",
+    "ResultStore",
+    "StoreStats",
+    "StoreIntegrityWarning",
+    "ShardReport",
+    "scan_store",
+    "repair_store",
+    "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
+]

@@ -1,0 +1,72 @@
+"""Command-line integrity tooling for result-store cache directories.
+
+Usage::
+
+    python -m repro.store verify <cache_dir>   # scan, report, exit 1 on damage
+    python -m repro.store repair <cache_dir>   # quarantine damaged lines, rewrite shards
+
+``verify`` is read-only: it classifies every shard line with the same parser
+the store's loader uses and exits nonzero when any line is torn or fails its
+checksum, so CI (and nervous humans) can gate on cache health.  ``repair``
+moves damaged raw lines verbatim into ``<shard>.jsonl.quarantine`` sidecars
+and rewrites each damaged shard atomically with only its good lines — after
+which ``verify`` on the same directory exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .integrity import quarantine_path, repair_store, scan_store
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Verify or repair a result-store cache directory.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("verify", "scan every shard and report damaged lines (read-only)"),
+        ("repair", "quarantine damaged lines and rewrite damaged shards"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("cache_dir", help="result store directory (as passed to --cache-dir)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "verify":
+            reports = scan_store(args.cache_dir)
+        else:
+            reports = repair_store(args.cache_dir)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    torn = sum(r.torn_lines for r in reports)
+    checksum = sum(r.checksum_failures for r in reports)
+    good = sum(r.good_lines for r in reports)
+    for report in reports:
+        if report.damaged_lines:
+            print(report.summary())
+            if args.command == "repair":
+                print(f"  quarantined {report.damaged_lines} line(s) -> {quarantine_path(report.path)}")
+    print(
+        f"{args.command}: {len(reports)} shard(s), {good} good line(s), "
+        f"{torn} torn, {checksum} checksum-failed"
+    )
+    if args.command == "verify" and (torn or checksum):
+        print("store is damaged; run `python -m repro.store repair` to quarantine bad lines")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

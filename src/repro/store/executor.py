@@ -7,11 +7,18 @@ the pair's :meth:`~repro.sim.runner.SweepTask.fingerprint`; only the misses
 are dispatched (serially or over the wrapped executor's process pool), and
 each miss is persisted the moment its result lands.  Interrupting a sweep —
 Ctrl-C, crash, OOM-kill — therefore loses only in-flight repetitions, and the
-next invocation resumes from everything already on disk.
+next invocation resumes from everything already on disk.  A Ctrl-C is caught
+and re-raised as :class:`~repro.sim.supervision.SweepInterrupted` (itself a
+``KeyboardInterrupt``) carrying how much landed and where, so front ends can
+print a resume hint instead of a bare traceback.
 
 Because repetitions are bit-identical in their seed, a warm cache returns
 results byte-identical to what the wrapped executor would compute, for every
-worker count; the cache is purely a latency knob, exactly like ``--workers``.
+worker count and under every fault-recovery path of the executor's backend
+(:mod:`repro.sim.backends`); the cache is purely a latency knob, exactly like
+``--workers``.  After each persist the wrapped executor's ``notify_persisted``
+hook is told which shard file the record landed in — a no-op for real
+backends, the injection point for the chaos backend's truncate-shard fault.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import Optional, Sequence
 
 from ..sim.results import RunResult
 from ..sim.runner import SweepExecutor, SweepTask
+from ..sim.supervision import SweepInterrupted
 from .store import ResultStore
 
 __all__ = ["CachingSweepExecutor"]
@@ -94,10 +102,26 @@ class CachingSweepExecutor:
                 else:
                     miss_jobs.append((task, repetition))
                     miss_slots.append((task_index, repetition, fingerprint))
-        for position, result in self.executor.iter_jobs(miss_jobs):
-            task_index, repetition, fingerprint = miss_slots[position]
-            self.store.put(fingerprint, result)
-            results[task_index][repetition] = result
+        notify = getattr(self.executor, "notify_persisted", None)
+        persisted = 0
+        try:
+            for position, result in self.executor.iter_jobs(miss_jobs):
+                task_index, repetition, fingerprint = miss_slots[position]
+                self.store.put(fingerprint, result)
+                persisted += 1
+                results[task_index][repetition] = result
+                if notify is not None:
+                    notify(fingerprint, self.store.shard_path_for(fingerprint))
+        except KeyboardInterrupt as exc:
+            if isinstance(exc, SweepInterrupted):
+                raise
+            # Everything persisted so far survives; the next run with the
+            # same cache dir resumes from it.
+            raise SweepInterrupted(
+                completed=persisted,
+                pending=len(miss_jobs) - persisted,
+                cache_dir=self.store.cache_dir,
+            ) from exc
         return results  # type: ignore[return-value]
 
     def run_task(self, task: SweepTask) -> list[RunResult]:

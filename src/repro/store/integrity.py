@@ -1,0 +1,154 @@
+"""Offline integrity scan and repair for :class:`~repro.store.store.ResultStore` dirs.
+
+The store's loader already *tolerates* damage — torn or checksum-failed lines
+are skipped, counted in :class:`~repro.store.store.StoreStats` and reported
+through :class:`~repro.store.store.StoreIntegrityWarning` — but tolerating is
+not the same as cleaning up: a damaged line is re-skipped (and re-warned
+about) on every cold load, and its bytes sit in the shard forever.  This
+module is the mop:
+
+* :func:`scan_store` walks every shard and classifies each line with the same
+  :func:`~repro.store.store.parse_shard_line` the loader uses, so "damaged"
+  means exactly the same thing online and offline;
+* :func:`repair_store` quarantines damaged raw lines **verbatim** to a
+  ``<shard>.jsonl.quarantine`` sidecar (append-mode — repeated repairs
+  accumulate, nothing is ever deleted) and rewrites the shard atomically
+  (temp file + ``os.replace``) with only the good lines, byte-for-byte
+  unchanged.  A crash mid-repair leaves the shard either old or new, never
+  torn, and the quarantine sidecar at worst holds a duplicate.
+
+``python -m repro.store verify|repair <cache_dir>`` (:mod:`repro.store.__main__`)
+is the command-line face of these functions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from .store import (
+    _META_NAME,
+    _SHARD_DIR,
+    SUPPORTED_SCHEMA_VERSIONS,
+    ShardLineError,
+    parse_shard_line,
+)
+
+__all__ = ["ShardReport", "scan_store", "repair_store", "quarantine_path"]
+
+_QUARANTINE_SUFFIX = ".quarantine"
+
+
+def quarantine_path(shard_path: Path) -> Path:
+    """The sidecar file that receives damaged lines quarantined from ``shard_path``."""
+    return shard_path.with_name(shard_path.name + _QUARANTINE_SUFFIX)
+
+
+@dataclass(slots=True)
+class ShardReport:
+    """Line-level verdict for one shard file."""
+
+    path: Path
+    good_lines: int = 0
+    torn_lines: int = 0
+    checksum_failures: int = 0
+    #: Raw damaged lines, verbatim (no trailing newline), in file order.
+    damaged: list[str] = field(default_factory=list)
+
+    @property
+    def damaged_lines(self) -> int:
+        return self.torn_lines + self.checksum_failures
+
+    def summary(self) -> str:
+        verdict = "clean" if not self.damaged_lines else (
+            f"{self.torn_lines} torn, {self.checksum_failures} checksum-failed"
+        )
+        return f"{self.path.name}: {self.good_lines} good line(s), {verdict}"
+
+
+def _check_meta(cache_dir: Path) -> None:
+    meta_path = cache_dir / _META_NAME
+    if not meta_path.exists():
+        return
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable store metadata at {meta_path}: {exc}") from exc
+    version = meta.get("schema_version")
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"result store at {cache_dir} has schema version {version!r}; "
+            f"this build reads versions {SUPPORTED_SCHEMA_VERSIONS}"
+        )
+
+
+def _scan_shard(path: Path) -> tuple[ShardReport, list[str]]:
+    """Classify every line of one shard; returns the report and the good raw lines."""
+    report = ShardReport(path=path)
+    good: list[str] = []
+    with open(path, "r", encoding="utf8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue  # blank separators carry no data either way
+            try:
+                parse_shard_line(line)
+            except ShardLineError as exc:
+                if exc.reason == "checksum":
+                    report.checksum_failures += 1
+                else:
+                    report.torn_lines += 1
+                report.damaged.append(line)
+            else:
+                report.good_lines += 1
+                good.append(line)
+    return report, good
+
+
+def _shard_files(cache_dir: Path) -> Iterator[Path]:
+    shard_dir = cache_dir / _SHARD_DIR
+    if shard_dir.is_dir():
+        # Sorted for stable report order; the ".jsonl" glob naturally skips
+        # ".jsonl.quarantine" sidecars and ".jsonl.tmp" leftovers.
+        yield from sorted(shard_dir.glob("*.jsonl"))
+
+
+def scan_store(cache_dir: str | os.PathLike) -> list[ShardReport]:
+    """Classify every line of every shard under ``cache_dir`` (read-only)."""
+    cache_dir = Path(cache_dir)
+    _check_meta(cache_dir)
+    return [_scan_shard(path)[0] for path in _shard_files(cache_dir)]
+
+
+def repair_store(cache_dir: str | os.PathLike) -> list[ShardReport]:
+    """Quarantine damaged lines and rewrite damaged shards atomically.
+
+    Good lines are preserved byte-for-byte (no re-encoding, no version
+    upgrade), so a repaired store replays exactly the results it replayed
+    before, minus the lines that were never loadable anyway.  Clean shards
+    are not touched at all.
+    """
+    cache_dir = Path(cache_dir)
+    _check_meta(cache_dir)
+    reports = []
+    for path in _shard_files(cache_dir):
+        report, good = _scan_shard(path)
+        reports.append(report)
+        if not report.damaged_lines:
+            continue
+        sidecar = quarantine_path(path)
+        with open(sidecar, "a", encoding="utf8") as handle:
+            for line in report.damaged:
+                handle.write(line + "\n")
+        if good:
+            tmp_path = path.with_suffix(".jsonl.tmp")
+            with open(tmp_path, "w", encoding="utf8") as handle:
+                for line in good:
+                    handle.write(line + "\n")
+            os.replace(tmp_path, path)
+        else:
+            os.unlink(path)
+    return reports

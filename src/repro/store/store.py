@@ -19,18 +19,33 @@ On-disk layout
 
 Records are sharded by the first two hex digits of the fingerprint (256
 shards) so that no single file grows unboundedly and prune rewrites stay
-small.  Each line is ``{"v": 1, "fp": ..., "ts": ..., "record": {...}}``;
-appends are single ``write`` calls on files opened in append mode, so
-concurrent writers interleave whole lines, and the loader skips any torn or
-foreign line instead of failing.  The metadata file is written atomically
-(temp file + ``os.replace``); so are shard rewrites during :meth:`ResultStore.prune`.
+small.  Each line is ``{"v": 2, "fp": ..., "ts": ..., "crc": ..., "record":
+{...}}``; appends are single ``write`` calls on files opened in append mode,
+so concurrent writers interleave whole lines, and the loader skips — and
+*counts* — any torn, undecodable or checksum-failed line instead of failing.
+The metadata file is written atomically (temp file + ``os.replace``); so are
+shard rewrites during :meth:`ResultStore.prune`.
+
+Integrity
+---------
+``crc`` is a CRC-32 over ``"<fp>:<canonical record JSON>"`` — it binds the
+record bytes to the fingerprint they claim to answer, so a flipped bit (torn
+write, disk corruption, a record spliced under the wrong key) is detected at
+load time instead of silently replaying as a cached result.  Version-1 lines
+predate the checksum and load unverified.  Skipped lines are counted in
+:attr:`ResultStore.stats` (``torn_lines`` / ``checksum_failures``) and a
+:class:`StoreIntegrityWarning` names the shard file; ``python -m repro.store
+verify|repair <cache_dir>`` (:mod:`repro.store.integrity`) scans, quarantines
+and atomically rewrites damaged shards.
 
 Versioning
 ----------
 ``SCHEMA_VERSION`` covers the line format *and* the embedded
-``RunResult.to_record`` layout.  A cache directory created under a different
+``RunResult.to_record`` layout; ``SUPPORTED_SCHEMA_VERSIONS`` lists what this
+build still reads (version 1 — the pre-checksum layout — loads as-is, so old
+caches keep replaying).  A cache directory created under an *unsupported*
 schema version is refused at open time rather than silently misread; records
-whose per-line version differs are treated as absent.
+whose per-line version is unknown are treated as absent.
 """
 
 from __future__ import annotations
@@ -38,19 +53,81 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional
 
 from ..sim.results import RunResult
 
-__all__ = ["SCHEMA_VERSION", "StoreStats", "ResultStore"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
+    "StoreStats",
+    "StoreIntegrityWarning",
+    "ShardLineError",
+    "parse_shard_line",
+    "record_checksum",
+    "ResultStore",
+]
 
 #: Version of the on-disk layout (line shape + embedded record layout).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+#: Every schema version this build reads (old shards keep loading).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 _META_NAME = "store-meta.json"
 _SHARD_DIR = "shards"
+
+
+class StoreIntegrityWarning(UserWarning):
+    """A shard contained torn or checksum-failed lines (named in the message)."""
+
+
+class ShardLineError(ValueError):
+    """One unreadable shard line; ``reason`` is ``"torn"`` or ``"checksum"``."""
+
+    def __init__(self, reason: str, detail: str) -> None:
+        self.reason = reason
+        super().__init__(detail)
+
+
+def record_checksum(fingerprint: str, record_json: str) -> str:
+    """CRC-32 (hex) binding a record's canonical JSON to its fingerprint."""
+    data = f"{fingerprint}:{record_json}".encode("utf8")
+    return format(zlib.crc32(data) & 0xFFFFFFFF, "08x")
+
+
+def parse_shard_line(line: str) -> tuple[str, dict, float]:
+    """Parse one shard line into ``(fingerprint, record, stored_at)``.
+
+    Raises :class:`ShardLineError` with ``reason="torn"`` for undecodable or
+    malformed lines (including unknown line versions — unreadable for this
+    build either way) and ``reason="checksum"`` for a version-2 line whose
+    CRC does not reproduce.  Shared with :mod:`repro.store.integrity`, so the
+    loader and the ``verify``/``repair`` CLI agree on what "damaged" means.
+    """
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ShardLineError("torn", f"undecodable JSON: {exc}") from exc
+    if not isinstance(obj, dict) or obj.get("v") not in SUPPORTED_SCHEMA_VERSIONS:
+        raise ShardLineError("torn", f"not a supported record line (v={obj.get('v') if isinstance(obj, dict) else None!r})")
+    fingerprint = obj.get("fp")
+    record = obj.get("record")
+    if not isinstance(fingerprint, str) or not isinstance(record, dict):
+        raise ShardLineError("torn", "missing fp/record fields")
+    if obj.get("v") >= 2:
+        stored = obj.get("crc")
+        expected = record_checksum(
+            fingerprint, json.dumps(record, sort_keys=True, separators=(",", ":"))
+        )
+        if stored != expected:
+            raise ShardLineError(
+                "checksum", f"CRC mismatch for {fingerprint[:12]}…: stored {stored!r}, computed {expected!r}"
+            )
+    return fingerprint, record, float(obj.get("ts", 0.0))
 
 
 @dataclass(slots=True)
@@ -60,15 +137,28 @@ class StoreStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    #: Lines skipped at load because they were undecodable, malformed, or of
+    #: an unknown version (interrupted appends, disk damage).
+    torn_lines: int = 0
+    #: Version-2 lines whose CRC did not reproduce (bit rot, spliced records).
+    checksum_failures: int = 0
 
     def snapshot(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "torn_lines": self.torn_lines,
+            "checksum_failures": self.checksum_failures,
+        }
 
     def reset(self) -> None:
         """Zero the counters (e.g. between phases of a benchmark capture)."""
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.torn_lines = 0
+        self.checksum_failures = 0
 
 
 @dataclass(slots=True)
@@ -112,10 +202,10 @@ class ResultStore:
             except (OSError, json.JSONDecodeError) as exc:
                 raise ValueError(f"unreadable store metadata at {meta_path}: {exc}") from exc
             version = meta.get("schema_version")
-            if version != SCHEMA_VERSION:
+            if version not in SUPPORTED_SCHEMA_VERSIONS:
                 raise ValueError(
                     f"result store at {self.cache_dir} has schema version {version!r}; "
-                    f"this build reads version {SCHEMA_VERSION} — use a fresh --cache-dir"
+                    f"this build reads versions {SUPPORTED_SCHEMA_VERSIONS} — use a fresh --cache-dir"
                 )
 
     def _write_meta(self) -> None:
@@ -139,12 +229,17 @@ class ResultStore:
     def _shard_path(self, shard: str) -> Path:
         return self.cache_dir / _SHARD_DIR / f"{shard}.jsonl"
 
+    def shard_path_for(self, fingerprint: str) -> Path:
+        """The shard file that holds (or would hold) ``fingerprint``."""
+        return self._shard_path(self._shard_key(fingerprint))
+
     def _load_shard(self, shard: str) -> dict[str, _Entry]:
         cached = self._shards.get(shard)
         if cached is not None:
             return cached
         entries: dict[str, _Entry] = {}
         path = self._shard_path(shard)
+        torn = checksum = 0
         if path.exists():
             with open(path, "r", encoding="utf8") as handle:
                 for line in handle:
@@ -152,22 +247,29 @@ class ResultStore:
                     if not line:
                         continue
                     try:
-                        obj = json.loads(line)
-                    except json.JSONDecodeError:
-                        # Torn line from an interrupted append: skip, the
-                        # repetition simply counts as uncached.
-                        continue
-                    if not isinstance(obj, dict) or obj.get("v") != SCHEMA_VERSION:
-                        continue
-                    fingerprint = obj.get("fp")
-                    record = obj.get("record")
-                    if not isinstance(fingerprint, str) or not isinstance(record, dict):
+                        fingerprint, record, stored_at = parse_shard_line(line)
+                    except ShardLineError as exc:
+                        # Damaged line (interrupted append, disk corruption):
+                        # skip and count — the repetition simply counts as
+                        # uncached and will be recomputed.
+                        if exc.reason == "checksum":
+                            checksum += 1
+                        else:
+                            torn += 1
                         continue
                     # Later lines win: a duplicated fingerprint (two processes
                     # racing the same repetition) stores identical bits anyway.
-                    entries[fingerprint] = _Entry(
-                        record=record, stored_at=float(obj.get("ts", 0.0))
-                    )
+                    entries[fingerprint] = _Entry(record=record, stored_at=stored_at)
+        if torn or checksum:
+            self.stats.torn_lines += torn
+            self.stats.checksum_failures += checksum
+            warnings.warn(
+                f"result store shard {path} has {torn} torn and {checksum} "
+                f"checksum-failed line(s); damaged repetitions will be recomputed "
+                f"(run `python -m repro.store repair {self.cache_dir}` to quarantine them)",
+                StoreIntegrityWarning,
+                stacklevel=2,
+            )
         self._shards[shard] = entries
         return entries
 
@@ -192,8 +294,15 @@ class ResultStore:
         shard = self._shard_key(fingerprint)
         path = self._shard_path(shard)
         path.parent.mkdir(parents=True, exist_ok=True)
+        record_json = json.dumps(record, sort_keys=True, separators=(",", ":"))
         line = json.dumps(
-            {"v": SCHEMA_VERSION, "fp": fingerprint, "ts": now, "record": record},
+            {
+                "v": SCHEMA_VERSION,
+                "fp": fingerprint,
+                "ts": now,
+                "crc": record_checksum(fingerprint, record_json),
+                "record": record,
+            },
             sort_keys=True,
             separators=(",", ":"),
         )
@@ -279,12 +388,14 @@ class ResultStore:
         tmp_path = path.with_suffix(".jsonl.tmp")
         with open(tmp_path, "w", encoding="utf8") as handle:
             for fingerprint, entry in entries.items():
+                record_json = json.dumps(entry.record, sort_keys=True, separators=(",", ":"))
                 handle.write(
                     json.dumps(
                         {
                             "v": SCHEMA_VERSION,
                             "fp": fingerprint,
                             "ts": entry.stored_at,
+                            "crc": record_checksum(fingerprint, record_json),
                             "record": entry.record,
                         },
                         sort_keys=True,

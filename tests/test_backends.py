@@ -1,0 +1,444 @@
+"""Tests for the fault-tolerant execution fabric: backends, supervision, chaos.
+
+The load-bearing property throughout is *bit-identity under recovery*: every
+repetition is a pure function of its seed, so a retried, re-dispatched or
+rebuilt-pool job must reproduce exactly the bytes a fault-free serial run
+produces.  The chaos backend exists to let these tests force every recovery
+path deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.factories import RandomLiarFactory, UniformDeploymentFactory
+from repro.registry import EXECUTOR_BACKENDS, RegistryError
+from repro.sim.backends import (
+    ChaosBackend,
+    ChaosPlan,
+    FaultSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import SweepExecutor, SweepTask
+from repro.sim.supervision import (
+    FabricTelemetry,
+    SupervisionPolicy,
+    Supervisor,
+    SweepFailure,
+    backoff_delay,
+    job_key,
+)
+
+
+def small_task(repetitions: int = 3, **config_overrides) -> SweepTask:
+    config_kwargs = {"protocol": "neighborwatch", "radius": 3.0, "message_length": 2}
+    config_kwargs.update(config_overrides)
+    return SweepTask(
+        label="fabric-small",
+        deployment_factory=UniformDeploymentFactory(40, 6.0, 6.0),
+        config=ScenarioConfig(**config_kwargs),
+        fault_factory=RandomLiarFactory(2),
+        repetitions=repetitions,
+        base_seed=23,
+    )
+
+
+def baseline(task: SweepTask):
+    return SweepExecutor(0).run_task(task)
+
+
+class _ExplodingDeployment:
+    """A deployment factory that always fails — a *deterministic* error."""
+
+    def __call__(self, seed):
+        raise ValueError("deterministic boom")
+
+
+def chaos_executor(plan: ChaosPlan, *, workers: int = 0, **kwargs) -> SweepExecutor:
+    """A SweepExecutor whose chaos backend wraps serial or a real pool."""
+    executor = SweepExecutor(workers, **kwargs)
+    if workers > 1:
+        inner = ProcessPoolBackend(workers, telemetry=executor.telemetry)
+    else:
+        inner = SerialBackend(telemetry=executor.telemetry)
+    executor._backend = ChaosBackend(inner, plan, telemetry=executor.telemetry)
+    return executor
+
+
+# -- backoff determinism --------------------------------------------------------------
+class TestBackoff:
+    @given(
+        fingerprint=st.text(min_size=1, max_size=64),
+        attempt=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pure_function_of_fingerprint_and_attempt(self, fingerprint, attempt):
+        policy = SupervisionPolicy(backoff_base=0.05, backoff_cap=2.0)
+        first = backoff_delay(fingerprint, attempt, policy)
+        second = backoff_delay(fingerprint, attempt, policy)
+        assert first == second
+        span = min(policy.backoff_cap, policy.backoff_base * 2.0 ** (attempt - 1))
+        assert 0.5 * span <= first < span
+
+    def test_grows_exponentially_then_caps(self):
+        policy = SupervisionPolicy(backoff_base=0.1, backoff_cap=0.4)
+        # Compare spans (jitter divided out) so growth is exact.
+        spans = [
+            backoff_delay("fp", attempt, policy)
+            / (backoff_delay("fp", attempt, SupervisionPolicy(backoff_base=1.0, backoff_cap=1e9)) / 2.0 ** (attempt - 1))
+            for attempt in (1, 2, 3, 4)
+        ]
+        assert spans[0] == pytest.approx(0.1)
+        assert spans[1] == pytest.approx(0.2)
+        assert spans[2] == pytest.approx(0.4)
+        assert spans[3] == pytest.approx(0.4)  # capped
+
+    def test_distinct_jobs_desynchronize(self):
+        policy = SupervisionPolicy()
+        delays = {backoff_delay(f"job-{i}", 1, policy) for i in range(16)}
+        assert len(delays) == 16
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="1-based"):
+            backoff_delay("fp", 0, SupervisionPolicy())
+
+
+# -- registry -------------------------------------------------------------------------
+class TestBackendRegistry:
+    def test_builtins_registered_with_aliases(self):
+        assert EXECUTOR_BACKENDS.get("serial") is SerialBackend
+        assert EXECUTOR_BACKENDS.get("inline") is SerialBackend
+        assert EXECUTOR_BACKENDS.get("process-pool") is ProcessPoolBackend
+        assert EXECUTOR_BACKENDS.get("pool") is ProcessPoolBackend
+        assert EXECUTOR_BACKENDS.get("chaos") is ChaosBackend
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(RegistryError):
+            EXECUTOR_BACKENDS.get("quantum")
+
+    def test_resolve_backend_auto_selects_from_workers(self):
+        assert isinstance(resolve_backend(None, workers=0), SerialBackend)
+        assert isinstance(resolve_backend(None, workers=1), SerialBackend)
+        pool = resolve_backend(None, workers=2)
+        assert isinstance(pool, ProcessPoolBackend)
+        pool.close()
+
+    def test_resolve_backend_adopts_instances_and_rebinds_telemetry(self):
+        from repro.sim.supervision import FabricTelemetry
+
+        telemetry = FabricTelemetry()
+        chaos = ChaosBackend(SerialBackend(), ChaosPlan())
+        resolved = resolve_backend(chaos, telemetry=telemetry)
+        assert resolved is chaos
+        assert resolved.telemetry is telemetry
+        assert resolved.inner.telemetry is telemetry
+
+
+# -- supervision policy plumbing -------------------------------------------------------
+class TestPolicyPlumbing:
+    def test_executor_knobs_build_the_policy(self):
+        executor = SweepExecutor(0, timeout=1.5, max_retries=5)
+        assert executor.policy == SupervisionPolicy(timeout=1.5, max_retries=5)
+
+    def test_explicit_policy_wins(self):
+        policy = SupervisionPolicy(timeout=9.0, max_retries=0, backoff_base=0.0)
+        executor = SweepExecutor(0, timeout=1.0, policy=policy)
+        assert executor.policy is policy
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SupervisionPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            SupervisionPolicy(max_retries=-1)
+
+    def test_job_key_falls_back_for_unfingerprintable_tasks(self):
+        task = SweepTask(
+            label="adhoc",
+            deployment_factory=lambda seed: [],
+            config=ScenarioConfig(),
+            repetitions=1,
+            base_seed=3,
+        )
+        assert job_key(task, 0).startswith("unfingerprintable:adhoc:3:")
+        assert job_key(task, 0) == job_key(task, 0)
+
+
+# -- serial recovery paths -------------------------------------------------------------
+class TestSerialRecovery:
+    def test_injected_raise_is_retried_to_identical_results(self):
+        task = small_task()
+        plan = ChaosPlan(faults=(FaultSpec(kind="raise", position=1),))
+        executor = chaos_executor(plan)
+        assert executor.run_task(task) == baseline(task)
+        assert executor.telemetry.retries >= 1
+        assert executor.telemetry.injected == {"raise": 1}
+
+    def test_deterministic_exception_is_not_retried(self):
+        task = small_task(repetitions=2)
+        bad_task = SweepTask(
+            label="boom",
+            deployment_factory=_ExplodingDeployment(),
+            config=ScenarioConfig(),
+            repetitions=1,
+            base_seed=1,
+        )
+        executor = SweepExecutor(0)
+        with pytest.raises(SweepFailure) as excinfo:
+            executor.run([bad_task, task])
+        # One dispatch only: a plain exception is deterministic in the seed,
+        # so re-running it could only raise again.
+        failures = excinfo.value.failures
+        assert [f.label for f in failures] == ["boom"]
+        assert failures[0].attempts == 1
+        assert failures[0].kind == "exception"
+        assert "deterministic boom" in failures[0].error
+        assert executor.telemetry.retries == 0
+
+    def test_exhausted_retries_quarantine_without_losing_siblings(self):
+        task = small_task(repetitions=3)
+        # Cover every attempt of repetition 0 so it can never succeed.
+        plan = ChaosPlan(
+            faults=tuple(FaultSpec(kind="raise", position=0, attempt=a) for a in range(3))
+        )
+        executor = chaos_executor(plan, max_retries=2)
+        landed = {}
+        jobs = [(task, repetition) for repetition in range(task.repetitions)]
+        with pytest.raises(SweepFailure) as excinfo:
+            for position, result in executor.iter_jobs(jobs):
+                landed[position] = result
+        # Repetitions 1 and 2 completed and were yielded before the report.
+        expected = baseline(task)
+        assert landed == {1: expected[1], 2: expected[2]}
+        failures = excinfo.value.failures
+        assert len(failures) == 1
+        assert failures[0].repetition == 0
+        assert failures[0].attempts == 3
+        assert failures[0].fingerprint == task.fingerprint(0)
+        assert executor.failures == failures
+        assert executor.telemetry.quarantined == 1
+
+    def test_simulated_worker_kill_is_retried(self):
+        task = small_task()
+        plan = ChaosPlan(faults=(FaultSpec(kind="kill-worker", position=0),))
+        executor = chaos_executor(plan)
+        assert executor.run_task(task) == baseline(task)
+        assert executor.telemetry.worker_crashes == 1
+
+    def test_post_hoc_timeout_detection(self):
+        task = small_task(repetitions=2)
+        plan = ChaosPlan(faults=(FaultSpec(kind="delay", position=0, seconds=0.3),))
+        executor = chaos_executor(plan, timeout=0.2)
+        assert executor.run_task(task) == baseline(task)
+        assert executor.telemetry.timeouts >= 1
+        assert executor.telemetry.injected == {"delay": 1}
+
+
+# -- deterministic chaos plans ---------------------------------------------------------
+class TestChaosPlan:
+    @given(seed=st.integers(min_value=0, max_value=2**32), position=st.integers(0, 200))
+    @settings(max_examples=100, deadline=None)
+    def test_seeded_draw_is_deterministic(self, seed, position):
+        plan = ChaosPlan(seed=seed, rate=0.5)
+        assert plan.fault_for(position, 0) == plan.fault_for(position, 0)
+
+    def test_seeded_faults_fire_only_on_first_attempt(self):
+        plan = ChaosPlan(seed=7, rate=1.0)
+        assert plan.fault_for(0, 0) is not None
+        assert plan.fault_for(0, 1) is None  # retries recover
+
+    def test_explicit_spec_beats_seeded_draw(self):
+        spec = FaultSpec(kind="delay", position=4, attempt=2)
+        plan = ChaosPlan(faults=(spec,), seed=7, rate=1.0)
+        assert plan.fault_for(4, 2) is spec
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor", position=0)
+
+    def test_from_env_plan_file(self, tmp_path, monkeypatch):
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text('[{"kind": "raise", "position": 2}]')
+        monkeypatch.setenv("REPRO_CHAOS_PLAN", str(plan_file))
+        plan = ChaosPlan.from_env()
+        assert plan.faults == (FaultSpec(kind="raise", position=2),)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=5, deadline=None)
+    def test_seeded_chaos_sweep_is_bit_identical_to_fault_free(self, seed):
+        task = small_task(repetitions=2)
+        plan = ChaosPlan(seed=seed, rate=0.6, kinds=("raise", "kill-worker"))
+        executor = chaos_executor(plan)
+        assert executor.run_task(task) == baseline(task)
+
+
+# -- process-pool recovery paths -------------------------------------------------------
+class TestProcessPoolRecovery:
+    def test_real_worker_kill_rebuilds_pool_and_reproduces_results(self):
+        task = small_task(repetitions=4)
+        plan = ChaosPlan(faults=(FaultSpec(kind="kill-worker", position=0),))
+        executor = chaos_executor(plan, workers=2, timeout=60)
+        try:
+            assert executor.run_task(task) == baseline(task)
+        finally:
+            executor.close()
+        assert executor.telemetry.pool_rebuilds >= 1
+        assert executor.telemetry.worker_crashes >= 1
+        assert executor.telemetry.injected == {"kill-worker": 1}
+
+    def test_overdue_worker_abandoned_and_job_retried(self):
+        task = small_task(repetitions=3)
+        plan = ChaosPlan(faults=(FaultSpec(kind="delay", position=1, seconds=0.4),))
+        executor = chaos_executor(plan, workers=2, timeout=0.25)
+        try:
+            assert executor.run_task(task) == baseline(task)
+        finally:
+            executor.close()
+        assert executor.telemetry.timeouts >= 1
+
+    def test_unbuildable_pool_degrades_to_serial(self, monkeypatch):
+        import repro.sim.backends as backends_module
+
+        def refuse(*args, **kwargs):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(backends_module, "ProcessPoolExecutor", refuse)
+        task = small_task(repetitions=2)
+        executor = SweepExecutor(2)
+        try:
+            assert executor.run_task(task) == baseline(task)
+            assert executor.backend.degraded
+        finally:
+            executor.close()
+        assert executor.telemetry.degraded_to_serial == 1
+
+    def test_close_cancels_queued_futures(self):
+        shutdowns = []
+
+        class FakePool:
+            def shutdown(self, wait, cancel_futures):
+                shutdowns.append({"wait": wait, "cancel_futures": cancel_futures})
+
+        backend = ProcessPoolBackend(2)
+        backend._pool = FakePool()
+        backend.close()
+        assert shutdowns == [{"wait": True, "cancel_futures": True}]
+        assert backend._pool is None
+        backend.close()  # idempotent
+        assert shutdowns == [{"wait": True, "cancel_futures": True}]
+
+    def test_executor_close_and_context_manager_release_the_pool(self):
+        task = small_task(repetitions=2)
+        with SweepExecutor(2) as executor:
+            executor.run_task(task)
+            assert executor._pool is not None
+            first_pool = executor._pool
+            executor.run_task(task)
+            assert executor._pool is first_pool  # reused across runs
+        assert executor._pool is None
+        executor.close()  # idempotent after __exit__
+
+
+# -- supervisor mechanics --------------------------------------------------------------
+class TestSupervisor:
+    def test_retry_schedule_is_reproducible(self):
+        """Two identical sweeps accumulate exactly the same backoff seconds:
+        the schedule is a pure function of the job fingerprints."""
+        task = small_task(repetitions=2)
+        plan = ChaosPlan(faults=(FaultSpec(kind="raise", position=0),))
+        totals = []
+        for _ in range(2):
+            executor = chaos_executor(plan)
+            executor.run_task(task)
+            totals.append(executor.telemetry.backoff_seconds)
+        assert totals[0] == totals[1] > 0.0
+
+    def test_attempt_numbers_increment_across_waves(self):
+        seen = []
+
+        class Recorder(SerialBackend):
+            def run_attempts(self, attempts, *, timeout=None):
+                seen.extend((a.position, a.attempt) for a in attempts)
+                yield from super().run_attempts(attempts, timeout=timeout)
+
+        task = small_task(repetitions=1)
+        plan = ChaosPlan(
+            faults=(
+                FaultSpec(kind="raise", position=0, attempt=0),
+                FaultSpec(kind="raise", position=0, attempt=1),
+            )
+        )
+        executor = SweepExecutor(0, max_retries=3)
+        executor._backend = ChaosBackend(
+            Recorder(telemetry=executor.telemetry), plan, telemetry=executor.telemetry
+        )
+        executor.run_task(task)
+        assert seen == [(0, 0), (0, 1), (0, 2)]
+
+    def test_supervisor_yields_in_completion_order_with_positions(self):
+        task = small_task(repetitions=3)
+        supervisor = Supervisor(SerialBackend(), SupervisionPolicy(), FabricTelemetry())
+        jobs = [(task, repetition) for repetition in range(3)]
+        positions = [position for position, _ in supervisor.run(jobs)]
+        assert positions == [0, 1, 2]
+        assert supervisor.failures == []
+
+
+# -- CLI knobs -------------------------------------------------------------------------
+class TestFabricCli:
+    def run_cli(self, capsys, *argv) -> tuple[int, str, str]:
+        code = experiments_main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_unknown_backend_is_a_usage_error(self, capsys):
+        code, _, err = self.run_cli(
+            capsys, "run", "DUAL", "--scale", "small", "--backend", "quantum"
+        )
+        assert code == 2
+        assert "quantum" in err
+
+    def test_invalid_timeout_and_retries_are_usage_errors(self, capsys):
+        code, _, err = self.run_cli(
+            capsys, "run", "DUAL", "--scale", "small", "--timeout", "0"
+        )
+        assert code == 2
+        assert "--timeout" in err
+        code, _, err = self.run_cli(
+            capsys, "run", "DUAL", "--scale", "small", "--max-retries", "-1"
+        )
+        assert code == 2
+        assert "--max-retries" in err
+
+    def test_chaos_backend_export_matches_plain_run(self, tmp_path, capsys, monkeypatch):
+        code, plain, _ = self.run_cli(
+            capsys, "run", "DUAL", "--scale", "small", "--export", "json"
+        )
+        assert code == 0
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(
+            '[{"kind": "raise", "position": 0}, {"kind": "kill-worker", "position": 1}]'
+        )
+        monkeypatch.setenv("REPRO_CHAOS_PLAN", str(plan_file))
+        code, chaotic, err = self.run_cli(
+            capsys,
+            "run",
+            "DUAL",
+            "--scale",
+            "small",
+            "--backend",
+            "chaos",
+            "--timeout",
+            "60",
+            "--max-retries",
+            "3",
+            "--export",
+            "json",
+        )
+        assert code == 0
+        assert chaotic == plain
+        assert "injected=" in err  # recovery telemetry reported

@@ -192,7 +192,13 @@ class TestResultStore:
         store.get(task.fingerprint(0))
         store.put(task.fingerprint(0), result)
         store.get(task.fingerprint(0))
-        assert store.stats.snapshot() == {"hits": 1, "misses": 1, "writes": 1}
+        assert store.stats.snapshot() == {
+            "hits": 1,
+            "misses": 1,
+            "writes": 1,
+            "torn_lines": 0,
+            "checksum_failures": 0,
+        }
 
     def test_schema_version_mismatch_refused(self, tmp_path):
         (tmp_path / "store-meta.json").write_text(json.dumps({"schema_version": 0}))
@@ -387,6 +393,10 @@ class TestCliCache:
         assert "--resume requires --cache-dir" in err
 
 
-def test_schema_version_is_one():
-    """Bumping SCHEMA_VERSION must be deliberate: it orphans every cache."""
-    assert SCHEMA_VERSION == 1
+def test_schema_version_is_two_and_v1_still_supported():
+    """Bumping SCHEMA_VERSION must be deliberate — and must not orphan old caches:
+    version 1 (pre-checksum) stays in the supported set so existing shards replay."""
+    from repro.store import SUPPORTED_SCHEMA_VERSIONS
+
+    assert SCHEMA_VERSION == 2
+    assert SUPPORTED_SCHEMA_VERSIONS == (1, 2)

@@ -1,0 +1,305 @@
+"""Tests for store integrity: checksums, damage counters, verify/repair, chaos e2e.
+
+The store's integrity story has three layers, each tested here: the loader
+*tolerates* damage (skips + counts + warns), the offline CLI *removes* it
+(quarantine + atomic rewrite), and the chaos backend *creates* it on demand —
+so the acceptance scenario at the bottom can kill a worker, time out a
+repetition and tear a shard in one sweep, then assert the results are still
+byte-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.factories import RandomLiarFactory, UniformDeploymentFactory
+from repro.sim.backends import ChaosBackend, ChaosPlan, FaultSpec, ProcessPoolBackend
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import SweepExecutor, SweepTask
+from repro.sim.supervision import SweepInterrupted
+from repro.store import (
+    CachingSweepExecutor,
+    ResultStore,
+    StoreIntegrityWarning,
+    repair_store,
+    scan_store,
+)
+from repro.store.__main__ import main as store_main
+from repro.store.integrity import quarantine_path
+from repro.store.store import ShardLineError, parse_shard_line, record_checksum
+
+
+def small_task(repetitions: int = 2, **config_overrides) -> SweepTask:
+    config_kwargs = {"protocol": "neighborwatch", "radius": 3.0, "message_length": 2}
+    config_kwargs.update(config_overrides)
+    return SweepTask(
+        label="integrity-small",
+        deployment_factory=UniformDeploymentFactory(40, 6.0, 6.0),
+        config=ScenarioConfig(**config_kwargs),
+        fault_factory=RandomLiarFactory(2),
+        repetitions=repetitions,
+        base_seed=31,
+    )
+
+
+def populate(cache_dir, task) -> list:
+    """Run ``task`` through a caching executor; returns the results."""
+    store = ResultStore(cache_dir)
+    return CachingSweepExecutor(store, SweepExecutor(0)).run_task(task)
+
+
+def shard_files(cache_dir):
+    return sorted((cache_dir / "shards").glob("*.jsonl"))
+
+
+# -- checksummed line format -----------------------------------------------------------
+class TestChecksummedLines:
+    def test_v2_lines_carry_a_crc_and_round_trip(self, tmp_path):
+        task = small_task(repetitions=1)
+        expected = populate(tmp_path, task)
+        [shard] = shard_files(tmp_path)
+        obj = json.loads(shard.read_text().strip())
+        assert obj["v"] == 2
+        assert obj["crc"] == record_checksum(
+            obj["fp"], json.dumps(obj["record"], sort_keys=True, separators=(",", ":"))
+        )
+        reopened = ResultStore(tmp_path)
+        assert reopened.get(task.fingerprint(0)) == expected[0]
+
+    def test_flipped_byte_fails_checksum_and_counts(self, tmp_path):
+        task = small_task(repetitions=1)
+        populate(tmp_path, task)
+        [shard] = shard_files(tmp_path)
+        # Corrupt one digit inside the record payload, keeping valid JSON.
+        shard.write_text(_flip_digit(shard.read_text()))
+        store = ResultStore(tmp_path)
+        with pytest.warns(StoreIntegrityWarning, match=shard.name):
+            assert store.get(task.fingerprint(0)) is None
+        assert store.stats.checksum_failures == 1
+        assert store.stats.torn_lines == 0
+
+    def test_torn_trailing_line_counts_and_warns(self, tmp_path):
+        task = small_task(repetitions=1)
+        populate(tmp_path, task)
+        [shard] = shard_files(tmp_path)
+        data = shard.read_bytes()
+        shard.write_bytes(data[:-20])  # crash mid-append
+        store = ResultStore(tmp_path)
+        with pytest.warns(StoreIntegrityWarning, match="1 torn"):
+            assert store.get(task.fingerprint(0)) is None
+        assert store.stats.torn_lines == 1
+
+    def test_v1_lines_without_crc_still_load(self, tmp_path):
+        task = small_task(repetitions=1)
+        expected = populate(tmp_path, task)
+        [shard] = shard_files(tmp_path)
+        obj = json.loads(shard.read_text().strip())
+        # Rewrite the store as a version-1 cache: meta and line, no crc.
+        (tmp_path / "store-meta.json").write_text(json.dumps({"schema_version": 1}))
+        v1_line = json.dumps(
+            {"v": 1, "fp": obj["fp"], "ts": obj["ts"], "record": obj["record"]},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        shard.write_text(v1_line + "\n")
+        store = ResultStore(tmp_path)
+        assert store.get(task.fingerprint(0)) == expected[0]
+        assert store.stats.torn_lines == 0
+        assert store.stats.checksum_failures == 0
+
+    def test_parse_shard_line_classifies_reasons(self):
+        with pytest.raises(ShardLineError) as excinfo:
+            parse_shard_line("{not json")
+        assert excinfo.value.reason == "torn"
+        with pytest.raises(ShardLineError) as excinfo:
+            parse_shard_line(json.dumps({"v": 99, "fp": "ab", "record": {}}))
+        assert excinfo.value.reason == "torn"
+        good = {"v": 2, "fp": "abcd", "record": {"x": 1}}
+        good["crc"] = record_checksum("abcd", json.dumps({"x": 1}, sort_keys=True, separators=(",", ":")))
+        parse_shard_line(json.dumps(good))  # no raise
+        good["crc"] = "00000000"
+        with pytest.raises(ShardLineError) as excinfo:
+            parse_shard_line(json.dumps(good))
+        assert excinfo.value.reason == "checksum"
+
+
+def _flip_digit(text: str) -> str:
+    """Flip one digit inside the record payload, keeping the line valid JSON."""
+    marker = '"record":'
+    start = text.index(marker) + len(marker)
+    for index in range(start, len(text)):
+        if text[index].isdigit():
+            replacement = "1" if text[index] != "1" else "2"
+            return text[:index] + replacement + text[index + 1 :]
+    raise AssertionError("no digit found in record payload")
+
+
+# -- verify / repair CLI ---------------------------------------------------------------
+class TestVerifyRepair:
+    def corrupt_store(self, tmp_path, task):
+        """Flip a digit in repetition 0's line and append a torn fragment."""
+        expected = populate(tmp_path, task)
+        fingerprint = task.fingerprint(0)
+        shard = ResultStore(tmp_path).shard_path_for(fingerprint)
+        lines = [line for line in shard.read_text().splitlines() if line]
+        lines = [
+            _flip_digit(line) if json.loads(line)["fp"] == fingerprint else line
+            for line in lines
+        ]
+        lines.append("{torn garbage")
+        shard.write_text("\n".join(lines) + "\n")
+        return expected, shard
+
+    def run_cli(self, capsys, *argv):
+        code = store_main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_verify_detects_corruption_and_exits_nonzero(self, tmp_path, capsys):
+        self.corrupt_store(tmp_path, small_task())
+        code, out, _ = self.run_cli(capsys, "verify", str(tmp_path))
+        assert code == 1
+        assert "1 torn, 1 checksum-failed" in out
+
+    def test_verify_clean_store_exits_zero(self, tmp_path, capsys):
+        populate(tmp_path, small_task())
+        code, out, _ = self.run_cli(capsys, "verify", str(tmp_path))
+        assert code == 0
+        assert "0 torn, 0 checksum-failed" in out
+
+    def test_repair_quarantines_and_restores_a_loadable_store(self, tmp_path, capsys):
+        task = small_task()
+        expected, shard = self.corrupt_store(tmp_path, task)
+        code, out, _ = self.run_cli(capsys, "repair", str(tmp_path))
+        assert code == 0
+        assert "quarantined 2 line(s)" in out
+        # The sidecar holds exactly the damaged raw lines.
+        sidecar = quarantine_path(shard)
+        quarantined = sidecar.read_text().splitlines()
+        assert len(quarantined) == 2
+        assert "{torn garbage" in quarantined
+        # The repaired store loads warning-free; only the corrupt repetition
+        # is gone (repetition 0's line was the one we flipped).
+        store = ResultStore(tmp_path)
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", StoreIntegrityWarning)
+            assert store.get(task.fingerprint(1)) == expected[1]
+            assert store.get(task.fingerprint(0)) is None
+        code, _, _ = self.run_cli(capsys, "verify", str(tmp_path))
+        assert code == 0
+
+    def test_repair_is_a_no_op_on_clean_stores(self, tmp_path, capsys):
+        task = small_task()
+        populate(tmp_path, task)
+        shards = shard_files(tmp_path)
+        before = {shard: shard.read_bytes() for shard in shards}
+        code, _, _ = self.run_cli(capsys, "repair", str(tmp_path))
+        assert code == 0
+        for shard in shards:
+            assert shard.read_bytes() == before[shard]  # untouched, not rewritten
+            assert not quarantine_path(shard).exists()
+
+    def test_unsupported_meta_version_is_an_error(self, tmp_path, capsys):
+        (tmp_path / "store-meta.json").write_text(json.dumps({"schema_version": 99}))
+        code, _, err = self.run_cli(capsys, "verify", str(tmp_path))
+        assert code == 2
+        assert "schema version" in err
+
+    def test_scan_and_repair_python_api(self, tmp_path):
+        task = small_task()
+        self.corrupt_store(tmp_path, task)
+        reports = scan_store(tmp_path)
+        assert sum(r.damaged_lines for r in reports) == 2
+        repair_store(tmp_path)
+        assert sum(r.damaged_lines for r in scan_store(tmp_path)) == 0
+
+
+# -- interrupt handling ----------------------------------------------------------------
+class TestInterrupts:
+    def test_interrupt_mid_sweep_reports_progress_and_cache_dir(self, tmp_path):
+        task = small_task(repetitions=3)
+        store = ResultStore(tmp_path)
+        executor = SweepExecutor(0)
+        original = executor.iter_jobs
+
+        def interrupt_after_one(jobs):
+            iterator = original(jobs)
+            yield next(iterator)
+            raise KeyboardInterrupt
+
+        executor.iter_jobs = interrupt_after_one
+        caching = CachingSweepExecutor(store, executor)
+        with pytest.raises(SweepInterrupted) as excinfo:
+            caching.run_task(task)
+        exc = excinfo.value
+        assert isinstance(exc, KeyboardInterrupt)
+        assert exc.completed == 1
+        assert exc.pending == 2
+        assert exc.cache_dir == store.cache_dir
+        # The completed repetition is already on disk: a resumed run reuses it.
+        resumed_store = ResultStore(tmp_path)
+        resumed = CachingSweepExecutor(resumed_store, SweepExecutor(0)).run_task(task)
+        assert resumed == SweepExecutor(0).run_task(task)
+        assert resumed_store.stats.hits == 1
+
+
+# -- the acceptance scenario -----------------------------------------------------------
+class TestChaosEndToEnd:
+    def test_kill_timeout_and_shard_truncation_in_one_sweep(self, tmp_path):
+        """ISSUE 8 acceptance: a chaos sweep that kills a worker mid-run,
+        times out one repetition and truncates one shard still completes with
+        byte-identical RunResults and reports the injected faults."""
+        task = small_task(repetitions=4)
+        expected = SweepExecutor(0).run_task(task)
+
+        # The delay fault covers attempts 0 *and* 1: even if attempt 0 is
+        # swallowed by the broken-pool drain (it races the worker kill), the
+        # retry still overruns the budget, so a timeout is guaranteed.
+        plan = ChaosPlan(
+            faults=(
+                FaultSpec(kind="kill-worker", position=0),
+                FaultSpec(kind="delay", position=2, attempt=0, seconds=0.4),
+                FaultSpec(kind="delay", position=2, attempt=1, seconds=0.4),
+                FaultSpec(kind="truncate-shard", position=3),
+            )
+        )
+        executor = SweepExecutor(2, timeout=0.25)
+        executor._backend = ChaosBackend(
+            ProcessPoolBackend(2, telemetry=executor.telemetry),
+            plan,
+            telemetry=executor.telemetry,
+        )
+        store = ResultStore(tmp_path / "cache")
+        try:
+            survived = CachingSweepExecutor(store, executor).run_task(task)
+        finally:
+            executor.close()
+
+        # Byte-identical results despite the worker kill, the timeout and the
+        # torn shard (the tear lands *after* the in-memory result was yielded).
+        assert survived == expected
+        telemetry = executor.telemetry
+        assert telemetry.injected["kill-worker"] == 1
+        assert telemetry.injected["delay"] >= 1
+        assert telemetry.injected["truncate-shard"] == 1
+        assert telemetry.worker_crashes >= 1
+        assert telemetry.pool_rebuilds >= 1
+        assert telemetry.timeouts >= 1
+        assert telemetry.recovered
+
+        # The truncated shard shows up as damage on a cold reload...
+        reopened = ResultStore(tmp_path / "cache")
+        with pytest.warns(StoreIntegrityWarning):
+            recovered = CachingSweepExecutor(reopened, SweepExecutor(0)).run_task(task)
+        # ...and the torn repetition is simply recomputed, bit-identically.
+        assert recovered == expected
+        assert reopened.stats.torn_lines == 1
+
+        # repair quarantines exactly the torn line; verify then passes.
+        reports = repair_store(tmp_path / "cache")
+        assert sum(r.damaged_lines for r in reports) == 1
+        assert all(r.damaged_lines == 0 for r in scan_store(tmp_path / "cache"))
