@@ -1,6 +1,6 @@
 # Convenience entry points; every target assumes the repo root as cwd.
 PYTHON ?= python
-PR ?= 7
+PR ?= 9
 export PYTHONPATH := src
 
 .PHONY: test bench bench-baseline bench-smoke chaos-smoke profile
@@ -10,32 +10,42 @@ test:
 	$(PYTHON) -m pytest -x -q tests
 
 # Capture a post-change benchmark run into BENCH_$(PR).json (merges with the
-# stored baseline and computes speedups; fails on series-hash drift).
-# PR 7's varied knob is the protocol execution runtime: the baseline is the
-# cohort tier with the struct-of-arrays kernels pinned off, the current run
-# the SoA slot kernels (--runtime soa).  Both labels use --tiling on, which
-# resolves to the auto threshold for the suite (small deployments stay
-# dense — forcing CSR onto them was the DUAL/MAPSZ regression in BENCH_6)
-# and forces the sparse CSR tier for the paper-scale macros, so the
-# requires_tiling 10^5-node macros run under both labels.
+# stored baseline and computes speedups; fails on series-hash drift), then
+# report the cross-PR trend over every BENCH_*.json (fails on a >25%
+# regression of any entry vs its best recorded run — ROADMAP item 5's
+# regression guard).
+# PR 7/9's varied knob is the protocol execution runtime: the baseline is
+# the cohort tier with the struct-of-arrays kernels pinned off, the current
+# run the SoA slot kernels (--runtime soa; since PR 9 they also cover loss,
+# Friis power-sum and traced configurations).  Both labels use --tiling on,
+# which resolves to the auto threshold for the suite (small deployments
+# stay dense — forcing CSR onto them was the DUAL/MAPSZ regression in
+# BENCH_6) and forces the sparse CSR tier for the paper-scale macros, so
+# the requires_tiling 10^5-node macros run under both labels.
 BENCH_RUNTIME_BASELINE ?= cohort
 BENCH_RUNTIME_CURRENT ?= soa
 BENCH_TILING ?= on
 bench:
 	$(PYTHON) benchmarks/capture.py --pr $(PR) --label current --runtime $(BENCH_RUNTIME_CURRENT) --tiling $(BENCH_TILING)
+	$(PYTHON) benchmarks/trend.py
 
 # Capture the pre-change baseline (run this before starting a perf change).
 bench-baseline:
 	$(PYTHON) benchmarks/capture.py --pr $(PR) --label baseline --runtime $(BENCH_RUNTIME_BASELINE) --tiling $(BENCH_TILING)
 
 # CI smoke: verify BENCH_$(PR).json exists and its suite hashes reproduce,
-# then check a medium-scale export is byte-identical SoA-on vs SoA-off.
+# then check exports are byte-identical SoA-on vs SoA-off — FIG5 for the
+# unit-disk disjunction kernels, the Friis smoke spec for the PR 9
+# power-sum (+ loss) kernels.
 bench-smoke:
 	$(PYTHON) benchmarks/capture.py --check BENCH_$(PR).json
 	REPRO_SOA_KERNELS=1 $(PYTHON) -m repro.experiments run FIG5 --scale small --export json > /tmp/soa.json
 	REPRO_SOA_KERNELS=0 $(PYTHON) -m repro.experiments run FIG5 --scale small --export json > /tmp/nosoa.json
 	cmp /tmp/soa.json /tmp/nosoa.json
-	rm -f /tmp/soa.json /tmp/nosoa.json
+	REPRO_SOA_KERNELS=1 $(PYTHON) -m repro.experiments run --spec examples/specs/friis_smoke.toml --export json > /tmp/friis-soa.json
+	REPRO_SOA_KERNELS=0 $(PYTHON) -m repro.experiments run --spec examples/specs/friis_smoke.toml --export json > /tmp/friis-nosoa.json
+	cmp /tmp/friis-soa.json /tmp/friis-nosoa.json
+	rm -f /tmp/soa.json /tmp/nosoa.json /tmp/friis-soa.json /tmp/friis-nosoa.json
 
 # CI smoke for the fault-tolerant fabric: the focused chaos/integrity test
 # files, then a seeded chaos-backend run that must export byte-identical

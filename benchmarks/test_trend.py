@@ -1,0 +1,57 @@
+"""Unit tests for the cross-PR trend report's regression verdict.
+
+These exercise :func:`trend.report` on synthetic trajectories — the real
+captures are machine-dependent, but the flagging rules (relative threshold
+gated by an absolute noise floor) are pure arithmetic and must not drift.
+"""
+
+from __future__ import annotations
+
+import io
+
+from trend import build_trend, report
+
+
+def _trend(entries: dict[str, dict[int, float]]) -> dict[str, dict]:
+    """Build a trend structure straight from ``entry -> {pr: elapsed}``."""
+    captures = []
+    prs = sorted({pr for timings in entries.values() for pr in timings})
+    for pr in prs:
+        suite = {
+            name.split("/", 1)[1]: {"elapsed_s": timings[pr]}
+            for name, timings in entries.items()
+            if pr in timings
+        }
+        captures.append((pr, {"runs": {"current": {"suite": suite}}}))
+    return build_trend(captures)
+
+
+def test_report_flags_large_regression():
+    trend = _trend({"suite/BIG": {3: 1.0, 9: 1.4}})
+    regressions = report(trend, threshold=0.25, noise_floor=0.05, out=io.StringIO())
+    assert regressions == ["suite/BIG"]
+
+
+def test_report_allows_within_threshold():
+    trend = _trend({"suite/BIG": {3: 1.0, 9: 1.2}})
+    assert report(trend, threshold=0.25, noise_floor=0.05, out=io.StringIO()) == []
+
+
+def test_noise_floor_ignores_millisecond_jitter():
+    # 35ms -> 46ms is +31% but only 11ms absolute: timer jitter, not a regression.
+    trend = _trend({"suite/TINY": {7: 0.035, 9: 0.046}})
+    assert report(trend, threshold=0.25, noise_floor=0.05, out=io.StringIO()) == []
+    # The same ratio above the floor still fails.
+    trend = _trend({"suite/TINY": {7: 0.35, 9: 0.46}})
+    assert report(trend, threshold=0.25, noise_floor=0.05, out=io.StringIO()) == ["suite/TINY"]
+
+
+def test_single_capture_cannot_regress():
+    trend = _trend({"suite/NEW": {9: 5.0}})
+    assert report(trend, threshold=0.25, noise_floor=0.05, out=io.StringIO()) == []
+
+
+def test_latest_is_newest_pr_not_slowest():
+    # A slow middle PR does not count against a recovered latest run.
+    trend = _trend({"suite/RECOVERED": {3: 1.0, 6: 2.0, 9: 1.05}})
+    assert report(trend, threshold=0.25, noise_floor=0.05, out=io.StringIO()) == []

@@ -1,0 +1,164 @@
+"""Cross-PR performance trend report over the ``BENCH_<pr>.json`` captures.
+
+Each perf PR freezes its before/after into ``BENCH_<pr>.json`` (see
+``capture.py``), which answers "did *this* PR speed things up" but not "has
+any entry quietly rotted since its best recorded run".  This script reads
+every capture in the repository root and reports, per suite/macro entry,
+
+* the **timing trajectory** — the ``current``-label wall clock of the entry
+  across PRs, oldest to newest;
+* the **speedup trajectory** — each PR's recorded baseline/current speedup
+  for the entry; and
+* a **regression verdict** — the newest recorded timing compared against the
+  best (fastest) timing any capture recorded for that entry.
+
+The process exits non-zero when any entry's newest timing regresses more
+than ``--threshold`` (default 25%) over its best recorded run, so
+``make bench`` fails loudly instead of letting slowdowns accumulate one
+"within noise" PR at a time.  Machine-to-machine variance is real; the
+threshold is deliberately generous, entries recorded by only one PR cannot
+regress by construction, and entries must also exceed ``--noise-floor``
+(default 50ms) of *absolute* slowdown — a 35ms entry that drifts to 46ms is
+timer jitter, not a regression, even though the ratio clears 25%.
+
+Usage::
+
+    python benchmarks/trend.py                 # scan BENCH_*.json next to the repo root
+    python benchmarks/trend.py --threshold 0.4
+    python benchmarks/trend.py BENCH_7.json BENCH_9.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_captures(paths: list[Path]) -> list[tuple[int, dict]]:
+    """Parse the given capture files, sorted by PR number."""
+    captures = []
+    for path in paths:
+        match = re.search(r"BENCH_(\d+)\.json$", path.name)
+        if not match:
+            continue
+        with open(path, encoding="utf-8") as fh:
+            captures.append((int(match.group(1)), json.load(fh)))
+    captures.sort()
+    return captures
+
+
+def entry_timings(capture: dict) -> dict[str, float]:
+    """``section/name -> current-label elapsed seconds`` for one capture."""
+    run = capture.get("runs", {}).get("current")
+    if run is None:
+        return {}
+    out = {}
+    for section in ("suite", "macros"):
+        for name, entry in (run.get(section) or {}).items():
+            elapsed = entry.get("elapsed_s")
+            if isinstance(elapsed, (int, float)):
+                out[f"{section}/{name}"] = float(elapsed)
+    return out
+
+
+def build_trend(captures: list[tuple[int, dict]]) -> dict[str, dict]:
+    """Per-entry trajectory: ``{entry: {"timings": {pr: s}, "speedups": {pr: x}}}``."""
+    trend: dict[str, dict] = {}
+    for pr, capture in captures:
+        for entry, elapsed in entry_timings(capture).items():
+            slot = trend.setdefault(entry, {"timings": {}, "speedups": {}})
+            slot["timings"][pr] = elapsed
+        for entry, speedup in (capture.get("speedups") or {}).items():
+            slot = trend.setdefault(entry, {"timings": {}, "speedups": {}})
+            slot["speedups"][pr] = speedup
+    return trend
+
+
+def report(trend: dict[str, dict], threshold: float, noise_floor: float = 0.05, out=sys.stdout) -> list[str]:
+    """Print the trajectory table; return the entries that regressed."""
+    prs = sorted({pr for slot in trend.values() for pr in slot["timings"]})
+    if not prs:
+        print("no current-label captures found", file=out)
+        return []
+    header = ["entry"] + [f"PR{pr}" for pr in prs] + ["best", "latest", "vs best"]
+    rows = [header]
+    regressions = []
+    for entry in sorted(trend):
+        timings = trend[entry]["timings"]
+        speedups = trend[entry]["speedups"]
+        if not timings:
+            continue
+        cells = [entry]
+        for pr in prs:
+            if pr in timings:
+                cell = f"{timings[pr]:.3f}s"
+                if pr in speedups:
+                    cell += f" ({speedups[pr]:.2f}x)"
+            else:
+                cell = "-"
+            cells.append(cell)
+        best = min(timings.values())
+        latest = timings[max(timings)]
+        ratio = latest / best if best > 0 else 1.0
+        cells += [f"{best:.3f}s", f"{latest:.3f}s", f"{(ratio - 1.0) * 100.0:+.1f}%"]
+        if ratio > 1.0 + threshold and latest - best > noise_floor:
+            regressions.append(entry)
+            cells[-1] += "  <-- REGRESSION"
+        rows.append(cells)
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    for row in rows:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)), file=out)
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="capture files to scan (default: BENCH_*.json in the repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed latest-vs-best slowdown fraction before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--noise-floor",
+        type=float,
+        default=0.05,
+        help="absolute latest-vs-best slowdown (seconds) below which an entry "
+        "is never flagged, regardless of ratio (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+    paths = args.files or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    captures = load_captures(paths)
+    if not captures:
+        print("no BENCH_*.json captures found", file=sys.stderr)
+        return 1
+    print(
+        f"performance trend across {len(captures)} capture(s): "
+        + ", ".join(f"PR{pr}" for pr, _ in captures)
+    )
+    regressions = report(build_trend(captures), args.threshold, args.noise_floor)
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} entr{'y' if len(regressions) == 1 else 'ies'} "
+            f"regressed >{args.threshold:.0%} vs the best recorded run: "
+            + ", ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nno entry regressed >{args.threshold:.0%} vs its best recorded run")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

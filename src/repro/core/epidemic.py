@@ -133,6 +133,21 @@ class EpidemicNode(Protocol):
             "adopt": self._soa_try_adopt,
         }
 
+    def soa_node_spec(self) -> dict:
+        """Slot-independent form of :meth:`soa_state_spec`.
+
+        The epidemic per-slot spec varies only in the owner flag, so the
+        compiler can resolve the bound methods once per device and derive
+        ownership by comparing ``owner_slot`` against the group's slot —
+        a device listens in ~density-many slots, and one spec dict per
+        (member, slot) pair was the dominant compile cost at paper scale.
+        """
+        return {
+            "owner_slot": self._my_slot,
+            "pop": self._decide_broadcast,
+            "adopt": self._soa_try_adopt,
+        }
+
     def _soa_try_adopt(self, payload: tuple) -> bool:
         """Adopt a sole decoded payload, with the same validation as observe().
 

@@ -123,7 +123,11 @@ class OneHopSender:
 
         The SoA kernels drive the 2Bit exchange in mask algebra and never
         construct the per-slot :class:`TwoBitSender`; the caller guarantees
-        :attr:`has_pending`.
+        :attr:`has_pending`.  This accessor (like every ``soa_*`` seam)
+        consumes no RNG and reads exactly the state the scalar slot
+        machines would, which is what lets lossy/Friis runs interleave
+        scalar-fallback occurrences with compiled ones: the generator is
+        advanced only at the channel layer, identically on either path.
         """
         return (parity_of_index(self._sent_count + 1), self._bits[self._sent_count])
 

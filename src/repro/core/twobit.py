@@ -56,6 +56,11 @@ def soa_veto_mask(
     The four veto conditions of :meth:`TwoBitSender._should_veto` collapse
     to "the ack echo differs from the transmitted bit" per bit pair, i.e. a
     XOR: bit ``i`` of the result is set iff sender ``i`` vetoes in R5.
+
+    The decision reads nothing but busy flags, so it is valid under any
+    busy model the SoA tier compiles — the unit-disk disjunction and the
+    Friis power sum alike — and is unaffected by message loss, which turns
+    a decode into a collision but never forges silence.
     """
     return ((b1_mask ^ ack1_busy) | (b2_mask ^ ack2_busy)) & senders_mask
 

@@ -58,6 +58,7 @@ from typing import Optional, Sequence
 
 from ..analysis.tables import format_table, to_csv
 from ..registry import RegistryError
+from ..sim.builder import soa_telemetry_snapshot
 from ..sim.runner import SweepExecutor
 from ..sim.supervision import SweepFailure, SweepInterrupted
 from .driver import describe_spec, run_spec
@@ -409,6 +410,22 @@ def _command_run(args) -> int:
     if executor.telemetry.recovered:
         # Only worth a line when something actually went wrong and was healed.
         summary += f" [fabric: {executor.telemetry.summary()}]"
+    soa = soa_telemetry_snapshot()
+    if soa.get("slots_run"):
+        # SoA-tier observability for serial/in-process runs (process-pool
+        # workers keep their own accumulators): how much executed on the
+        # compiled tier, how often slots fell back, and how well the
+        # busy-pattern memo held up.
+        lookups = soa["busy_cache_hits"] + soa["busy_cache_misses"]
+        hit_rate = soa["busy_cache_hits"] / lookups if lookups else 0.0
+        summary += (
+            f" [soa: slots_run={soa['slots_run']}"
+            f" scalar_fallbacks={soa['scalar_fallbacks']}"
+            f" busy_cache_hit_rate={hit_rate:.1%}"
+        )
+        if soa.get("busy_cache_evictions"):
+            summary += f" busy_cache_evictions={soa['busy_cache_evictions']}"
+        summary += "]"
     print(summary + "\n", file=status)
 
     rows = list(rows)

@@ -345,34 +345,45 @@ def _memory_lines(context: Mapping[str, Any]) -> list[str]:
 def _tier_lines(context: Mapping[str, Any]) -> list[str]:
     """Execution-tier eligibility lines for ``describe`` output.
 
-    Mirrors the gate in :meth:`repro.sim.engine.Simulation`: deterministic
-    unit-disk scenarios lower to the struct-of-arrays slot kernels, anything
-    that consumes per-delivery randomness (loss, capture) or per-phase power
-    sums (Friis) runs on the cohort runtime instead.  Purely advisory — the
-    engine re-evaluates eligibility at build time.
+    Asks the scenario's channel for its per-capability SoA verdict
+    (:meth:`repro.sim.radio.Channel.soa_round_support`) — the same predicate
+    the engine's gate aggregates at build time — and prints each
+    capability's reason, so a reader sees exactly *which* predicate keeps a
+    configuration off the fast tier (e.g. "capture: capture_probability=0.5
+    draws are data-dependent ... → scalar").  Purely advisory — the engine
+    re-evaluates eligibility at build time.
     """
+    from ..sim.radio import FriisChannel, UnitDiskChannel
+
     channel = str(context.get("channel", "unitdisk"))
     loss = float(context.get("loss_probability", 0.0) or 0.0)
     capture = float(context.get("capture_probability", 0.0) or 0.0)
-    blockers = []
-    if channel != "unitdisk":
-        blockers.append(
-            f"{channel} channel: busy depends on summed received power, not slot membership"
+    radius = float(context.get("radius", 1.0) or 1.0)
+    if channel == "unitdisk":
+        probe = UnitDiskChannel(
+            radius, capture_probability=capture, loss_probability=loss
         )
-    if loss > 0.0:
-        blockers.append(f"loss_probability={loss:g} consumes per-delivery randomness")
-    if capture > 0.0:
-        blockers.append(f"capture_probability={capture:g} consumes per-delivery randomness")
-    if blockers:
+    elif channel == "friis":
+        probe = FriisChannel(radius, loss_probability=loss)
+    else:
+        return [
+            "execution tier: cohort runtime (struct-of-arrays kernels ineligible)",
+            f"  - channel: {channel} defines no SoA busy model",
+        ]
+    support = probe.soa_round_support()
+    if support.eligible:
+        lines = [
+            f"execution tier: struct-of-arrays slot kernels ({support.busy} busy "
+            "model; REPRO_SOA_KERNELS=0 falls back to the cohort runtime)"
+        ]
+        lines.extend(
+            f"  {name}: {reason}" for name, _ok, reason in support.verdicts
+        )
+    else:
         lines = ["execution tier: cohort runtime (struct-of-arrays kernels ineligible)"]
-        lines.extend(f"  - {reason}" for reason in blockers)
-        return lines
-    lines = [
-        "execution tier: struct-of-arrays slot kernels (deterministic unit-disk "
-        "slots; REPRO_SOA_KERNELS=0 falls back to the cohort runtime)"
-    ]
+        lines.extend(f"  - {name}: {reason}" for name, reason in support.blockers())
     jammers = context.get("num_jammers") or context.get("jammer_fraction")
-    if jammers:
+    if jammers and support.eligible:
         lines.append(
             "  jammed neighborhoods fall back per-slot to the scalar loop; "
             "unjammed slots stay compiled"

@@ -134,6 +134,23 @@ def build_simulation(
     )
 
 
+#: Process-wide accumulation of the SoA tier's per-run counters, folded in by
+#: every :func:`run_scenario` call.  Serial and in-process sweeps surface it
+#: in the CLI run summary; process-pool workers accumulate (and discard) their
+#: own copies, which is acceptable for an advisory observability line.
+_soa_telemetry: dict = {}
+
+
+def soa_telemetry_snapshot() -> dict:
+    """Accumulated SoA-kernel counters of this process's ``run_scenario`` calls.
+
+    Keys mirror ``plan_cache_info()["soa_kernels"]``: ``slots_run``,
+    ``scalar_fallbacks`` and the ``busy_cache_*`` counters, summed across
+    runs.  Empty until a run executes on the SoA tier.
+    """
+    return dict(_soa_telemetry)
+
+
 def run_scenario(
     deployment: Deployment,
     config: ScenarioConfig,
@@ -175,8 +192,19 @@ def run_scenario(
             bits_per_hop=bits_per_hop,
         )
     result = simulation.run(max_rounds)
+    info = simulation.plan_cache_info()
+    soa = info["soa_kernels"]
+    if soa.get("enabled"):
+        for key in (
+            "slots_run",
+            "scalar_fallbacks",
+            "busy_cache_hits",
+            "busy_cache_misses",
+            "busy_cache_evictions",
+        ):
+            _soa_telemetry[key] = _soa_telemetry.get(key, 0) + soa[key]
     if info_sink is not None:
-        info_sink.update(simulation.plan_cache_info())
+        info_sink.update(info)
     # The metadata schema is closed: every key written here is declared in
     # repro.sim.results.METADATA_FIELDS, and validate_metadata rejects drift
     # so that serialized records keep a stable shape.

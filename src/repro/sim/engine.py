@@ -48,10 +48,12 @@ Struct-of-arrays slot kernels
 -----------------------------
 Above both sits the struct-of-arrays tier (:mod:`repro.sim.soa`): slots whose
 participants all run one of the simple soa-compilable phase machines
-(epidemic flooding, NeighborWatchRB, MultiPathRB) over a deterministic
-unit-disk channel are compiled into packed-bitmask kernels that execute the
-whole six-round broadcast interval as a handful of integer operations,
-touching per-device Python only where state commits.  The knob is
+(epidemic flooding, NeighborWatchRB, MultiPathRB) over a unit-disk channel
+(capture-free; loss compiles) or a Friis/SINR channel are compiled into
+packed-bitmask kernels that execute the whole six-round broadcast interval
+as a handful of integer operations, touching per-device Python only where
+state commits — batching loss draws in listener order and synthesizing the
+event stream on traced runs.  The knob is
 ``use_soa_kernels`` (env ``REPRO_SOA_KERNELS``, default on); slot
 occurrences joined by an opportunistic adversary transmitter, and every
 non-compilable configuration, fall back to the cohort/scalar tiers, which
@@ -347,22 +349,28 @@ class Simulation:
         # the generator relative to the scalar reference execution).
         self._memo_rounds = self._link_state is not None and not channel.consumes_rng()
         # The SoA tier compiles whole slots into bitmask kernels.  It needs
-        # a channel whose busy predicate is a pure audibility disjunction
-        # with no RNG, a link state to read audibility from, and no event
-        # trace (kernels never materialize per-broadcast events; tracing
-        # runs stay on the cohort/scalar tiers).
+        # a link state to read channel structure from and a channel whose
+        # per-capability verdict (soa_round_support) is fully eligible:
+        # disjunction or power-sum busy, with loss draws batchable in
+        # listener order (unit-disk capture draws are data-dependent and
+        # stay scalar).  Traced runs compile too — the kernels synthesize
+        # the event stream from the packed masks.
         if use_soa_kernels is None:
             use_soa_kernels = default_soa_kernels()
         self.use_soa_kernels = bool(use_soa_kernels)
         self.soa_runtime: Optional[SoaRuntime] = None
         if (
             self.use_soa_kernels
-            and trace is None
             and self._link_state is not None
             and channel.supports_soa_rounds()
         ):
             runtime = SoaRuntime(
-                self.nodes, self.plan, self._link_state, schedule.phases_per_slot
+                self.nodes,
+                self.plan,
+                self._link_state,
+                schedule.phases_per_slot,
+                channel=channel,
+                rng=self.rng,
             )
             if runtime.groups:
                 self.soa_runtime = runtime
@@ -413,11 +421,12 @@ class Simulation:
           struct-of-arrays tier is off or no slot compiled, otherwise
           ``{"enabled": True, "slots_compiled", "member_slots", "slots_run",
           "scalar_fallbacks", "busy_cache_hits", "busy_cache_misses",
-          "busy_cache_entries"}``: how many slots (and slot-memberships)
-          compiled into bitmask kernels, how many slot occurrences executed
-          on the tier vs. fell back to the oracle loop because an
-          opportunistic transmitter joined, and the busy-pattern memo
-          counters;
+          "busy_cache_entries", "busy_cache_evictions"}``: how many slots
+          (and slot-memberships) compiled into bitmask kernels, how many
+          slot occurrences executed on the tier vs. fell back to the oracle
+          loop because an opportunistic transmitter joined, and the
+          busy-pattern memo counters (evictions count entries dropped by
+          wholesale overflow clears of a group's memo);
         * ``"spatial_tiling"`` — ``{"enabled": False}`` on the dense path,
           otherwise ``{"enabled": True, "tiles", "occupied_tiles",
           "tile_side", "grid_cols", "grid_rows", "sparse_nnz",

@@ -149,6 +149,10 @@ class SlotPlan:
         }
         self.flex_transmitters: tuple[int, ...] = tuple(flex_transmitters)
 
+        # Frozen per-slot participant ids, in record order.  Shared with the
+        # spatial-tiling regrouping and the SoA compiler, which adopts each
+        # array as its group's member_ids (ascending ids are what make the
+        # packed-mask member indexing line up with scalar record order).
         self.participant_arrays: dict[int, np.ndarray] = {}
         for slot, ids in self.interest_map.items():
             array = np.asarray(ids, dtype=np.intp)

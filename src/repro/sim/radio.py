@@ -49,6 +49,7 @@ __all__ = [
     "Channel",
     "UnitDiskChannel",
     "FriisChannel",
+    "SoaRoundSupport",
     "message_observation",
     "LinkStateMemoryError",
     "link_state_budget_bytes",
@@ -108,6 +109,50 @@ class Transmission:
     sender: int
     position: tuple[float, float]
     frame: Frame
+
+
+@dataclass(frozen=True, slots=True)
+class SoaRoundSupport:
+    """Per-capability verdict of :meth:`Channel.soa_round_support`.
+
+    The struct-of-arrays tier (:mod:`repro.sim.soa`) compiles whole slots
+    into mask kernels; whether that is sound is not one predicate but a
+    conjunction of independent capabilities, and the *reasons* matter —
+    ``experiments describe`` and the run summaries surface them so a user
+    can see exactly which capability forced a slower tier.
+
+    Attributes
+    ----------
+    eligible:
+        Overall verdict: every capability below holds, so the SoA tier may
+        compile slots for this channel configuration.
+    busy:
+        How the kernels must compute the per-listener busy flag:
+        ``"disjunction"`` (unit disk — busy iff *some* transmission is
+        individually audible) or ``"power-sum"`` (Friis — busy iff the
+        summed received power clears the carrier-sense threshold).
+    loss_probability:
+        The per-decodable-listener loss draw probability the kernels must
+        replay (``0.0`` means the configuration draws nothing).  The draws
+        are listener-ordered, so one batched ``rng.random(k)`` per phase
+        consumes the generator exactly like the scalar loop (the PR 3
+        contract).
+    verdicts:
+        ``(capability, ok, reason)`` triples, one per capability —
+        ``channel`` (busy model), ``kernels`` (vectorized kernels knob),
+        ``loss``, ``capture`` and ``trace``.  ``reason`` explains the
+        verdict either way; for a failed capability it says *why* the
+        configuration stays on the cohort/scalar tiers.
+    """
+
+    eligible: bool
+    busy: str
+    loss_probability: float
+    verdicts: tuple
+
+    def blockers(self) -> list[tuple[str, str]]:
+        """The failed capabilities as ``(capability, reason)`` pairs."""
+        return [(name, reason) for name, ok, reason in self.verdicts if not ok]
 
 
 class Channel(abc.ABC):
@@ -249,18 +294,34 @@ class Channel(abc.ABC):
         """
         return True
 
-    def supports_soa_rounds(self) -> bool:
-        """Whether the struct-of-arrays tier may bypass round resolution.
+    def soa_round_support(self) -> SoaRoundSupport:
+        """Per-capability verdict on the struct-of-arrays slot kernels.
 
-        The SoA slot kernels (:mod:`repro.sim.soa`) compute per-listener
-        channel activity directly as a *disjunction* of pairwise audibility
-        masks and never touch the generator.  That is only sound when this
-        configuration (a) consumes no RNG and (b) reports a listener as busy
-        exactly when at least one transmission is individually audible to it
-        — channels whose busy predicate aggregates sub-threshold contributions
-        (Friis carrier sensing sums received powers) must return ``False``.
+        The SoA tier (:mod:`repro.sim.soa`) compiles whole slots into mask
+        kernels that bypass per-round resolution.  This method decomposes
+        eligibility into independent capabilities — the busy model
+        (disjunction vs power sum), the vectorized-kernel knob, loss draws,
+        capture draws and tracing — each with a human-readable reason, so
+        the eligibility surfaces (``experiments describe``, run summaries)
+        can say *which* predicate failed rather than just "ineligible".
+        Channels without an SoA round model return the ineligible default.
         """
-        return False
+        return SoaRoundSupport(
+            eligible=False,
+            busy="none",
+            loss_probability=0.0,
+            verdicts=(
+                (
+                    "channel",
+                    False,
+                    f"{type(self).__name__} defines no SoA busy model → cohort/scalar",
+                ),
+            ),
+        )
+
+    def supports_soa_rounds(self) -> bool:
+        """Aggregate verdict of :meth:`soa_round_support` (the engine's gate)."""
+        return self.soa_round_support().eligible
 
     def hears(self, listener_position: Sequence[float], transmitter_position: Sequence[float]) -> bool:
         """Whether a single transmission at ``transmitter_position`` is audible.
@@ -369,19 +430,54 @@ class UnitDiskChannel(Channel):
         """
         return self.use_vectorized_kernels and self.capture_probability == 0.0
 
-    def supports_soa_rounds(self) -> bool:
-        """Deterministic unit-disk rounds satisfy the SoA busy contract.
+    def soa_round_support(self) -> SoaRoundSupport:
+        """Unit-disk rounds lower to disjunction kernels; capture stays scalar.
 
         Audibility beyond the radius is exactly ``False`` and a listener is
         busy iff *some* transmission is within range, so busy is the
-        disjunction the SoA kernels compute.  Capture and loss draw from the
-        generator per listener, which the kernels bypass — those
-        configurations stay on the cohort/scalar tiers.
+        disjunction the SoA kernels compute.  Loss compiles: a loss draw can
+        only turn a decodable frame into a collision (never into silence),
+        so it cannot move any busy bit, and the scalar loop draws exactly
+        once per sole-audible listener in listener order — a count the
+        kernels replay with one batched ``rng.random(k)`` per phase.
+        Capture does *not* compile: a captured collision interleaves a
+        uniform draw, an integer choice over the audible set and possibly a
+        loss draw per listener, so the draw sequence depends on per-listener
+        data and cannot be reproduced from packed masks.
         """
-        return (
-            self.use_vectorized_kernels
-            and self.capture_probability == 0.0
-            and self.loss_probability == 0.0
+        capture_ok = self.capture_probability == 0.0
+        loss = self.loss_probability
+        verdicts = (
+            ("channel", True, "unit-disk busy is a per-listener audibility disjunction"),
+            (
+                "kernels",
+                self.use_vectorized_kernels,
+                "vectorized kernels on"
+                if self.use_vectorized_kernels
+                else "use_vectorized_kernels=False pins the scalar reference loop",
+            ),
+            (
+                "loss",
+                True,
+                f"loss_probability={loss:g} → one batched listener-ordered draw per phase"
+                if loss > 0.0
+                else "no loss draws",
+            ),
+            (
+                "capture",
+                capture_ok,
+                "no capture draws"
+                if capture_ok
+                else f"capture_probability={self.capture_probability:g} draws are "
+                "data-dependent (uniform + integer choice per collision) → scalar",
+            ),
+            ("trace", True, "event stream synthesized from the packed masks"),
+        )
+        return SoaRoundSupport(
+            eligible=all(ok for _, ok, _ in verdicts),
+            busy="disjunction",
+            loss_probability=loss,
+            verdicts=verdicts,
         )
 
     def resolve_links_sparse(
@@ -691,6 +787,50 @@ class FriisChannel(Channel):
 
     def consumes_rng(self) -> bool:
         return self.loss_probability > 0.0
+
+    def soa_round_support(self) -> SoaRoundSupport:
+        """Friis rounds lower to power-sum kernels; every capability compiles.
+
+        Busy is the carrier-sense test ``sum(received powers) >=
+        sense_threshold`` — not a disjunction, so the SoA tier precomputes
+        each compiled group's exact pairwise power block and resolves each
+        distinct transmitter mask as cached vector algebra (one column-sum
+        with the same float order as :meth:`_resolve_powers`, hence
+        bit-identical thresholds).  SINR capture is deterministic (an argmax
+        and two comparisons — no draws), and the loss draw is one per
+        decodable listener in listener order, so both compile; the kernels
+        replay the draw count with one batched ``rng.random(k)`` per phase.
+        """
+        loss = self.loss_probability
+        verdicts = (
+            (
+                "channel",
+                True,
+                "friis busy is a power sum → per-group power blocks precompiled",
+            ),
+            (
+                "kernels",
+                self.use_vectorized_kernels,
+                "vectorized kernels on"
+                if self.use_vectorized_kernels
+                else "use_vectorized_kernels=False pins the scalar reference loop",
+            ),
+            (
+                "loss",
+                True,
+                f"loss_probability={loss:g} → one batched listener-ordered draw per phase"
+                if loss > 0.0
+                else "no loss draws",
+            ),
+            ("capture", True, "SINR capture is deterministic (argmax, no draws)"),
+            ("trace", True, "event stream synthesized from the packed masks"),
+        )
+        return SoaRoundSupport(
+            eligible=all(ok for _, ok, _ in verdicts),
+            busy="power-sum",
+            loss_probability=loss,
+            verdicts=verdicts,
+        )
 
     def _resolve_powers(
         self,

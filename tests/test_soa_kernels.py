@@ -1,17 +1,23 @@
 """Struct-of-arrays slot kernels: eligibility, counters and oracle fidelity.
 
-PR 7 added a third execution tier (:mod:`repro.sim.soa`): deterministic
-unit-disk broadcast slots of the busy-driven protocols lower to packed-bitmask
-kernels that run whole slot groups in mask algebra, bypassing the per-device
-phase machines.  These tests pin
+PR 7 added a third execution tier (:mod:`repro.sim.soa`): broadcast slots of
+the busy-driven protocols lower to packed-bitmask kernels that run whole slot
+groups in mask algebra, bypassing the per-device phase machines.  PR 9
+extended the tier to loss configurations (batched listener-ordered draws),
+Friis power-sum busy groups, and traced runs (events synthesized from the
+packed masks); only unit-disk capture stays on the scalar/cohort tiers, its
+draws being data-dependent.  These tests pin
 
 * the control surface — the ``use_soa_kernels`` knob, the
-  ``REPRO_SOA_KERNELS`` env default and the eligibility gate (unit-disk only,
-  no loss/capture, no trace), with ``plan_cache_info()["soa_kernels"]``
-  counters;
+  ``REPRO_SOA_KERNELS`` env default and the per-capability eligibility gate
+  (:meth:`~repro.sim.radio.Channel.soa_round_support`), with
+  ``plan_cache_info()["soa_kernels"]`` counters including the busy-cache
+  eviction count and thrash warning;
 * the hard contract — exported records *and* the channel RNG stream position
-  are bit-identical across the SoA, cohort and scalar tiers, including runs
-  where jammers force per-slot scalar fallbacks; and
+  are bit-identical across the SoA, cohort and scalar tiers for every
+  compiled capability (deterministic, lossy, Friis, Friis+loss), including
+  runs where jammers force per-slot scalar fallbacks, and traced SoA runs
+  produce byte-identical event streams to the scalar loop; and
 * the region-keyed MultiPath cohort contract that rode along: devices whose
   :func:`~repro.core.regions.region_profile_of` profiles (and states) are
   equal share one machine, split exactly when their busy streams diverge, and
@@ -93,30 +99,35 @@ class TestEligibility:
         # the compiled slot specs).
         assert sim.plan_cache_info()["cohort_runtime"] == {"enabled": False}
 
-    def test_friis_is_ineligible(self, uniform_small_deployment):
-        config = ScenarioConfig(
-            protocol="neighborwatch", radius=3.0, message_length=3, seed=11, channel="friis"
-        )
-        sim = build_simulation(uniform_small_deployment, config, use_soa_kernels=True)
-        assert sim.plan_cache_info()["soa_kernels"] == {"enabled": False}
-
     @pytest.mark.parametrize(
         "overrides",
-        [{"loss_probability": 0.2}, {"capture_probability": 0.5}],
-        ids=["loss", "capture"],
+        [{"channel": "friis"}, {"loss_probability": 0.2}, {"channel": "friis", "loss_probability": 0.2}],
+        ids=["friis", "loss", "friis-loss"],
     )
-    def test_rng_consuming_channels_are_ineligible(self, uniform_small_deployment, overrides):
+    def test_friis_and_loss_compile(self, uniform_small_deployment, overrides):
         config = ScenarioConfig(
             protocol="neighborwatch", radius=3.0, message_length=3, seed=11, **overrides
         )
         sim = build_simulation(uniform_small_deployment, config, use_soa_kernels=True)
+        info = sim.plan_cache_info()["soa_kernels"]
+        assert info["enabled"] and info["slots_compiled"] > 0
+
+    def test_unitdisk_capture_is_ineligible(self, uniform_small_deployment):
+        # Capture draws interleave a uniform and an integer choice per
+        # collision — data-dependent, unbatchable, hence scalar/cohort only.
+        config = ScenarioConfig(
+            protocol="neighborwatch", radius=3.0, message_length=3, seed=11,
+            capture_probability=0.5,
+        )
+        sim = build_simulation(uniform_small_deployment, config, use_soa_kernels=True)
         assert sim.plan_cache_info()["soa_kernels"] == {"enabled": False}
 
-    def test_tracing_disables_the_kernels(self, uniform_small_deployment, nw_config):
+    def test_tracing_keeps_the_kernels(self, uniform_small_deployment, nw_config):
         sim = build_simulation(
             uniform_small_deployment, nw_config, trace=EventLog(), use_soa_kernels=True
         )
-        assert sim.plan_cache_info()["soa_kernels"] == {"enabled": False}
+        info = sim.plan_cache_info()["soa_kernels"]
+        assert info["enabled"] and info["slots_compiled"] > 0
 
 
 class TestThreeTierEquivalence:
@@ -138,6 +149,51 @@ class TestThreeTierEquivalence:
             idle_veto=idle_veto,
         )
         runs = _run_tiers(deployment, config)
+        _assert_tiers_identical(runs)
+        info = runs["soa"][2]["soa_kernels"]
+        assert info["enabled"] and info["slots_run"] > 0
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        protocol=st.sampled_from(["neighborwatch", "multipath", "epidemic"]),
+        loss=st.sampled_from([0.15, 0.35]),
+    )
+    def test_lossy_unitdisk(self, seed, protocol, loss):
+        # Loss-only unit disk: one batched listener-ordered draw per phase —
+        # the RNG tail assertion is what pins the stream position.
+        deployment = uniform_deployment(70, 7.5, 7.5, rng=seed % 101)
+        config = ScenarioConfig(
+            protocol=protocol,
+            radius=3.0,
+            message_length=2,
+            seed=seed,
+            loss_probability=loss,
+        )
+        runs = _run_tiers(deployment, config, max_rounds=900)
+        _assert_tiers_identical(runs)
+        info = runs["soa"][2]["soa_kernels"]
+        assert info["enabled"] and info["slots_run"] > 0
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        protocol=st.sampled_from(["neighborwatch", "multipath", "epidemic"]),
+        loss=st.sampled_from([0.0, 0.2]),
+    )
+    def test_friis_power_sum_groups(self, seed, protocol, loss):
+        # Friis busy resolves through the compiled power blocks; with loss,
+        # the decodable-listener draw counts must also replay exactly.
+        deployment = uniform_deployment(70, 7.5, 7.5, rng=seed % 101)
+        config = ScenarioConfig(
+            protocol=protocol,
+            radius=3.0,
+            message_length=2,
+            seed=seed,
+            channel="friis",
+            loss_probability=loss,
+        )
+        runs = _run_tiers(deployment, config, max_rounds=900)
         _assert_tiers_identical(runs)
         info = runs["soa"][2]["soa_kernels"]
         assert info["enabled"] and info["slots_run"] > 0
@@ -170,6 +226,43 @@ class TestScalarFallback:
         assert info["slots_run"] > 0
 
 
+class TestTraceSynthesis:
+    """Traced SoA runs must emit the scalar loop's exact event stream."""
+
+    @staticmethod
+    def _trace_bytes(deployment, config, **kwargs):
+        clear_link_cache()
+        log = EventLog()
+        sim = build_simulation(deployment, config, trace=log, **kwargs)
+        sim.run(MAX_ROUNDS)
+        return "\n".join(str(event) for event in log).encode()
+
+    @pytest.mark.parametrize(
+        "protocol,overrides",
+        [
+            ("neighborwatch", {}),
+            ("multipath", {"loss_probability": 0.2}),
+            ("epidemic", {"channel": "friis"}),
+            ("epidemic", {"loss_probability": 0.25}),
+        ],
+        ids=["nw-deterministic", "mp-loss", "epidemic-friis", "epidemic-loss"],
+    )
+    def test_event_streams_byte_identical(self, uniform_small_deployment, protocol, overrides):
+        config = ScenarioConfig(
+            protocol=protocol, radius=3.0, message_length=2, seed=11, **overrides
+        )
+        soa = self._trace_bytes(
+            uniform_small_deployment, config, use_soa_kernels=True
+        )
+        scalar = self._trace_bytes(
+            uniform_small_deployment,
+            config,
+            use_soa_kernels=False,
+            use_cohort_runtime=False,
+        )
+        assert soa == scalar
+
+
 class TestCounters:
     def test_busy_cache_and_run_counters_accumulate(self, uniform_small_deployment, nw_config):
         sim = build_simulation(uniform_small_deployment, nw_config, use_soa_kernels=True)
@@ -180,6 +273,22 @@ class TestCounters:
         assert info["slots_run"] > 0
         assert info["busy_cache_misses"] > 0
         assert info["busy_cache_entries"] <= info["busy_cache_misses"]
+        assert info["busy_cache_evictions"] == 0
+
+    def test_eviction_counter_and_thrash_warning(
+        self, uniform_small_deployment, nw_config, monkeypatch
+    ):
+        from repro.sim import soa as soa_module
+
+        # Shrink the memo so a normal run overflows it: every clear counts
+        # its dropped entries, and the first clear on a >50%-miss group
+        # warns once.
+        monkeypatch.setattr(soa_module, "_BUSY_CACHE_MAX", 2)
+        sim = build_simulation(uniform_small_deployment, nw_config, use_soa_kernels=True)
+        with pytest.warns(RuntimeWarning, match="busy cache thrashing"):
+            sim.run(MAX_ROUNDS)
+        info = sim.plan_cache_info()["soa_kernels"]
+        assert info["busy_cache_evictions"] > 0
 
 
 def _mp_cluster_deployment(profile_break: float = 0.0) -> Deployment:
@@ -294,18 +403,19 @@ class TestDescribeTierEligibility:
         text = describe_spec(get_spec("FIG5"), scale="small")
         assert "execution tier: struct-of-arrays slot kernels" in text
 
-    def test_blockers_and_fallback_notes(self):
+    def test_per_capability_verdicts_and_fallback_notes(self):
         from repro.experiments.driver import _tier_lines
 
         friis = _tier_lines({"channel": "friis"})
-        assert friis[0].startswith("execution tier: cohort runtime")
-        assert any("friis" in line for line in friis)
+        assert friis[0].startswith("execution tier: struct-of-arrays")
+        assert "power-sum" in friis[0]
+        lossy = _tier_lines({"loss_probability": 0.2})
+        assert lossy[0].startswith("execution tier: struct-of-arrays")
+        assert any("loss_probability=0.2" in line for line in lossy)
+        capture = _tier_lines({"capture_probability": 0.5})
+        assert capture[0].startswith("execution tier: cohort runtime")
         assert any(
-            "loss_probability=0.2" in line
-            for line in _tier_lines({"loss_probability": 0.2})
-        )
-        assert any(
-            "capture_probability=0.5" in line
-            for line in _tier_lines({"capture_probability": 0.5})
+            "capture_probability=0.5" in line and "scalar" in line
+            for line in capture
         )
         assert any("per-slot" in line for line in _tier_lines({"num_jammers": 15}))
