@@ -1,9 +1,9 @@
 # Convenience entry points; every target assumes the repo root as cwd.
 PYTHON ?= python
-PR ?= 9
+PR ?= 10
 export PYTHONPATH := src
 
-.PHONY: test bench bench-baseline bench-smoke chaos-smoke profile
+.PHONY: test bench bench-baseline bench-smoke chaos-smoke service-smoke profile
 
 # Tier-1 verification (unit/property tests only; benchmarks excluded).
 test:
@@ -59,6 +59,15 @@ chaos-smoke:
 	REPRO_CHAOS_SEED=7 REPRO_CHAOS_RATE=0.7 $(PYTHON) -m repro.experiments run DUAL --scale small --backend chaos --max-retries 3 --export json > /tmp/chaos-faulty.json
 	cmp /tmp/chaos-plain.json /tmp/chaos-faulty.json
 	rm -f /tmp/chaos-plain.json /tmp/chaos-faulty.json
+
+# CI smoke for the distributed sweep service: the focused queue/store test
+# files, then the end-to-end drill — submit a small sweep, run two worker
+# processes, SIGKILL one mid-job (its lease expires and the job requeues),
+# and byte-diff both the replayed export and the shared store against a
+# plain serial run.
+service-smoke:
+	$(PYTHON) -m pytest -x -q tests/test_service.py tests/test_store_concurrency.py
+	$(PYTHON) -m repro.service smoke FIG5 --scale small
 
 # Profile one experiment's sweep (top cumulative hot spots to stderr).
 profile:

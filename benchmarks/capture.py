@@ -281,6 +281,62 @@ def capture_macros(log) -> dict:
     return section
 
 
+def capture_service_macro(log) -> dict:
+    """Time a queue-backed FIG5 sweep served by two real worker daemons.
+
+    The PR 10 service-fabric macro: the whole sweep travels through the
+    durable work queue — submit-side enqueue, worker claim/run/persist into
+    the shared store, poll-side readback — so the entry's wall clock tracks
+    the queue's dispatch overhead on top of the simulation cost the suite
+    section already records.  The rows hash must equal the serial FIG5 suite
+    hash (byte-identity is the service's core contract), stored under
+    ``result_sha256`` so the baseline/current drift check covers it too.
+    """
+    import os
+    import subprocess
+    import tempfile
+
+    from repro.experiments.registry import run_experiment
+    from repro.service.backend import QueueBackend
+    from repro.service.queue import WorkQueue
+    from repro.sim.runner import SweepExecutor
+
+    src_dir = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir if not existing else os.pathsep.join((src_dir, existing))
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as workdir:
+        queue_dir = os.path.join(workdir, "queue")
+        queue = WorkQueue.ensure(queue_dir)
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.service", "worker",
+                    "--queue", queue_dir, "--poll", "0.05", "--idle-exit", "5",
+                    "--worker-id", f"bench-{index}",
+                ],
+                env=env,
+                stderr=subprocess.DEVNULL,
+            )
+            for index in range(2)
+        ]
+        started = time.perf_counter()
+        with SweepExecutor(0, backend=QueueBackend(queue, poll_interval=0.05)) as executor:
+            rows, _description = run_experiment("FIG5", scale="small", executor=executor)
+        elapsed = time.perf_counter() - started
+        for proc in workers:
+            proc.wait(timeout=120)
+    entry = {
+        "elapsed_s": round(elapsed, 4),
+        "result_sha256": series_hash(list(rows)),
+        "transport": "queue",
+        "workers": 2,
+        "lease_requeues": executor.telemetry.lease_requeues,
+    }
+    log(f"  macro {'service-queue-fig5':<22} {elapsed:8.2f}s  {entry['result_sha256'][:12]}")
+    return entry
+
+
 def _load(path: Path) -> dict:
     if path.exists():
         with path.open("r", encoding="utf8") as handle:
@@ -447,6 +503,7 @@ def main(argv=None) -> int:
     if not args.suite_only:
         tiling_env("macros")
         run["macros"] = capture_macros(log)
+        run["macros"]["service-queue-fig5"] = capture_service_macro(log)
     document.setdefault("runs", {})[args.label] = run
 
     speedups = compute_speedups(document)

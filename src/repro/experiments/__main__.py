@@ -10,6 +10,10 @@ Subcommands::
     python -m repro.experiments run FIG7 --scale small --cache-dir ~/.cache/repro --resume
     python -m repro.experiments run JAM --scale small --export csv > jam.csv
     python -m repro.experiments run FIG7 --scale small --profile
+    python -m repro.experiments submit FIG5 --scale small --queue /shared/q
+    python -m repro.experiments serve --queue /shared/q --workers 4
+    python -m repro.experiments status --queue /shared/q GROUP
+    python -m repro.experiments watch --queue /shared/q GROUP
 
 ``list`` prints the registered experiment identifiers; ``describe`` prints
 the resolved spec (parameters after scale overrides, axes, grid size) without
@@ -42,6 +46,17 @@ stderr).  ``--profile`` dumps the top-25 cumulative cProfile entries to
 stderr; ``--profile-out PATH`` (implies ``--profile``) additionally writes
 the raw :mod:`pstats` file for cross-PR diffing.
 
+Service mode (PR 10): ``submit`` compiles a sweep spec into fingerprinted
+jobs on a durable work queue and exits immediately with a group id; worker
+daemons (``python -m repro.experiments serve`` or ``python -m repro.service
+worker``) claim, run and persist into the queue's shared store; ``status`` /
+``watch`` report a group's progress from its JSONL event log.  Fingerprint
+dedupe means overlapping submits never recompute shared work, and the results
+are byte-identical to a serial ``run``.  ``run --backend queue`` (with
+``REPRO_QUEUE_DIR``) drives the same queue through the supervision envelope
+for drivers that cannot pre-enumerate their grid.  ``--store-backend shared``
+opens a cache directory with the multi-process append discipline.
+
 Exit codes: 0 success, 2 usage error, 3 when repetitions exhausted their
 retries and were quarantined (the rest of the sweep completed and, with a
 cache dir, persisted), 130 on interrupt (with a resume hint when a cache dir
@@ -67,7 +82,7 @@ from .spec import ExperimentSpec, SpecValidationError, load_spec
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("run", "list", "describe")
+_SUBCOMMANDS = ("run", "list", "describe", "submit", "serve", "status", "watch")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -168,6 +183,74 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the raw pstats profile to PATH (implies --profile); "
         "load it with pstats.Stats(PATH) to diff hot paths across PRs",
     )
+    run.add_argument(
+        "--store-backend",
+        default="local",
+        help="store backend registry key for --cache-dir: 'local' (default) or "
+        "'shared' (multi-process append discipline for service mode)",
+    )
+    run.add_argument(
+        "--export-meta",
+        metavar="PATH",
+        default=None,
+        help="write run metadata (fabric telemetry, store counters, timing) as "
+        "JSON to PATH — separate from stdout so --export byte-diffs stay valid",
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="enqueue a sweep on a durable work queue and exit with a group id"
+    )
+    _add_target_arguments(submit)
+    submit.add_argument("--scale", default="small", help="spec scale (default: small)")
+    submit.add_argument("--queue", required=True, help="work-queue directory (created on first use)")
+    submit.add_argument(
+        "--store",
+        default=None,
+        help="shared store directory recorded in the queue metadata at creation "
+        "(default: <queue>/store)",
+    )
+    submit.add_argument(
+        "--store-backend",
+        default="shared",
+        help="store backend key recorded at queue creation (default: shared)",
+    )
+    submit.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        help="seconds a worker's claim stays valid without a heartbeat "
+        "(recorded at queue creation; default: 30)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run worker daemons against a queue until interrupted (or drained)"
+    )
+    serve.add_argument("--queue", required=True, help="the work-queue directory")
+    serve.add_argument("--workers", type=int, default=2, help="worker processes (default: 2)")
+    serve.add_argument("--store", default=None, help="override the queue's shared store directory")
+    serve.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        help="workers exit after this many idle seconds (default: serve forever)",
+    )
+
+    status = subparsers.add_parser("status", help="one-shot progress report of a submit group")
+    status.add_argument("group", help="group id printed by submit")
+    status.add_argument("--queue", required=True, help="the work-queue directory")
+
+    watch = subparsers.add_parser(
+        "watch", help="stream a group's progress events until every job settles"
+    )
+    watch.add_argument("group", help="group id printed by submit")
+    watch.add_argument("--queue", required=True, help="the work-queue directory")
+    watch.add_argument("--poll", type=float, default=0.5, help="seconds between polls")
+    watch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up (exit 1) after this many seconds (default: wait forever)",
+    )
     return parser
 
 
@@ -259,14 +342,15 @@ def _build_store(args):
         return None
     from pathlib import Path
 
-    from ..store import ResultStore
+    from ..registry import STORE_BACKENDS
 
     if args.resume and not Path(args.cache_dir).is_dir():
         raise ValueError(
             f"--resume: cache directory {args.cache_dir!r} does not exist; "
             "nothing to resume from (drop --resume to start fresh)"
         )
-    return ResultStore(args.cache_dir)
+    store_cls = STORE_BACKENDS.get(getattr(args, "store_backend", "local"))
+    return store_cls(args.cache_dir)
 
 
 def _usage_error(exc: Exception) -> int:
@@ -304,6 +388,9 @@ def _command_run(args) -> int:
             from ..registry import EXECUTOR_BACKENDS
 
             EXECUTOR_BACKENDS.get(args.backend)
+        from ..registry import STORE_BACKENDS
+
+        STORE_BACKENDS.get(args.store_backend)  # same eager-typo discipline
         if args.max_retries is not None and args.max_retries < 0:
             raise ValueError("--max-retries must be >= 0")
         if args.timeout is not None and args.timeout <= 0:
@@ -315,6 +402,11 @@ def _command_run(args) -> int:
             timeout=args.timeout,
             max_retries=args.max_retries,
         )
+        if args.backend is not None:
+            # Construct the backend now rather than at the first sweep: its
+            # knob errors (e.g. the queue backend without REPRO_QUEUE_DIR set)
+            # are configuration problems, not experiment failures.
+            executor.backend
         store = _build_store(args)
     except (RegistryError, SpecValidationError, ValueError) as exc:
         return _usage_error(exc)
@@ -398,18 +490,18 @@ def _command_run(args) -> int:
         f"scale={scale or 'base'} workers={args.workers} elapsed={elapsed:.1f}s"
     )
     if store is not None:
+        # Uniform across store backends: hit/miss and integrity counters are
+        # always reported, so a clean run shows torn-lines=0 instead of
+        # nothing — after-the-fact service telemetry needs the explicit zero.
         summary += (
             f" cache-dir={args.cache_dir}"
             f" cache-hits={store.stats.hits} cache-misses={store.stats.misses}"
+            f" torn-lines={store.stats.torn_lines}"
+            f" checksum-failures={store.stats.checksum_failures}"
         )
-        if store.stats.torn_lines or store.stats.checksum_failures:
-            summary += (
-                f" torn-lines={store.stats.torn_lines}"
-                f" checksum-failures={store.stats.checksum_failures}"
-            )
-    if executor.telemetry.recovered:
-        # Only worth a line when something actually went wrong and was healed.
-        summary += f" [fabric: {executor.telemetry.summary()}]"
+    # Uniform across executor backends: attempts= always, recovery counters
+    # when they fired (lease requeues of the queue backend included).
+    summary += f" [fabric: {executor.telemetry.summary()}]"
     soa = soa_telemetry_snapshot()
     if soa.get("slots_run"):
         # SoA-tier observability for serial/in-process runs (process-pool
@@ -428,6 +520,25 @@ def _command_run(args) -> int:
         summary += "]"
     print(summary + "\n", file=status)
 
+    if args.export_meta:
+        # Machine-readable run metadata, kept off stdout so the exported rows
+        # stay byte-comparable across backends while the telemetry that
+        # produced them is still inspectable after the fact.
+        meta = {
+            "spec": spec.name,
+            "scale": scale or "base",
+            "workers": args.workers,
+            "backend": args.backend,
+            "elapsed_s": elapsed,
+            "fabric": executor.telemetry.snapshot(),
+            "store": store.stats.snapshot() if store is not None else None,
+            "soa": soa if soa.get("slots_run") else None,
+        }
+        with open(args.export_meta, "w", encoding="utf8") as handle:
+            json.dump(meta, handle, indent=2)
+            handle.write("\n")
+        print(f"run metadata written to {args.export_meta}", file=sys.stderr)
+
     rows = list(rows)
     if args.export == "json":
         print(json.dumps(rows, indent=2))
@@ -438,6 +549,68 @@ def _command_run(args) -> int:
     return 0
 
 
+def _command_submit(args) -> int:
+    from ..service.frontend import submit
+    from ..service.queue import DEFAULT_LEASE_SECONDS, QueueError
+    from .driver import resolve_context
+
+    try:
+        from ..registry import STORE_BACKENDS
+
+        STORE_BACKENDS.get(args.store_backend)  # typo → usage error, not traceback
+        spec = _resolve_spec(args)
+        scale = _resolve_scale(spec, args.scale)
+        context = resolve_context(spec, scale=scale)
+        submit(
+            spec,
+            context,
+            queue_dir=args.queue,
+            store_dir=args.store,
+            store_backend=args.store_backend,
+            lease_seconds=args.lease if args.lease is not None else DEFAULT_LEASE_SECONDS,
+        )
+    except (RegistryError, SpecValidationError, QueueError) as exc:
+        return _usage_error(exc)
+    return 0
+
+
+def _command_serve(args) -> int:
+    from ..service.frontend import serve
+    from ..service.queue import QueueError
+
+    try:
+        return serve(
+            args.queue,
+            workers=args.workers,
+            store_dir=args.store,
+            idle_exit=args.idle_exit,
+        )
+    except QueueError as exc:
+        return _usage_error(exc)
+
+
+def _command_status(args) -> int:
+    from ..service.frontend import status
+    from ..service.queue import QueueError
+
+    try:
+        return status(args.queue, args.group)
+    except QueueError as exc:
+        return _usage_error(exc)
+
+
+def _command_watch(args) -> int:
+    from ..service.frontend import watch
+    from ..service.queue import QueueError
+
+    try:
+        return watch(args.queue, args.group, poll_interval=args.poll, timeout=args.timeout)
+    except QueueError as exc:
+        return _usage_error(exc)
+    except KeyboardInterrupt:
+        return 130
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(_normalize_argv(list(argv if argv is not None else sys.argv[1:])))
@@ -446,6 +619,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "describe":
         return _command_describe(args)
+    if args.command == "submit":
+        return _command_submit(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "status":
+        return _command_status(args)
+    if args.command == "watch":
+        return _command_watch(args)
     return _command_run(args)
 
 

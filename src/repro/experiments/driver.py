@@ -391,6 +391,21 @@ def _tier_lines(context: Mapping[str, Any]) -> list[str]:
     return lines
 
 
+def _fabric_lines() -> list[str]:
+    """Available executor/store backends for ``describe`` output.
+
+    Listed straight from the registries, so plugins registered by downstream
+    code (or the queue backend of the service fabric) show up without edits
+    here — the same keys ``--backend`` / ``--store-backend`` accept.
+    """
+    from ..registry import EXECUTOR_BACKENDS, STORE_BACKENDS
+
+    return [
+        f"executor backends: {', '.join(EXECUTOR_BACKENDS.keys())}",
+        f"store backends: {', '.join(STORE_BACKENDS.keys())}",
+    ]
+
+
 def describe_spec(spec: ExperimentSpec, *, scale: Optional[str] = None) -> str:
     """A human-readable dump of the resolved spec: parameters, axes, grid size."""
     import json
@@ -407,6 +422,7 @@ def describe_spec(spec: ExperimentSpec, *, scale: Optional[str] = None) -> str:
         lines.append(f"  {key} = {json.dumps(value, default=str)}")
     lines.extend(_memory_lines(context))
     lines.extend(_tier_lines(context))
+    lines.extend(_fabric_lines())
     if spec.axes:
         lines.append("axes (cartesian product, in order):")
         total = 1

@@ -20,7 +20,9 @@ Registries
 :data:`DRIVERS`           experiment drivers executing a resolved ExperimentSpec
 :data:`EXPERIMENT_SPECS`  the built-in :class:`~repro.experiments.spec.ExperimentSpec`
 :data:`EXECUTOR_BACKENDS` :class:`~repro.sim.backends.ExecutorBackend` classes
-                          ("serial", "process-pool", "chaos")
+                          ("serial", "process-pool", "chaos", "queue")
+:data:`STORE_BACKENDS`    :class:`~repro.store.ResultStore` classes
+                          ("local", "shared")
 ========================  ===========================================================
 
 Usage::
@@ -70,6 +72,7 @@ __all__ = [
     "DRIVERS",
     "EXPERIMENT_SPECS",
     "EXECUTOR_BACKENDS",
+    "STORE_BACKENDS",
     "register_protocol",
     "register_channel",
     "register_deployment",
@@ -78,6 +81,7 @@ __all__ = [
     "register_driver",
     "register_experiment_spec",
     "register_executor_backend",
+    "register_store_backend",
 ]
 
 
@@ -366,6 +370,16 @@ def _validate_executor_backend(key: str, cls: Any) -> None:
             raise RegistryError(f"executor backend {key!r} lacks a callable {method}()")
 
 
+def _validate_store_backend(key: str, cls: Any) -> None:
+    if not isinstance(cls, type):
+        raise RegistryError(
+            f"store backend {key!r} must be a class (constructed per cache directory)"
+        )
+    for method in ("get", "put", "contains"):
+        if not callable(getattr(cls, method, None)):
+            raise RegistryError(f"store backend {key!r} lacks a callable {method}()")
+
+
 # -- the registries -----------------------------------------------------------------------
 _CORE_PROTOCOL_MODULES = (
     "repro.core.neighborwatch",
@@ -405,7 +419,12 @@ EXPERIMENT_SPECS = Registry(
 EXECUTOR_BACKENDS = Registry(
     "executor backend",
     validator=_validate_executor_backend,
-    builtin_modules=("repro.sim.backends",),
+    builtin_modules=("repro.sim.backends", "repro.service.backend"),
+)
+STORE_BACKENDS = Registry(
+    "store backend",
+    validator=_validate_store_backend,
+    builtin_modules=("repro.store.shared",),
 )
 
 
@@ -447,3 +466,8 @@ def register_experiment_spec(spec, *, aliases: Sequence[str] = ()):
 def register_executor_backend(key: str, *, aliases: Sequence[str] = ()):
     """Class decorator registering an :class:`~repro.sim.backends.ExecutorBackend`."""
     return EXECUTOR_BACKENDS.register(key, aliases=aliases)
+
+
+def register_store_backend(key: str, *, aliases: Sequence[str] = ()):
+    """Class decorator registering a :class:`~repro.store.ResultStore` variant."""
+    return STORE_BACKENDS.register(key, aliases=aliases)

@@ -1,0 +1,34 @@
+"""The distributed sweep service: queue transport, worker daemons, front end.
+
+ROADMAP open item 2 asks for a fabric where many hosts pull fingerprinted
+``(task, repetition)`` jobs and push results into a shared store.  This
+package is that fabric, built from pieces the earlier PRs already hardened:
+
+* :mod:`repro.service.queue` — a durable, filesystem-backed work queue with
+  atomic claim files, lease/heartbeat expiry and crash-safe requeue.  Jobs
+  are keyed by :meth:`~repro.sim.runner.SweepTask.fingerprint`, so identical
+  work submitted by overlapping sweeps collapses to one queue entry.
+* :mod:`repro.service.backend` — the ``queue`` executor backend
+  (:data:`repro.registry.EXECUTOR_BACKENDS`): enqueues a wave's attempts and
+  streams :class:`~repro.sim.supervision.AttemptOutcome`\\ s back through the
+  PR 8 :class:`~repro.sim.supervision.Supervisor` unchanged, so timeouts,
+  retries and quarantine apply to queued jobs exactly as to local ones.
+* :mod:`repro.service.worker` — the worker daemon
+  (``python -m repro.service worker --queue DIR``): claims jobs, renews its
+  leases from a heartbeat thread, runs repetitions and persists results into
+  the shared :class:`~repro.store.ResultStore` named by the queue metadata.
+* :mod:`repro.service.frontend` — the submit/serve/status/watch machinery
+  behind the ``python -m repro.experiments`` subcommands of the same names,
+  streaming progress from the per-group JSONL event log.
+
+The hard contract of the whole fabric carries over from the PR 8 supervision
+envelope: every repetition is a pure function of its seed, so a queue-backed
+sweep with any number of worker daemons — including workers killed mid-job,
+whose leases expire and whose jobs requeue — produces records, row hashes and
+store fingerprints byte-identical to the serial sweep.  ``python -m
+repro.service smoke`` drills exactly that end to end.
+"""
+
+from .queue import ClaimedJob, EnqueueOutcome, QueueError, WorkQueue
+
+__all__ = ["WorkQueue", "ClaimedJob", "EnqueueOutcome", "QueueError"]

@@ -1,0 +1,278 @@
+"""Command-line entry points of the sweep service.
+
+Subcommands::
+
+    python -m repro.service worker --queue DIR [--store DIR] [--worker-id ID]
+                                   [--poll S] [--max-jobs N] [--idle-exit S]
+    python -m repro.service smoke [EXPERIMENT] [--spec FILE] [--scale small]
+                                  [--workdir DIR] [--keep]
+
+``worker`` runs one daemon against a queue directory (see
+:mod:`repro.service.worker`).  The submit/serve/status/watch front end lives
+under ``python -m repro.experiments`` next to ``run`` — workers are the only
+piece operators point at the queue directly.
+
+``smoke`` is the end-to-end acceptance drill the CI ``service-smoke`` job
+runs, asserting the service fabric's hard contract on a real experiment:
+
+1. run the experiment serially and export its rows;
+2. ``submit`` the same spec to a fresh queue with a short lease;
+3. start a *victim* worker rigged (via ``REPRO_SERVICE_HOLD``) to stall after
+   claiming a job, plus one healthy worker, then SIGKILL the victim while
+   both are alive — its lease expires and the job requeues;
+4. drain the queue, re-run the experiment against the shared store, and
+   assert zero cache misses and **byte-identical** exported rows;
+5. assert at least one ``requeued`` event fired and the store scans clean
+   with no duplicate fingerprints.
+
+Exit code 0 when every assertion holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Worker daemons and smoke drills of the distributed sweep service.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    worker = subparsers.add_parser("worker", help="serve one queue: claim, run, persist")
+    worker.add_argument("--queue", required=True, help="the work-queue directory")
+    worker.add_argument(
+        "--store",
+        default=None,
+        help="override the shared store directory the queue metadata binds",
+    )
+    worker.add_argument(
+        "--worker-id", default=None, help="lease owner name (default: host-pid)"
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, help="seconds between claim polls when idle"
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, help="exit after completing this many jobs"
+    )
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        help="exit after this many seconds without claimable work (default: serve forever)",
+    )
+
+    smoke = subparsers.add_parser(
+        "smoke", help="end-to-end kill-a-worker drill asserting byte-identity"
+    )
+    smoke.add_argument("experiment", nargs="?", default="FIG5", help="experiment id (default: FIG5)")
+    smoke.add_argument("--spec", default=None, help="spec file instead of an experiment id")
+    smoke.add_argument("--scale", default="small", help="spec scale (default: small)")
+    smoke.add_argument(
+        "--workdir",
+        default=None,
+        help="directory for the drill's queue/store/exports (default: a temp dir)",
+    )
+    smoke.add_argument(
+        "--keep", action="store_true", help="keep the workdir for inspection"
+    )
+    return parser
+
+
+def _command_worker(args) -> int:
+    from .queue import QueueError
+    from .worker import worker_loop
+
+    try:
+        worker_loop(
+            args.queue,
+            store_dir=args.store,
+            worker_id=args.worker_id,
+            poll_interval=args.poll,
+            max_jobs=args.max_jobs,
+            idle_exit=args.idle_exit,
+            log=sys.stderr,
+        )
+    except QueueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+# -- the smoke drill -----------------------------------------------------------------------
+def _experiments_argv(args) -> list[str]:
+    target = ["--spec", args.spec] if args.spec else [args.experiment]
+    return [sys.executable, "-m", "repro.experiments", "run", *target, "--scale", args.scale]
+
+
+def _subprocess_env(**extra: str) -> dict:
+    env = dict(os.environ)
+    # Make the subprocesses import the same repro tree this process runs,
+    # regardless of how PYTHONPATH was (not) set by the caller.
+    src_dir = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir if not existing else os.pathsep.join((src_dir, existing))
+    env.update(extra)
+    return env
+
+
+def _start_worker(queue_dir: Path, worker_id: str, *, idle_exit: Optional[float], hold: float = 0.0):
+    command = [
+        sys.executable, "-m", "repro.service", "worker",
+        "--queue", str(queue_dir), "--worker-id", worker_id, "--poll", "0.1",
+    ]
+    if idle_exit is not None:
+        command += ["--idle-exit", str(idle_exit)]
+    extra = {"REPRO_SERVICE_HOLD": str(hold)} if hold > 0 else {}
+    return subprocess.Popen(command, env=_subprocess_env(**extra), stderr=subprocess.DEVNULL)
+
+
+def _wait_for_claim_by(queue, worker_id: str, *, timeout: float = 60.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for fingerprint in queue.job_fingerprints():
+            claim = queue.claim_info(fingerprint)
+            if claim and claim.get("worker") == worker_id:
+                return True
+        time.sleep(0.05)
+    return False
+
+
+def _command_smoke(args) -> int:
+    import tempfile
+
+    from ..experiments.__main__ import _resolve_scale, _resolve_spec
+    from ..experiments.driver import resolve_context
+    from ..store.integrity import scan_store
+    from .frontend import submit
+    from .queue import WorkQueue
+
+    failures: list[str] = []
+
+    def check(ok: bool, message: str) -> None:
+        print(f"{'ok' if ok else 'FAIL'}: {message}", file=sys.stderr, flush=True)
+        if not ok:
+            failures.append(message)
+
+    if args.workdir:
+        workdir = Path(args.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-service-smoke-")
+        workdir = Path(cleanup.name)
+    queue_dir = workdir / "queue"
+    store_dir = workdir / "store"
+    try:
+        if args.spec:
+            args.experiment = None  # --spec wins over the FIG5 default
+        spec = _resolve_spec(args)
+        scale = _resolve_scale(spec, args.scale)
+        context = resolve_context(spec, scale=scale)
+
+        print(f"[1/5] serial reference run of {spec.name}", file=sys.stderr, flush=True)
+        serial = subprocess.run(
+            _experiments_argv(args) + ["--export", "json"],
+            env=_subprocess_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            check=True,
+        ).stdout
+        (workdir / "serial.json").write_bytes(serial)
+
+        print("[2/5] submit to a fresh queue (1s lease)", file=sys.stderr, flush=True)
+        group = submit(
+            spec,
+            context,
+            queue_dir=str(queue_dir),
+            store_dir=str(store_dir),
+            lease_seconds=1.0,
+            out=sys.stderr,
+            err=sys.stderr,
+        )
+        queue = WorkQueue(queue_dir)
+        store = queue.open_store()
+        check(len(queue.job_fingerprints()) > 0, "submit queued at least one job")
+
+        print("[3/5] start victim + healthy worker, kill the victim", file=sys.stderr, flush=True)
+        victim = _start_worker(queue_dir, "victim", idle_exit=None, hold=60.0)
+        claimed = _wait_for_claim_by(queue, "victim")
+        check(claimed, "victim worker claimed a job")
+        healthy = _start_worker(queue_dir, "healthy", idle_exit=8.0)
+        time.sleep(0.3)  # both workers demonstrably alive together
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        healthy.wait(timeout=300)
+        check(healthy.returncode == 0, "healthy worker drained the queue and exited")
+
+        states = queue.group_states(group, store=store)
+        check(
+            all(state in ("done", "cached") for state in states.values()),
+            f"every job settled ok ({len(states)} jobs)",
+        )
+        requeued = [event for event in queue.events(group) if event.get("event") == "requeued"]
+        check(len(requeued) >= 1, f"lease expiry requeued the victim's job ({len(requeued)} event(s))")
+
+        print("[4/5] warm replay against the shared store", file=sys.stderr, flush=True)
+        replay = subprocess.run(
+            _experiments_argv(args) + ["--export", "json", "--cache-dir", str(store_dir)],
+            env=_subprocess_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            check=True,
+        )
+        (workdir / "replay.json").write_bytes(replay.stdout)
+        check(b"cache-misses=0" in replay.stderr, "replay dispatched zero simulations")
+        check(replay.stdout == serial, "queue-backed rows byte-identical to the serial run")
+
+        print("[5/5] store integrity scan", file=sys.stderr, flush=True)
+        reports = scan_store(store_dir)
+        check(
+            all(report.damaged_lines == 0 for report in reports),
+            "store scans clean (no torn or checksum-failed lines)",
+        )
+        fingerprints = [
+            json.loads(line)["fp"]
+            for shard in (store_dir / "shards").glob("*.jsonl")
+            for line in shard.read_text().splitlines()
+            if line.strip()
+        ]
+        check(
+            len(fingerprints) == len(set(fingerprints)),
+            f"no duplicate fingerprints in the store ({len(fingerprints)} records)",
+        )
+    finally:
+        if cleanup is not None and not args.keep:
+            cleanup.cleanup()
+        elif args.keep:
+            print(f"workdir kept at {workdir}", file=sys.stderr)
+
+    if failures:
+        print(f"service smoke FAILED: {len(failures)} assertion(s)", file=sys.stderr)
+        return 1
+    print("service smoke passed", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.command == "worker":
+        return _command_worker(args)
+    return _command_smoke(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

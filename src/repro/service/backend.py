@@ -1,0 +1,172 @@
+"""The ``queue`` executor backend: dispatch attempts to worker daemons.
+
+:class:`QueueBackend` is the fourth :class:`~repro.sim.backends.ExecutorBackend`
+(after ``serial``, ``process-pool`` and ``chaos``): instead of running a wave's
+:class:`~repro.sim.supervision.JobAttempt`\\ s itself, it enqueues them on a
+:class:`~repro.service.queue.WorkQueue` and polls the shared result store until
+worker daemons (``python -m repro.service worker``) deliver.  Each settled job
+comes back as an ordinary :class:`~repro.sim.supervision.AttemptOutcome`, so
+the PR 8 :class:`~repro.sim.supervision.Supervisor` applies its timeout, retry
+and quarantine machinery to distributed jobs exactly as to local ones:
+
+* A job whose result does not appear within the per-repetition ``timeout``
+  yields a retryable ``timeout`` outcome — the supervisor re-dispatches it
+  with backoff, and the re-enqueue is a fingerprint-dedup no-op if the job is
+  merely slow rather than lost.
+* A job a worker *failed* yields the worker's recorded kind/retryable
+  classification; re-enqueueing a retryable failure clears the failed marker,
+  so the retry actually reruns.
+* A worker that dies mid-job is invisible here: its lease expires, any poller
+  (this backend calls :meth:`~repro.service.queue.WorkQueue.requeue_expired`
+  every cycle, counting into ``telemetry.lease_requeues``) requeues the job,
+  and another worker picks it up.
+
+Results are read back from the store by fingerprint, so a sweep whose results
+already exist — a warm rerun, or an overlapping sweep another submitter
+computed — dispatches nothing at all.
+
+Selected as ``--backend queue``; the queue directory comes from the
+``REPRO_QUEUE_DIR`` environment variable (the backend registry's ``from_knobs``
+seam has no spare parameter, and an env var inherits naturally into worker
+subprocesses).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Iterator, Optional, Sequence
+
+from ..registry import register_executor_backend
+from ..sim.backends import ExecutorBackend
+from ..sim.supervision import AttemptOutcome, FabricTelemetry, JobAttempt
+from .queue import WorkQueue
+
+__all__ = ["QueueBackend", "ENV_QUEUE_DIR", "ENV_QUEUE_STORE"]
+
+#: Environment variable naming the queue directory ``--backend queue`` uses.
+ENV_QUEUE_DIR = "REPRO_QUEUE_DIR"
+#: Optional override of the shared store directory at queue-creation time.
+ENV_QUEUE_STORE = "REPRO_QUEUE_STORE"
+
+
+@register_executor_backend("queue", aliases=("service",))
+class QueueBackend(ExecutorBackend):
+    """Executes attempts by enqueueing them for worker daemons (see module docs).
+
+    Parameters
+    ----------
+    queue:
+        The :class:`WorkQueue` to dispatch through.
+    store:
+        The shared result store workers persist into; defaults to the store
+        the queue metadata binds (:meth:`WorkQueue.open_store`).
+    poll_interval:
+        Seconds between completion polls while attempts are outstanding.
+    group:
+        Optional submit-group id: enqueued jobs subscribe this group, so its
+        event log streams the sweep's progress.
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        store=None,
+        *,
+        poll_interval: float = 0.2,
+        telemetry: Optional[FabricTelemetry] = None,
+        group: Optional[str] = None,
+    ) -> None:
+        super().__init__(telemetry=telemetry)
+        self.queue = queue
+        self.store = store if store is not None else queue.open_store()
+        self.poll_interval = float(poll_interval)
+        self.group = group
+
+    @classmethod
+    def from_knobs(
+        cls,
+        *,
+        workers: int = 0,
+        chunk_size: int = 1,
+        telemetry: Optional[FabricTelemetry] = None,
+    ) -> "QueueBackend":
+        queue_dir = os.environ.get(ENV_QUEUE_DIR)
+        if not queue_dir:
+            raise ValueError(
+                "the queue backend needs a queue directory: set "
+                f"{ENV_QUEUE_DIR}=/path/to/queue (created on first use; start "
+                "workers with `python -m repro.service worker --queue <dir>`)"
+            )
+        queue = WorkQueue.ensure(queue_dir, store_dir=os.environ.get(ENV_QUEUE_STORE))
+        return cls(queue, telemetry=telemetry)
+
+    def run_attempts(
+        self, attempts: Sequence[JobAttempt], *, timeout: Optional[float] = None
+    ) -> Iterator[AttemptOutcome]:
+        pending: dict[str, tuple[JobAttempt, float]] = {}
+        for attempt in attempts:
+            try:
+                fingerprint = attempt.task.fingerprint(attempt.repetition)
+            except TypeError as exc:
+                # The queue is keyed by fingerprints; a task the payload
+                # scheme cannot reduce has no stable distributed identity.
+                yield AttemptOutcome(
+                    attempt,
+                    kind="exception",
+                    error=(
+                        f"task {attempt.task.label!r} is not fingerprintable and "
+                        f"cannot be queued: {exc}"
+                    ),
+                    retryable=False,
+                )
+                continue
+            result = self.store.get(fingerprint) if self.store.contains(fingerprint) else None
+            if result is not None:
+                yield AttemptOutcome(attempt, result=result)
+                continue
+            self.queue.enqueue(attempt.task, attempt.repetition, group=self.group)
+            pending[fingerprint] = (attempt, time.monotonic())
+
+        while pending:
+            self.telemetry.lease_requeues += len(self.queue.requeue_expired())
+            progressed = False
+            for fingerprint in list(pending):
+                attempt, started = pending[fingerprint]
+                outcome = self._poll_one(fingerprint, attempt, started, timeout)
+                if outcome is not None:
+                    del pending[fingerprint]
+                    progressed = True
+                    yield outcome
+            if pending and not progressed:
+                time.sleep(self.poll_interval)
+
+    def _poll_one(
+        self,
+        fingerprint: str,
+        attempt: JobAttempt,
+        started: float,
+        timeout: Optional[float],
+    ) -> Optional[AttemptOutcome]:
+        done = self.queue.done_info(fingerprint)
+        if done is not None and done.get("status") != "ok":
+            return AttemptOutcome(
+                attempt,
+                kind=str(done.get("kind", "exception")),
+                error=str(done.get("error", "worker reported failure")),
+                retryable=bool(done.get("retryable", False)),
+            )
+        if self.store.contains(fingerprint):
+            result = self.store.get(fingerprint)
+            if result is not None:
+                return AttemptOutcome(attempt, result=result)
+        if timeout is not None and time.monotonic() - started > timeout:
+            # The *wait* budget expired; the job itself stays queued, so the
+            # supervisor's re-dispatch dedupes onto it and waits again.
+            return AttemptOutcome(
+                attempt,
+                kind="timeout",
+                error=f"no worker delivered {fingerprint[:12]}… within {timeout:.3f}s",
+                retryable=True,
+            )
+        return None

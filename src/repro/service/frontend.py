@@ -1,0 +1,196 @@
+"""The service front end: submit sweeps, serve workers, stream progress.
+
+These functions back the ``python -m repro.experiments submit/serve/status/
+watch`` subcommands (argument parsing and spec resolution stay in
+:mod:`repro.experiments.__main__`; the queue mechanics live here).
+
+``submit`` is deliberately *fire-and-forget*: it compiles the spec's grid to
+fingerprinted ``(task, repetition)`` jobs, enqueues whatever the shared store
+does not already answer, prints the group id, and exits — no process waits on
+the sweep.  Because jobs are keyed by content fingerprint, two overlapping
+submits converge: the second finds the shared jobs already queued (its group
+merely *subscribes* to them) or their results already stored, and dispatches
+zero duplicate work.
+
+``status`` and ``watch`` read only the group manifest, the job/claim/done
+markers and the per-group JSONL event log — append-only files any process can
+tail — so progress streaming needs no channel back to the workers.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from collections import Counter
+from typing import Optional, Sequence, TextIO
+
+from .queue import DEFAULT_LEASE_SECONDS, QueueError, WorkQueue
+
+__all__ = ["submit", "status", "watch", "serve"]
+
+#: Group states that need no further worker activity.
+_TERMINAL_STATES = frozenset({"done", "failed", "cached"})
+
+
+def submit(
+    spec,
+    context: dict,
+    *,
+    queue_dir: str,
+    store_dir: Optional[str] = None,
+    store_backend: str = "shared",
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    out: Optional[TextIO] = None,
+    err: Optional[TextIO] = None,
+) -> str:
+    """Enqueue the resolved spec's sweep; print and return the group id.
+
+    Only the ``sweep`` driver pre-enumerates its full task grid (the adaptive
+    ``tolerance_search`` and the coupled ``dual_mode`` depend on intermediate
+    results); those drivers run through ``run --backend queue`` instead, where
+    the supervisor drives the queue wave by wave.
+    """
+    from ..experiments.driver import build_sweep_tasks
+
+    # Resolve the streams at call time so redirections (and test capture)
+    # installed after import are honoured.
+    out = sys.stdout if out is None else out
+    err = sys.stderr if err is None else err
+    if spec.driver != "sweep":
+        raise QueueError(
+            f"submit requires the 'sweep' driver (whole grid known up front); "
+            f"{spec.name} uses {spec.driver!r} — run it with "
+            "`python -m repro.experiments run ... --backend queue` instead"
+        )
+    queue = WorkQueue.ensure(
+        queue_dir,
+        store_dir=store_dir,
+        store_backend=store_backend,
+        lease_seconds=lease_seconds,
+    )
+    store = queue.open_store()
+    tasks = build_sweep_tasks(spec, context)
+    try:
+        jobs = [
+            (task, repetition, task.fingerprint(repetition))
+            for task in tasks
+            for repetition in range(task.repetitions)
+        ]
+    except TypeError as exc:
+        raise QueueError(
+            f"{spec.name} builds tasks the fingerprint payload scheme cannot "
+            f"reduce, so they have no distributed identity: {exc}"
+        ) from exc
+    group = queue.create_group([fingerprint for _, _, fingerprint in jobs], spec=spec.name)
+    counts: Counter = Counter()
+    for task, repetition, fingerprint in jobs:
+        if store.contains(fingerprint):
+            queue.emit_event(group, "cached", fingerprint=fingerprint, label=task.label)
+            counts["cached"] += 1
+        else:
+            outcome = queue.enqueue(task, repetition, group=group)
+            counts[outcome.status] += 1
+    detail = ", ".join(f"{counts[key]} {key}" for key in ("queued", "duplicate", "done", "cached") if counts[key])
+    print(
+        f"submitted {spec.name} as group {group}: {len(jobs)} job(s) ({detail or 'nothing to do'})",
+        file=err,
+    )
+    print(group, file=out)
+    return group
+
+
+def status(queue_dir: str, group: str, *, out: Optional[TextIO] = None) -> int:
+    """One-shot progress report of a group; exit code 0 once fully settled."""
+    out = sys.stdout if out is None else out
+    queue = WorkQueue(queue_dir)
+    store = queue.open_store(readonly=True)
+    states = queue.group_states(group, store=store)
+    counts = Counter(states.values())
+    total = len(states)
+    settled = sum(counts[state] for state in _TERMINAL_STATES)
+    breakdown = " ".join(f"{state}={count}" for state, count in sorted(counts.items()))
+    print(f"group {group}: {settled}/{total} settled ({breakdown})", file=out)
+    return 0 if settled == total else 1
+
+
+def watch(
+    queue_dir: str,
+    group: str,
+    *,
+    poll_interval: float = 0.5,
+    timeout: Optional[float] = None,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Tail a group's event log until every job settles (async progress stream).
+
+    Returns 0 when the group settled with no failures, 3 when any job's
+    terminal state is ``failed`` (mirroring the ``run`` CLI's quarantine
+    exit), and 1 on ``timeout`` seconds without settling.
+    """
+    out = sys.stdout if out is None else out
+    queue = WorkQueue(queue_dir)
+    store = queue.open_store(readonly=True)
+    queue.group_manifest(group)  # fail fast on an unknown group id
+    seen = 0
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        for event in queue.events(group, start=seen):
+            seen += 1
+            fields = " ".join(
+                f"{key}={value}" for key, value in event.items() if key not in ("ts", "event")
+            )
+            print(f"{event.get('event', '?')} {fields}".rstrip(), file=out, flush=True)
+        states = queue.group_states(group, store=store)
+        if all(state in _TERMINAL_STATES for state in states.values()):
+            counts = Counter(states.values())
+            print(
+                f"group {group} settled: "
+                + " ".join(f"{state}={count}" for state, count in sorted(counts.items())),
+                file=out,
+                flush=True,
+            )
+            return 3 if counts["failed"] else 0
+        if deadline is not None and time.monotonic() > deadline:
+            print(f"group {group} not settled after {timeout:g}s", file=out, flush=True)
+            return 1
+        time.sleep(poll_interval)
+
+
+def serve(
+    queue_dir: str,
+    *,
+    workers: int = 2,
+    store_dir: Optional[str] = None,
+    idle_exit: Optional[float] = None,
+    err: Optional[TextIO] = None,
+) -> int:
+    """Run ``workers`` daemon subprocesses against one queue; wait for them.
+
+    Each worker is a real ``python -m repro.service worker`` process (crash
+    isolation: a repetition that kills its worker loses one lease, not the
+    server).  With ``idle_exit`` the server drains the queue and returns;
+    without it, it serves until interrupted.
+    """
+    err = sys.stderr if err is None else err
+    if workers < 1:
+        raise QueueError("serve needs at least one worker")
+    WorkQueue(queue_dir)  # fail fast before spawning anything
+    command = [sys.executable, "-m", "repro.service", "worker", "--queue", str(queue_dir)]
+    if store_dir is not None:
+        command += ["--store", str(store_dir)]
+    if idle_exit is not None:
+        command += ["--idle-exit", str(idle_exit)]
+    procs = [
+        subprocess.Popen(command + ["--worker-id", f"serve-{index}"])
+        for index in range(workers)
+    ]
+    print(f"serving {queue_dir} with {workers} worker(s)", file=err)
+    try:
+        return max(proc.wait() for proc in procs)
+    except KeyboardInterrupt:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.wait()
+        return 130

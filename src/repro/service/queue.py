@@ -1,0 +1,621 @@
+"""Durable filesystem-backed work queue for fingerprinted sweep jobs.
+
+The queue is a directory; every mutation is an atomic filesystem operation,
+so any number of submitters, workers and watchers — processes or hosts
+sharing the filesystem — cooperate without a broker:
+
+::
+
+    <queue_dir>/
+        queue-meta.json            # version, lease seconds, shared-store binding
+        jobs/<fp>.json             # job payload + subscription lines (append-only)
+        claims/<fp>.json           # live lease of the worker running <fp>
+        done/<fp>.json             # terminal marker: {"status": "ok"|"failed", ...}
+        groups/<gid>.json          # submit-group manifest (ordered fingerprints)
+        groups/<gid>.events.jsonl  # per-group progress event log (append-only)
+
+Jobs are keyed by :meth:`~repro.sim.runner.SweepTask.fingerprint` — the same
+content hash the result store is keyed by — so *enqueue deduplicates*: two
+submitters racing overlapping sweeps converge on one job file each (the loser
+of the atomic ``os.link`` publish merely subscribes its group to the winner's
+job).  The task itself rides inside the job file as a base64 pickle; tasks
+are picklable by the same contract the process-pool backend relies on.
+
+Claim protocol
+--------------
+* **Claim**: create ``claims/<fp>.json`` with ``O_CREAT | O_EXCL`` — the
+  filesystem picks exactly one winner among racing workers.
+* **Heartbeat**: the worker periodically rewrites its claim (temp file +
+  ``os.replace``) with a fresh ``expires_at``.
+* **Expiry**: any process may call :meth:`WorkQueue.requeue_expired`; a stale
+  claim is *stolen* by ``os.rename`` to a unique tombstone name (again,
+  exactly one winner) and the job becomes claimable again.
+
+A worker killed between persisting the result and writing the done marker is
+covered by fingerprint dedupe: the next claimant finds the result already in
+the shared store and completes the job without recomputing.  The remaining
+race — a zombie worker whose lease was stolen finishing anyway — is *benign*:
+repetitions are pure functions of their seed, so the duplicate append stores
+identical bytes and the store's later-line-wins load is unaffected.
+
+Event log lines are whole-line ``O_APPEND`` writes (the result store's
+torn-line discipline), and readers skip undecodable lines, so a crash
+mid-append never corrupts a watcher.
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.runner import SweepTask
+
+__all__ = ["QUEUE_VERSION", "QueueError", "EnqueueOutcome", "ClaimedJob", "WorkQueue"]
+
+#: Version of the on-disk queue layout.
+QUEUE_VERSION = 1
+
+_META_NAME = "queue-meta.json"
+_JOBS_DIR = "jobs"
+_CLAIMS_DIR = "claims"
+_DONE_DIR = "done"
+_GROUPS_DIR = "groups"
+
+#: Default seconds a claim stays valid without a heartbeat renewal.
+DEFAULT_LEASE_SECONDS = 30.0
+
+_tombstone_counter = itertools.count()
+
+
+class QueueError(RuntimeError):
+    """A queue directory is missing, incompatible, or an operation misused it."""
+
+
+def _append_line(path: Path, obj: dict) -> None:
+    """Append one JSON object as a whole line with a single ``os.write``.
+
+    The same discipline as the result store's shard appends: on local
+    filesystems an ``O_APPEND`` write of one line lands whole, so concurrent
+    appenders interleave lines, never bytes.
+    """
+    data = (json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n").encode("utf8")
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+
+
+def _read_lines(path: Path) -> Iterator[dict]:
+    """Yield the decodable JSON lines of ``path`` (torn trailing lines skipped)."""
+    try:
+        with open(path, "r", encoding="utf8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn append: the writer crashed mid-line
+                if isinstance(obj, dict):
+                    yield obj
+    except FileNotFoundError:
+        return
+
+
+def _write_atomic(path: Path, obj: dict) -> None:
+    """Publish ``obj`` at ``path`` via a pid-unique temp file + ``os.replace``."""
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n", encoding="utf8")
+    os.replace(tmp, path)
+
+
+def encode_task(task: "SweepTask") -> str:
+    """Serialize a task for the job file (pickle, base64-armoured for JSON)."""
+    return base64.b64encode(pickle.dumps(task)).decode("ascii")
+
+
+def decode_task(payload: str) -> "SweepTask":
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+@dataclass(frozen=True, slots=True)
+class EnqueueOutcome:
+    """What :meth:`WorkQueue.enqueue` did for one ``(task, repetition)`` pair.
+
+    ``status`` is ``"queued"`` (this call published the job), ``"duplicate"``
+    (an equivalent job was already queued or running — the group was
+    subscribed to it) or ``"done"`` (a completed marker already answers it).
+    """
+
+    fingerprint: str
+    status: str
+
+
+@dataclass(slots=True)
+class ClaimedJob:
+    """A job this process holds the lease on."""
+
+    fingerprint: str
+    task: "SweepTask"
+    repetition: int
+    label: str
+    worker_id: str
+    expires_at: float
+    #: Groups subscribed to this job at claim time (event-log targets).
+    groups: tuple[str, ...] = ()
+
+
+class WorkQueue:
+    """One queue directory (see the module docstring for the layout).
+
+    Parameters
+    ----------
+    root:
+        The queue directory.  It must already hold a ``queue-meta.json``
+        (created by :meth:`ensure`); opening a bare directory raises
+        :class:`QueueError` so a typo'd ``--queue`` path fails loudly.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        meta_path = self.root / _META_NAME
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf8"))
+        except FileNotFoundError:
+            raise QueueError(
+                f"{self.root} is not a work queue (no {_META_NAME}); "
+                "create one with WorkQueue.ensure() or the submit front end"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise QueueError(f"unreadable queue metadata at {meta_path}: {exc}") from exc
+        version = meta.get("version")
+        if version != QUEUE_VERSION:
+            raise QueueError(
+                f"work queue at {self.root} has layout version {version!r}; "
+                f"this build speaks version {QUEUE_VERSION}"
+            )
+        self.lease_seconds = float(meta.get("lease_seconds", DEFAULT_LEASE_SECONDS))
+        self.store_dir = meta.get("store_dir")
+        self.store_backend = meta.get("store_backend", "shared")
+
+    # -- creation ----------------------------------------------------------------------
+    @classmethod
+    def ensure(
+        cls,
+        root: str | os.PathLike,
+        *,
+        store_dir: Optional[str | os.PathLike] = None,
+        store_backend: str = "shared",
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    ) -> "WorkQueue":
+        """Open the queue at ``root``, creating it if it does not exist yet.
+
+        ``store_dir`` (default ``<root>/store``) and ``store_backend`` bind
+        the queue to the shared result store every worker persists into; they
+        are recorded in the metadata at creation so workers need only the
+        queue path.  Racing creators are resolved by ``O_CREAT | O_EXCL`` on
+        the metadata file — the loser adopts the winner's binding.
+        """
+        root = Path(root)
+        meta_path = root / _META_NAME
+        if not meta_path.exists():
+            root.mkdir(parents=True, exist_ok=True)
+            for sub in (_JOBS_DIR, _CLAIMS_DIR, _DONE_DIR, _GROUPS_DIR):
+                (root / sub).mkdir(exist_ok=True)
+            if lease_seconds <= 0:
+                raise QueueError("lease_seconds must be positive")
+            resolved_store = Path(store_dir) if store_dir is not None else root / "store"
+            meta = {
+                "version": QUEUE_VERSION,
+                "lease_seconds": float(lease_seconds),
+                "store_dir": str(resolved_store.resolve()),
+                "store_backend": store_backend,
+                "created_at": time.time(),
+            }
+            data = (json.dumps(meta, sort_keys=True, indent=2) + "\n").encode("utf8")
+            try:
+                fd = os.open(meta_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                pass  # another creator won the race; adopt its metadata below
+            else:
+                try:
+                    os.write(fd, data)
+                finally:
+                    os.close(fd)
+        return cls(root)
+
+    def open_store(self, *, readonly: bool = False):
+        """The shared result store this queue is bound to (by registry key)."""
+        from ..registry import STORE_BACKENDS
+
+        if self.store_dir is None:
+            raise QueueError(f"work queue at {self.root} records no store_dir")
+        return STORE_BACKENDS.get(self.store_backend)(self.store_dir, readonly=readonly)
+
+    # -- path helpers ------------------------------------------------------------------
+    def _job_path(self, fingerprint: str) -> Path:
+        return self.root / _JOBS_DIR / f"{fingerprint}.json"
+
+    def _claim_path(self, fingerprint: str) -> Path:
+        return self.root / _CLAIMS_DIR / f"{fingerprint}.json"
+
+    def _done_path(self, fingerprint: str) -> Path:
+        return self.root / _DONE_DIR / f"{fingerprint}.json"
+
+    def _group_path(self, group: str) -> Path:
+        return self.root / _GROUPS_DIR / f"{group}.json"
+
+    def _events_path(self, group: str) -> Path:
+        return self.root / _GROUPS_DIR / f"{group}.events.jsonl"
+
+    # -- submit side -------------------------------------------------------------------
+    def enqueue(
+        self, task: "SweepTask", repetition: int, *, group: Optional[str] = None
+    ) -> EnqueueOutcome:
+        """Publish one ``(task, repetition)`` job; deduplicates by fingerprint.
+
+        A stale *failed* marker is cleared first, so re-submitting (or the
+        supervisor re-dispatching) a transiently failed job makes it runnable
+        again; an *ok* marker is terminal — the result is in the store.
+        """
+        fingerprint = task.fingerprint(repetition)
+        done = self.done_info(fingerprint)
+        if done is not None:
+            if done.get("status") == "ok":
+                if group is not None:
+                    self._subscribe(fingerprint, group)
+                    self.emit_event(group, "done", fingerprint=fingerprint, note="already-complete")
+                return EnqueueOutcome(fingerprint, "done")
+            # Failed marker: clear it so the job can run again (retry path).
+            try:
+                os.unlink(self._done_path(fingerprint))
+            except FileNotFoundError:
+                pass
+        job_path = self._job_path(fingerprint)
+        if not job_path.exists():
+            payload = {
+                "kind": "job",
+                "fp": fingerprint,
+                "repetition": int(repetition),
+                "label": task.label,
+                "task": encode_task(task),
+                "enqueued_at": time.time(),
+            }
+            tmp = job_path.with_name(f"{job_path.name}.tmp.{os.getpid()}")
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+                encoding="utf8",
+            )
+            try:
+                # os.link publishes atomically AND tells us who won: racing
+                # submitters of the same fingerprint get FileExistsError and
+                # fall through to the duplicate path.
+                os.link(tmp, job_path)
+                won = True
+            except FileExistsError:
+                won = False
+            finally:
+                os.unlink(tmp)
+            if won:
+                if group is not None:
+                    self._subscribe(fingerprint, group)
+                    self.emit_event(group, "queued", fingerprint=fingerprint, label=task.label)
+                return EnqueueOutcome(fingerprint, "queued")
+        if group is not None:
+            self._subscribe(fingerprint, group)
+            self.emit_event(group, "deduped", fingerprint=fingerprint, label=task.label)
+        return EnqueueOutcome(fingerprint, "duplicate")
+
+    def _subscribe(self, fingerprint: str, group: str) -> None:
+        """Append a subscription line so workers route events to ``group``."""
+        job_path = self._job_path(fingerprint)
+        for line in _read_lines(job_path):
+            if line.get("kind") == "subscribe" and line.get("group") == group:
+                return
+        _append_line(job_path, {"kind": "subscribe", "group": group})
+
+    # -- job inspection ----------------------------------------------------------------
+    def read_job(self, fingerprint: str) -> Optional[tuple[dict, tuple[str, ...]]]:
+        """The job payload and its subscribed groups, or ``None`` if unknown."""
+        payload = None
+        groups: list[str] = []
+        for line in _read_lines(self._job_path(fingerprint)):
+            kind = line.get("kind")
+            if kind == "job" and payload is None:
+                payload = line
+            elif kind == "subscribe":
+                group = line.get("group")
+                if isinstance(group, str) and group not in groups:
+                    groups.append(group)
+        if payload is None:
+            return None
+        return payload, tuple(groups)
+
+    def done_info(self, fingerprint: str) -> Optional[dict]:
+        """The terminal marker of a job, or ``None`` while it is live."""
+        lines = list(_read_lines(self._done_path(fingerprint)))
+        return lines[0] if lines else None
+
+    def claim_info(self, fingerprint: str) -> Optional[dict]:
+        """The live claim of a job, or ``None``.  Unreadable claims (a racing
+        writer mid-``os.replace``) are reported as an empty dict — *held*,
+        with no expiry opinion — so expiry logic never steals a lease it
+        could not actually read."""
+        path = self._claim_path(fingerprint)
+        if not path.exists():
+            return None
+        lines = list(_read_lines(path))
+        return lines[0] if lines else {}
+
+    def job_state(self, fingerprint: str) -> str:
+        """``"done"``, ``"failed"``, ``"claimed"``, ``"pending"`` or ``"unknown"``."""
+        done = self.done_info(fingerprint)
+        if done is not None:
+            return "done" if done.get("status") == "ok" else "failed"
+        if self.claim_info(fingerprint) is not None:
+            return "claimed"
+        if self._job_path(fingerprint).exists():
+            return "pending"
+        return "unknown"
+
+    def job_fingerprints(self) -> list[str]:
+        """Every queued fingerprint, sorted (stable claim-scan order)."""
+        jobs_dir = self.root / _JOBS_DIR
+        return sorted(path.stem for path in jobs_dir.glob("*.json"))
+
+    # -- worker side -------------------------------------------------------------------
+    def claim_next(self, worker_id: str, *, now: Optional[float] = None) -> Optional[ClaimedJob]:
+        """Claim the first claimable job, or ``None`` when the queue is drained.
+
+        ``O_CREAT | O_EXCL`` on the claim file arbitrates racing workers; the
+        loser simply moves on to the next fingerprint.
+        """
+        now = time.time() if now is None else now
+        for fingerprint in self.job_fingerprints():
+            if self.done_info(fingerprint) is not None:
+                continue
+            if self.claim_info(fingerprint) is not None:
+                continue
+            claim = self._try_claim(fingerprint, worker_id, now)
+            if claim is not None:
+                return claim
+        return None
+
+    def _try_claim(self, fingerprint: str, worker_id: str, now: float) -> Optional[ClaimedJob]:
+        expires_at = now + self.lease_seconds
+        claim = {
+            "fp": fingerprint,
+            "worker": worker_id,
+            "claimed_at": now,
+            "expires_at": expires_at,
+        }
+        data = (json.dumps(claim, sort_keys=True, separators=(",", ":")) + "\n").encode("utf8")
+        try:
+            fd = os.open(self._claim_path(fingerprint), os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return None
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+        loaded = self.read_job(fingerprint)
+        if loaded is None:
+            # The job file vanished under us (should not happen: jobs are
+            # never deleted); release the claim rather than wedge the slot.
+            try:
+                os.unlink(self._claim_path(fingerprint))
+            except FileNotFoundError:
+                pass
+            return None
+        payload, groups = loaded
+        try:
+            task = decode_task(payload["task"])
+        except Exception as exc:
+            # An undecodable payload is a permanent failure of the job, not
+            # of the worker: mark it failed so submitters see it.
+            self._finish(
+                fingerprint,
+                groups,
+                worker_id,
+                status="failed",
+                kind="exception",
+                error=f"undecodable job payload: {type(exc).__name__}: {exc}",
+                retryable=False,
+            )
+            return None
+        claimed = ClaimedJob(
+            fingerprint=fingerprint,
+            task=task,
+            repetition=int(payload.get("repetition", 0)),
+            label=str(payload.get("label", "")),
+            worker_id=worker_id,
+            expires_at=expires_at,
+            groups=groups,
+        )
+        for group in groups:
+            self.emit_event(group, "claimed", fingerprint=fingerprint, worker=worker_id)
+        return claimed
+
+    def renew(self, claimed: ClaimedJob, *, now: Optional[float] = None) -> None:
+        """Heartbeat: extend the lease of a held claim (temp file + replace).
+
+        If the lease already expired and was stolen, the rewrite resurrects
+        the claim file — a benign race (see the module docstring): both the
+        zombie and the new claimant compute the same bytes.
+        """
+        now = time.time() if now is None else now
+        claimed.expires_at = now + self.lease_seconds
+        _write_atomic(
+            self._claim_path(claimed.fingerprint),
+            {
+                "fp": claimed.fingerprint,
+                "worker": claimed.worker_id,
+                "claimed_at": now,
+                "expires_at": claimed.expires_at,
+            },
+        )
+
+    def complete(
+        self,
+        claimed: ClaimedJob,
+        *,
+        status: str = "ok",
+        kind: str = "",
+        error: str = "",
+        retryable: bool = False,
+        note: str = "",
+    ) -> None:
+        """Write the terminal marker for a held job and release its claim."""
+        self._finish(
+            claimed.fingerprint,
+            claimed.groups,
+            claimed.worker_id,
+            status=status,
+            kind=kind,
+            error=error,
+            retryable=retryable,
+            note=note,
+        )
+
+    def _finish(
+        self,
+        fingerprint: str,
+        groups: Sequence[str],
+        worker_id: str,
+        *,
+        status: str,
+        kind: str = "",
+        error: str = "",
+        retryable: bool = False,
+        note: str = "",
+    ) -> None:
+        marker = {
+            "fp": fingerprint,
+            "status": status,
+            "worker": worker_id,
+            "completed_at": time.time(),
+        }
+        if status != "ok":
+            marker.update({"kind": kind or "exception", "error": error, "retryable": retryable})
+        if note:
+            marker["note"] = note
+        _write_atomic(self._done_path(fingerprint), marker)
+        try:
+            os.unlink(self._claim_path(fingerprint))
+        except FileNotFoundError:
+            pass
+        event = "done" if status == "ok" else "failed"
+        for group in groups:
+            self.emit_event(
+                group,
+                event,
+                fingerprint=fingerprint,
+                worker=worker_id,
+                **({"error": error} if error else {}),
+                **({"note": note} if note else {}),
+            )
+
+    def requeue_expired(self, *, now: Optional[float] = None) -> list[str]:
+        """Requeue every job whose lease expired; returns their fingerprints.
+
+        Safe to call from any process at any time.  A stale claim is stolen
+        by renaming it to a unique tombstone — exactly one caller wins the
+        rename, so a job is requeued (and its event emitted) once.
+        """
+        now = time.time() if now is None else now
+        requeued: list[str] = []
+        claims_dir = self.root / _CLAIMS_DIR
+        for path in sorted(claims_dir.glob("*.json")):
+            lines = list(_read_lines(path))
+            if not lines:
+                continue  # mid-write or unreadable: no expiry opinion, leave it
+            claim = lines[0]
+            expires_at = claim.get("expires_at")
+            if not isinstance(expires_at, (int, float)) or expires_at >= now:
+                continue
+            tombstone = path.with_name(
+                f"{path.name}.expired.{os.getpid()}.{next(_tombstone_counter)}"
+            )
+            try:
+                os.rename(path, tombstone)
+            except FileNotFoundError:
+                continue  # another process stole it first
+            os.unlink(tombstone)
+            fingerprint = path.stem
+            requeued.append(fingerprint)
+            loaded = self.read_job(fingerprint)
+            groups = loaded[1] if loaded is not None else ()
+            for group in groups:
+                self.emit_event(
+                    group,
+                    "requeued",
+                    fingerprint=fingerprint,
+                    worker=str(claim.get("worker", "?")),
+                    lease_expired_at=expires_at,
+                )
+        return requeued
+
+    # -- groups and events -------------------------------------------------------------
+    def create_group(self, fingerprints: Sequence[str], *, spec: str = "") -> str:
+        """Record a submit group (ordered fingerprints) and return its id."""
+        group = os.urandom(6).hex()
+        _write_atomic(
+            self._group_path(group),
+            {
+                "group": group,
+                "spec": spec,
+                "jobs": list(fingerprints),
+                "created_at": time.time(),
+            },
+        )
+        return group
+
+    def group_manifest(self, group: str) -> dict:
+        lines = list(_read_lines(self._group_path(group)))
+        if not lines:
+            known = sorted(
+                p.stem for p in (self.root / _GROUPS_DIR).glob("*.json") if ".events" not in p.name
+            )
+            raise QueueError(
+                f"unknown group {group!r} in queue {self.root}; "
+                f"known groups: {', '.join(known) or '(none)'}"
+            )
+        return lines[0]
+
+    def group_states(self, group: str, *, store=None) -> dict[str, str]:
+        """Per-fingerprint state of a group, in manifest order.
+
+        With a ``store``, jobs that are not terminal in the queue but whose
+        result already exists are reported as ``"cached"`` — the state a
+        crash between persist and done-marker leaves behind, and the state
+        overlapping submitters see for work another sweep computed.
+        """
+        manifest = self.group_manifest(group)
+        states: dict[str, str] = {}
+        for fingerprint in manifest.get("jobs", ()):
+            state = self.job_state(fingerprint)
+            if state in ("pending", "claimed", "unknown") and store is not None:
+                if store.contains(fingerprint):
+                    state = "cached"
+            states[fingerprint] = state
+        return states
+
+    def emit_event(self, group: str, kind: str, **fields) -> None:
+        """Append one progress event to the group's JSONL log."""
+        _append_line(self._events_path(group), {"ts": time.time(), "event": kind, **fields})
+
+    def events(self, group: str, *, start: int = 0) -> Iterator[dict]:
+        """The group's events from index ``start`` (tolerates torn tails)."""
+        for index, event in enumerate(_read_lines(self._events_path(group))):
+            if index >= start:
+                yield event

@@ -1,0 +1,145 @@
+"""The worker daemon: claim queued jobs, run them, persist into the shared store.
+
+``python -m repro.service worker --queue DIR`` runs :func:`worker_loop`: an
+infinite (or bounded, for tests and drain scripts) claim/run/persist cycle.
+Every iteration:
+
+1. :meth:`~repro.service.queue.WorkQueue.requeue_expired` — workers are also
+   the janitors: any worker sweeps up leases its dead peers left behind.
+2. :meth:`~repro.service.queue.WorkQueue.claim_next` — atomic ``O_EXCL``
+   claim of the first runnable job.
+3. If the shared store already holds the fingerprint, complete immediately
+   with a ``cached`` note.  This is both the dedupe fast path for overlapping
+   submitters *and* the recovery path for a worker that died after persisting
+   its result but before writing the done marker.
+4. Otherwise run the repetition — with a heartbeat thread renewing the lease
+   at a third of its period — then ``store.put`` and mark done.  Persist
+   *precedes* the marker, so a crash between them replays as case 3.
+
+Failures inside ``run_repetition`` are recorded on the done marker with the
+supervision envelope's classification (plain exceptions are deterministic and
+final; :class:`~repro.sim.supervision.TransientJobError` subclasses are
+retryable), so the submitting supervisor applies its usual retry/quarantine
+logic from the other side of the queue.
+
+The ``REPRO_SERVICE_HOLD`` environment variable (seconds, float) makes the
+worker sleep between claiming and running — a test hook giving kill-the-worker
+drills a deterministic window where a job is claimed but not yet persisted.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional, TextIO
+
+from ..sim.runner import run_repetition
+from ..sim.supervision import TransientJobError
+from .queue import ClaimedJob, WorkQueue
+
+__all__ = ["worker_loop", "run_claimed_job"]
+
+#: Test hook: seconds to sleep after claiming a job, before running it.
+ENV_HOLD = "REPRO_SERVICE_HOLD"
+
+
+def _heartbeat(queue: WorkQueue, job: ClaimedJob, stop: threading.Event) -> None:
+    interval = max(0.05, queue.lease_seconds / 3.0)
+    while not stop.wait(interval):
+        try:
+            queue.renew(job)
+        except OSError:  # pragma: no cover - queue dir vanished under us
+            return
+
+
+def run_claimed_job(queue: WorkQueue, store, job: ClaimedJob) -> str:
+    """Run one claimed job to a terminal marker; returns the marker status.
+
+    The lease is renewed from a daemon heartbeat thread for as long as the
+    repetition runs, so ``lease_seconds`` bounds *failure detection latency*,
+    not job duration.
+    """
+    if store.contains(job.fingerprint):
+        queue.complete(job, status="ok", note="cached")
+        return "ok"
+    hold = float(os.environ.get(ENV_HOLD, "0") or 0)
+    if hold > 0:
+        time.sleep(hold)
+    stop = threading.Event()
+    beat = threading.Thread(target=_heartbeat, args=(queue, job, stop), daemon=True)
+    beat.start()
+    try:
+        result = run_repetition(job.task, job.repetition)
+    except Exception as exc:  # noqa: BLE001 - classified for the supervisor
+        stop.set()
+        beat.join()
+        queue.complete(
+            job,
+            status="failed",
+            kind="exception",
+            error=f"{type(exc).__name__}: {exc}",
+            retryable=isinstance(exc, TransientJobError),
+        )
+        return "failed"
+    stop.set()
+    beat.join()
+    store.put(job.fingerprint, result)
+    queue.complete(job, status="ok")
+    return "ok"
+
+
+def worker_loop(
+    queue_dir: str,
+    *,
+    store_dir: Optional[str] = None,
+    worker_id: Optional[str] = None,
+    poll_interval: float = 0.2,
+    max_jobs: Optional[int] = None,
+    idle_exit: Optional[float] = None,
+    log: Optional[TextIO] = None,
+) -> int:
+    """Claim and run jobs from ``queue_dir`` until stopped; returns jobs run.
+
+    ``max_jobs`` bounds how many jobs this worker completes (tests); with
+    ``idle_exit`` the worker exits after that many seconds without finding
+    claimable work (drain scripts and the serve front end) — otherwise it
+    polls forever.  ``store_dir`` overrides the store the queue metadata
+    binds; the backend *class* still comes from the queue's recorded
+    ``store_backend`` key, so every worker appends with the same discipline.
+    """
+    queue = WorkQueue(queue_dir)
+    if store_dir is not None:
+        from ..registry import STORE_BACKENDS
+
+        store = STORE_BACKENDS.get(queue.store_backend)(store_dir)
+    else:
+        store = queue.open_store()
+    me = worker_id or f"{os.uname().nodename}-{os.getpid()}"
+    completed = 0
+    idle_since: Optional[float] = None
+
+    def say(message: str) -> None:
+        if log is not None:
+            print(f"[worker {me}] {message}", file=log, flush=True)
+
+    say(f"serving queue {queue.root} (store {store.cache_dir}, lease {queue.lease_seconds:g}s)")
+    while max_jobs is None or completed < max_jobs:
+        requeued = queue.requeue_expired()
+        for fingerprint in requeued:
+            say(f"requeued expired lease {fingerprint[:12]}…")
+        job = queue.claim_next(me)
+        if job is None:
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if idle_exit is not None and now - idle_since >= idle_exit:
+                say(f"idle for {idle_exit:g}s, exiting after {completed} job(s)")
+                break
+            time.sleep(poll_interval)
+            continue
+        idle_since = None
+        status = run_claimed_job(queue, store, job)
+        completed += 1
+        say(f"{job.label} rep {job.repetition} [{job.fingerprint[:12]}…] -> {status}")
+    return completed

@@ -4,8 +4,11 @@ An :class:`ExecutorBackend` turns a wave of supervised
 :class:`~repro.sim.supervision.JobAttempt`s into
 :class:`~repro.sim.supervision.AttemptOutcome`s.  Backends are registry
 plugins (:data:`repro.registry.EXECUTOR_BACKENDS`) exactly like protocols and
-channels, so the multi-host work-queue backend of ROADMAP item 2 becomes one
-more ``@register_executor_backend`` class:
+channels — the multi-host work-queue backend of ROADMAP item 2 is exactly
+that: :class:`~repro.service.backend.QueueBackend` registers as ``queue``
+from its home module and dispatches attempts to worker daemons through a
+durable :class:`~repro.service.queue.WorkQueue` instead of running them here.
+The local backends:
 
 ``serial``
     Runs attempts inline.  Timeouts are detected *post-hoc* (inline execution

@@ -18,8 +18,10 @@ This module turns that property into throughput:
   including ones added after this module was written — survives the cloning.
 * :class:`SweepExecutor` drives all ``(task, repetition)`` pairs of a sweep
   through a pluggable :class:`~repro.sim.backends.ExecutorBackend` (serial
-  inline execution, a process pool, or the fault-injecting chaos wrapper —
-  see :data:`repro.registry.EXECUTOR_BACKENDS`) under the supervision
+  inline execution, a process pool, the fault-injecting chaos wrapper, or
+  the ``queue`` backend dispatching to the worker daemons of
+  :mod:`repro.service` — see :data:`repro.registry.EXECUTOR_BACKENDS`) under
+  the supervision
   envelope of :mod:`repro.sim.supervision`: per-repetition wall-clock
   timeouts, bounded deterministic-backoff retry of transient failures
   (worker crashes, timeouts), and quarantine of jobs that exhaust their

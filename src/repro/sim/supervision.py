@@ -192,6 +192,8 @@ class FabricTelemetry:
     pool_rebuilds: int = 0
     degraded_to_serial: int = 0
     quarantined: int = 0
+    #: Queue-backend leases that expired (worker death) and were requeued.
+    lease_requeues: int = 0
     backoff_seconds: float = 0.0
     #: Chaos-injected fault counts by kind (only the chaos backend writes it).
     injected: dict[str, int] = field(default_factory=dict)
@@ -209,6 +211,7 @@ class FabricTelemetry:
             or self.pool_rebuilds
             or self.degraded_to_serial
             or self.quarantined
+            or self.lease_requeues
             or self.injected
         )
 
@@ -222,13 +225,15 @@ class FabricTelemetry:
             "pool_rebuilds": self.pool_rebuilds,
             "degraded_to_serial": self.degraded_to_serial,
             "quarantined": self.quarantined,
+            "lease_requeues": self.lease_requeues,
             "backoff_seconds": self.backoff_seconds,
             "injected": dict(self.injected),
         }
 
     def summary(self) -> str:
-        """Compact ``key=value`` report of the counters that fired."""
-        parts = [
+        """Compact ``key=value`` report: ``attempts`` always, then fired counters."""
+        parts = [f"attempts={self.attempts}"]
+        parts += [
             f"{name}={value}"
             for name, value in (
                 ("retries", self.retries),
@@ -237,6 +242,7 @@ class FabricTelemetry:
                 ("pool-rebuilds", self.pool_rebuilds),
                 ("degraded-to-serial", self.degraded_to_serial),
                 ("quarantined", self.quarantined),
+                ("lease-requeues", self.lease_requeues),
             )
             if value
         ]

@@ -13,7 +13,11 @@ that determinism into incrementality:
   resumable and every rerun incremental;
 * :mod:`repro.store.integrity` — offline ``verify``/``repair`` tooling for
   cache directories (``python -m repro.store verify|repair <cache_dir>``),
-  sharing the loader's line parser so online and offline agree on "damaged".
+  sharing the loader's line parser so online and offline agree on "damaged";
+* :mod:`repro.store.shared` — the :data:`~repro.registry.STORE_BACKENDS`
+  seam: the plain store as ``local`` plus :class:`SharedResultStore`
+  (``shared``), whose freshness re-stats and per-shard append locks make one
+  cache directory safe for many concurrent worker processes (service mode).
 
 See ROADMAP.md ("Infrastructure notes") for the fingerprint scheme and the
 cache layout, and ``python -m repro.experiments <ID> --cache-dir PATH`` for
@@ -22,6 +26,7 @@ the command-line entry point.
 
 from .executor import CachingSweepExecutor
 from .integrity import ShardReport, repair_store, scan_store
+from .shared import SharedResultStore
 from .store import (
     SCHEMA_VERSION,
     SUPPORTED_SCHEMA_VERSIONS,
@@ -33,6 +38,7 @@ from .store import (
 __all__ = [
     "CachingSweepExecutor",
     "ResultStore",
+    "SharedResultStore",
     "StoreStats",
     "StoreIntegrityWarning",
     "ShardReport",

@@ -107,11 +107,15 @@ class CachingSweepExecutor:
         try:
             for position, result in self.executor.iter_jobs(miss_jobs):
                 task_index, repetition, fingerprint = miss_slots[position]
-                self.store.put(fingerprint, result)
-                persisted += 1
+                if not self.store.contains(fingerprint):
+                    # Queue-backed sweeps persist on the worker side; writing
+                    # the identical bytes again (and firing the persisted
+                    # hook) would just double the shard line.
+                    self.store.put(fingerprint, result)
+                    persisted += 1
+                    if notify is not None:
+                        notify(fingerprint, self.store.shard_path_for(fingerprint))
                 results[task_index][repetition] = result
-                if notify is not None:
-                    notify(fingerprint, self.store.shard_path_for(fingerprint))
         except KeyboardInterrupt as exc:
             if isinstance(exc, SweepInterrupted):
                 raise

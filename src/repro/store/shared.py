@@ -1,0 +1,127 @@
+"""Store backends: the ``local`` default and the multi-process ``shared`` variant.
+
+:data:`repro.registry.STORE_BACKENDS` is the seam the service fabric plugs
+into: every component that opens a cache directory (the ``run`` CLI, worker
+daemons, the submit front end) resolves the store *class* by key, so a queue
+and its workers agree on the append discipline by configuration instead of
+convention.
+
+``local``
+    The plain :class:`~repro.store.store.ResultStore`.  Appends are already
+    single ``O_APPEND`` writes (whole lines, never interleaved bytes), but the
+    in-memory shard index is loaded once and trusted forever — correct for one
+    process owning the cache, stale the moment another process appends.
+
+``shared``
+    :class:`SharedResultStore` — safe for many processes appending to one
+    cache directory concurrently:
+
+    * **Freshness**: every shard access re-``stat``\\ s the shard file; when
+      ``(st_size, st_mtime_ns)`` moved, the cached index is dropped and the
+      shard re-read, so another worker's results become visible without any
+      notification channel.
+    * **Append locking**: writes take an ``flock`` on a per-shard ``.lock``
+      file.  The single-``write`` append is atomic on local filesystems even
+      without it; the lock extends the guarantee to filesystems with weaker
+      append semantics and serializes the read-back that follows.
+    * **Metadata**: the schema marker is published through a pid-unique temp
+      file, so racing first-writers cannot clobber each other's ``os.replace``
+      source mid-flight.
+
+    The CRC-per-line integrity checks of :mod:`repro.store.integrity` apply
+    unchanged — a torn line from a crashed writer is skipped and counted, and
+    duplicate fingerprints (two processes racing one repetition) are benign
+    because both computed identical bytes and the later line wins on load.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..registry import STORE_BACKENDS, register_store_backend
+from ..sim.results import RunResult
+from .store import _SHARD_DIR, ResultStore, _Entry
+
+try:  # pragma: no cover - posix-only import guard
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["SharedResultStore"]
+
+STORE_BACKENDS.register("local", ResultStore, aliases=("default",))
+
+
+@contextlib.contextmanager
+def _locked(path: Path) -> Iterator[None]:
+    """Hold an exclusive ``flock`` on ``path`` (no-op where flock is missing)."""
+    if fcntl is None:  # pragma: no cover - non-posix fallback
+        yield
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        os.close(fd)  # closing releases the lock
+
+
+@register_store_backend("shared", aliases=("multiprocess",))
+class SharedResultStore(ResultStore):
+    """A :class:`ResultStore` whose cache directory is shared between processes.
+
+    See the module docstring for the three disciplines added on top of the
+    base store.  The trade-off is read amplification: a shard written by
+    another process is re-parsed on next access (and its damaged lines, if
+    any, re-counted in :attr:`stats`), so the ``local`` backend stays the
+    default for single-process sweeps.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike, *, readonly: bool = False) -> None:
+        # (st_size, st_mtime_ns) of each shard at the time its index loaded.
+        self._stamps: dict[str, Optional[tuple[int, int]]] = {}
+        super().__init__(cache_dir, readonly=readonly)
+
+    def _stamp(self, shard: str) -> Optional[tuple[int, int]]:
+        try:
+            stat = os.stat(self._shard_path(shard))
+        except FileNotFoundError:
+            return None
+        return (stat.st_size, stat.st_mtime_ns)
+
+    def _lock_path(self, shard: str) -> Path:
+        return self.cache_dir / _SHARD_DIR / f"{shard}.lock"
+
+    def _load_shard(self, shard: str) -> dict[str, _Entry]:
+        stamp = self._stamp(shard)
+        if shard in self._shards and self._stamps.get(shard) != stamp:
+            # Another process appended since we indexed this shard: re-read.
+            del self._shards[shard]
+        if shard not in self._shards:
+            self._stamps[shard] = stamp
+        return super()._load_shard(shard)
+
+    def put(self, fingerprint: str, result: RunResult) -> None:
+        shard = self._shard_key(fingerprint)
+        with _locked(self._lock_path(shard)):
+            super().put(fingerprint, result)
+            self._stamps[shard] = self._stamp(shard)
+
+    def _write_meta(self) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        meta_path = self.cache_dir / "store-meta.json"
+        if meta_path.exists():
+            return
+        import json
+
+        from .store import SCHEMA_VERSION
+
+        tmp_path = meta_path.with_name(f"store-meta.json.tmp.{os.getpid()}")
+        tmp_path.write_text(
+            json.dumps({"schema_version": SCHEMA_VERSION}, indent=2) + "\n", encoding="utf8"
+        )
+        os.replace(tmp_path, meta_path)

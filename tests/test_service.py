@@ -1,0 +1,447 @@
+"""Tests for the distributed sweep service: queue, backend, workers, front end.
+
+The hard contract under test is the one the whole fabric inherits from the
+supervision envelope: a queue-backed sweep with any number of worker
+processes — including workers killed mid-job, whose leases expire and whose
+jobs requeue — produces records byte-identical to the serial sweep, and
+overlapping submits never dispatch duplicate work.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.driver import build_sweep_tasks, resolve_context
+from repro.experiments.factories import RandomLiarFactory, UniformDeploymentFactory
+from repro.experiments.spec import ExperimentSpec
+from repro.registry import STORE_BACKENDS
+from repro.service.backend import QueueBackend
+from repro.service.frontend import submit
+from repro.service.queue import EnqueueOutcome, QueueError, WorkQueue
+from repro.service.worker import run_claimed_job, worker_loop
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import SweepExecutor, SweepTask
+from repro.store import CachingSweepExecutor, SharedResultStore
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def small_task(repetitions: int = 2, *, label: str = "service-small", base_seed: int = 23) -> SweepTask:
+    return SweepTask(
+        label=label,
+        deployment_factory=UniformDeploymentFactory(30, 5.0, 5.0),
+        config=ScenarioConfig(protocol="neighborwatch", radius=3.0, message_length=2),
+        fault_factory=RandomLiarFactory(1),
+        repetitions=repetitions,
+        base_seed=base_seed,
+    )
+
+
+def records(results) -> list[bytes]:
+    return [
+        json.dumps(result.to_record(), sort_keys=True).encode("utf8") for result in results
+    ]
+
+
+def tiny_spec() -> ExperimentSpec:
+    """A 2-task x 2-repetition sweep spec — 4 fingerprinted jobs, seconds to run."""
+    return ExperimentSpec.from_dict(
+        {
+            "name": "SVC-TINY",
+            "title": "tiny service sweep",
+            "driver": "sweep",
+            "rows": "default",
+            "label": "radius={radius}",
+            "params": {
+                "num_nodes": 25,
+                "radii": [2.5, 3.0],
+                "repetitions": 2,
+                "base_seed": 11,
+            },
+            "axes": [{"name": "radius", "values": "$radii"}],
+            "scenario": {"protocol": "neighborwatch", "radius": "$radius", "message_length": 2},
+            "deployment": {"kind": "uniform", "num_nodes": "$num_nodes", "width": 6.0, "height": 6.0},
+            "extra": {"radius": "$radius"},
+        }
+    )
+
+
+def worker_env(**extra: str) -> dict:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC_DIR if not existing else os.pathsep.join((SRC_DIR, existing))
+    env.update(extra)
+    return env
+
+
+def start_worker(queue_dir, worker_id, *, idle_exit=None, hold=0.0):
+    command = [
+        sys.executable, "-m", "repro.service", "worker",
+        "--queue", str(queue_dir), "--worker-id", worker_id, "--poll", "0.05",
+    ]
+    if idle_exit is not None:
+        command += ["--idle-exit", str(idle_exit)]
+    extra = {"REPRO_SERVICE_HOLD": str(hold)} if hold else {}
+    return subprocess.Popen(command, env=worker_env(**extra), stderr=subprocess.DEVNULL)
+
+
+# -- queue mechanics ----------------------------------------------------------------------
+class TestWorkQueue:
+    def test_open_without_metadata_is_a_clear_error(self, tmp_path):
+        (tmp_path / "not-a-queue").mkdir()
+        with pytest.raises(QueueError, match="not a work queue"):
+            WorkQueue(tmp_path / "not-a-queue")
+
+    def test_ensure_records_store_binding_and_reopens(self, tmp_path):
+        queue = WorkQueue.ensure(tmp_path / "q", lease_seconds=5.0)
+        assert queue.lease_seconds == 5.0
+        assert queue.store_backend == "shared"
+        reopened = WorkQueue(tmp_path / "q")
+        assert reopened.store_dir == queue.store_dir
+        assert isinstance(reopened.open_store(), SharedResultStore)
+
+    def test_enqueue_deduplicates_by_fingerprint(self, tmp_path):
+        queue = WorkQueue.ensure(tmp_path / "q")
+        task = small_task()
+        first = queue.enqueue(task, 0)
+        second = queue.enqueue(task, 0)
+        assert isinstance(first, EnqueueOutcome) and first.status == "queued"
+        assert second.status == "duplicate"
+        assert second.fingerprint == first.fingerprint
+        assert len(queue.job_fingerprints()) == 1
+        # A different repetition is a different fingerprint, hence a new job.
+        assert queue.enqueue(task, 1).status == "queued"
+        assert len(queue.job_fingerprints()) == 2
+
+    def test_duplicate_enqueue_subscribes_the_second_group(self, tmp_path):
+        queue = WorkQueue.ensure(tmp_path / "q")
+        task = small_task()
+        fingerprint = task.fingerprint(0)
+        group_a = queue.create_group([fingerprint])
+        group_b = queue.create_group([fingerprint])
+        queue.enqueue(task, 0, group=group_a)
+        queue.enqueue(task, 0, group=group_b)
+        _payload, groups = queue.read_job(fingerprint)
+        assert set(groups) == {group_a, group_b}
+        assert [event["event"] for event in queue.events(group_b)] == ["deduped"]
+
+    def test_claim_is_exclusive_and_complete_releases(self, tmp_path):
+        queue = WorkQueue.ensure(tmp_path / "q")
+        task = small_task()
+        queue.enqueue(task, 0)
+        job = queue.claim_next("w1")
+        assert job is not None and job.worker_id == "w1"
+        assert queue.claim_next("w2") is None  # only job is claimed
+        queue.complete(job, status="ok")
+        assert queue.job_state(job.fingerprint) == "done"
+        assert queue.claim_next("w2") is None  # done jobs are not re-claimable
+
+    def test_expired_lease_requeues_exactly_once(self, tmp_path):
+        queue = WorkQueue.ensure(tmp_path / "q", lease_seconds=0.05)
+        task = small_task()
+        fingerprint = task.fingerprint(0)
+        group = queue.create_group([fingerprint])
+        queue.enqueue(task, 0, group=group)
+        job = queue.claim_next("doomed")
+        assert job is not None
+        time.sleep(0.1)
+        assert queue.requeue_expired() == [fingerprint]
+        assert queue.requeue_expired() == []  # the steal has exactly one winner
+        events = [event["event"] for event in queue.events(group)]
+        assert events.count("requeued") == 1
+        stolen = queue.claim_next("successor")
+        assert stolen is not None and stolen.fingerprint == fingerprint
+
+    def test_renew_extends_the_lease(self, tmp_path):
+        queue = WorkQueue.ensure(tmp_path / "q", lease_seconds=0.2)
+        queue.enqueue(small_task(), 0)
+        job = queue.claim_next("w1")
+        for _ in range(3):
+            time.sleep(0.1)
+            queue.renew(job)
+        assert queue.requeue_expired() == []
+
+    def test_failed_marker_is_cleared_by_reenqueue(self, tmp_path):
+        queue = WorkQueue.ensure(tmp_path / "q")
+        task = small_task()
+        queue.enqueue(task, 0)
+        job = queue.claim_next("w1")
+        queue.complete(job, status="failed", kind="exception", error="boom", retryable=True)
+        assert queue.job_state(job.fingerprint) == "failed"
+        assert queue.enqueue(task, 0).status == "duplicate"  # job file still there
+        assert queue.job_state(job.fingerprint) == "pending"  # marker cleared
+        assert queue.claim_next("w2") is not None
+
+    def test_cached_result_completes_without_running(self, tmp_path):
+        queue = WorkQueue.ensure(tmp_path / "q")
+        store = queue.open_store()
+        task = small_task(1)
+        baseline = SweepExecutor(0).run_task(task)
+        store.put(task.fingerprint(0), baseline[0])
+        queue.enqueue(task, 0)
+        job = queue.claim_next("w1")
+        started = time.perf_counter()
+        assert run_claimed_job(queue, store, job) == "ok"
+        assert queue.done_info(job.fingerprint).get("note") == "cached"
+        assert time.perf_counter() - started < 0.5  # no simulation ran
+
+
+# -- the queue executor backend -----------------------------------------------------------
+class TestQueueBackend:
+    def drain_in_thread(self, queue_dir, *, jobs: int) -> threading.Thread:
+        thread = threading.Thread(
+            target=worker_loop,
+            args=(str(queue_dir),),
+            kwargs={"worker_id": "inline", "poll_interval": 0.02, "max_jobs": jobs},
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def test_queue_backed_sweep_matches_serial(self, tmp_path):
+        task = small_task(3)
+        queue = WorkQueue.ensure(tmp_path / "q", lease_seconds=5.0)
+        worker = self.drain_in_thread(tmp_path / "q", jobs=3)
+        backend = QueueBackend(queue, poll_interval=0.02)
+        with SweepExecutor(0, backend=backend) as executor:
+            results = executor.run_task(task)
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+        assert records(results) == records(SweepExecutor(0).run_task(task))
+        assert executor.telemetry.attempts == 3
+
+    def test_warm_store_dispatches_nothing(self, tmp_path):
+        task = small_task(2)
+        queue = WorkQueue.ensure(tmp_path / "q")
+        store = queue.open_store()
+        for repetition, result in enumerate(SweepExecutor(0).run_task(task)):
+            store.put(task.fingerprint(repetition), result)
+        backend = QueueBackend(queue, poll_interval=0.02)
+        with SweepExecutor(0, backend=backend) as executor:
+            results = executor.run_task(task)
+        assert queue.job_fingerprints() == []  # nothing was ever enqueued
+        assert records(results) == records(SweepExecutor(0).run_task(task))
+
+    def test_worker_failure_flows_through_supervision(self, tmp_path):
+        queue = WorkQueue.ensure(tmp_path / "q")
+        task = small_task(1)
+        fingerprint = task.fingerprint(0)
+
+        def fail_then_serve():
+            job = None
+            while job is None:
+                queue.requeue_expired()
+                job = queue.claim_next("flaky")
+                time.sleep(0.01)
+            queue.complete(job, status="failed", kind="worker-crash",
+                           error="synthetic crash", retryable=True)
+            # The supervisor retries: the re-enqueue clears the marker, so a
+            # second claim appears — serve it honestly this time.
+            store = queue.open_store()
+            job = None
+            while job is None:
+                job = queue.claim_next("flaky")
+                time.sleep(0.01)
+            run_claimed_job(queue, store, job)
+
+        thread = threading.Thread(target=fail_then_serve, daemon=True)
+        thread.start()
+        backend = QueueBackend(queue, poll_interval=0.02)
+        with SweepExecutor(0, backend=backend) as executor:
+            results = executor.run_task(task)
+        thread.join(timeout=30)
+        assert records(results) == records(SweepExecutor(0).run_task(task))
+        assert executor.telemetry.retries == 1
+        assert executor.telemetry.worker_crashes == 1
+        assert queue.done_info(fingerprint)["status"] == "ok"
+
+
+# -- kill-a-worker drill (two real worker processes) --------------------------------------
+class TestWorkerProcesses:
+    def test_killed_worker_lease_expires_and_sweep_stays_byte_identical(self, tmp_path):
+        spec = tiny_spec()
+        context = resolve_context(spec)
+        queue_dir = tmp_path / "q"
+        group = submit(
+            spec, context,
+            queue_dir=str(queue_dir), lease_seconds=0.5,
+            out=io.StringIO(), err=io.StringIO(),
+        )
+        queue = WorkQueue(queue_dir)
+        store = queue.open_store()
+        assert len(queue.job_fingerprints()) == 4
+
+        victim = start_worker(queue_dir, "victim", hold=60.0)
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                claims = [queue.claim_info(fp) for fp in queue.job_fingerprints()]
+                if any(claim and claim.get("worker") == "victim" for claim in claims):
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("victim worker never claimed a job")
+            healthy = start_worker(queue_dir, "healthy", idle_exit=4.0)
+            time.sleep(0.2)  # both workers alive concurrently
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+            assert healthy.wait(timeout=120) == 0
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+
+        states = queue.group_states(group, store=store)
+        assert set(states.values()) <= {"done", "cached"}
+        requeued = [e for e in queue.events(group) if e["event"] == "requeued"]
+        assert len(requeued) >= 1 and requeued[0]["worker"] == "victim"
+
+        # Byte-identity of every stored record against a plain serial sweep.
+        tasks = build_sweep_tasks(spec, context)
+        for task in tasks:
+            serial = SweepExecutor(0).run_task(task)
+            stored = [store.get(task.fingerprint(rep)) for rep in range(task.repetitions)]
+            assert records(stored) == records(serial)
+
+        # No duplicate fingerprints landed in the shared store's shards.
+        fingerprints = [
+            json.loads(line)["fp"]
+            for shard in (Path(store.cache_dir) / "shards").glob("*.jsonl")
+            for line in shard.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(fingerprints) == len(set(fingerprints))
+
+
+# -- overlapping submits ------------------------------------------------------------------
+class TestConcurrentSubmits:
+    def test_second_submit_dispatches_zero_duplicate_runs(self, tmp_path):
+        spec = tiny_spec()
+        context = resolve_context(spec)
+        queue_dir = tmp_path / "q"
+        devnull = io.StringIO()
+        first = submit(spec, context, queue_dir=str(queue_dir), out=devnull, err=devnull)
+        queue = WorkQueue(queue_dir)
+        jobs_after_first = queue.job_fingerprints()
+        second = submit(spec, context, queue_dir=str(queue_dir), out=devnull, err=devnull)
+        assert queue.job_fingerprints() == jobs_after_first  # no new job files
+        second_events = [event["event"] for event in queue.events(second)]
+        assert "queued" not in second_events
+        assert set(second_events) == {"deduped"}
+
+        completed = worker_loop(
+            str(queue_dir), worker_id="drain", poll_interval=0.02, max_jobs=len(jobs_after_first)
+        )
+        assert completed == len(jobs_after_first)
+        store = queue.open_store()
+        for group in (first, second):
+            states = queue.group_states(group, store=store)
+            assert set(states.values()) == {"done"}
+
+        # A third submit after completion: everything answered by the store.
+        third = submit(spec, context, queue_dir=str(queue_dir), out=devnull, err=devnull)
+        third_events = [event["event"] for event in queue.events(third)]
+        assert set(third_events) == {"cached"}
+
+    def test_warm_rerun_through_caching_executor_is_zero_dispatch(self, tmp_path):
+        task = small_task(2)
+        store = SharedResultStore(tmp_path / "store")
+        with CachingSweepExecutor(store) as cold:
+            cold_results = cold.run_task(task)
+        assert store.stats.writes == 2
+        rewarmed = SharedResultStore(tmp_path / "store")
+        with CachingSweepExecutor(rewarmed) as warm:
+            warm_results = warm.run_task(task)
+        assert rewarmed.stats.misses == 0 and rewarmed.stats.hits == 2
+        assert records(warm_results) == records(cold_results)
+
+
+# -- CLI surface --------------------------------------------------------------------------
+class TestServiceCLI:
+    def test_submit_status_watch_round_trip(self, tmp_path, capsys):
+        spec_path = tmp_path / "tiny.json"
+        spec_path.write_text(tiny_spec().to_json())
+        queue_dir = tmp_path / "q"
+        assert experiments_main(
+            ["submit", "--spec", str(spec_path), "--queue", str(queue_dir), "--lease", "5"]
+        ) == 0
+        group = capsys.readouterr().out.strip().splitlines()[-1]
+
+        assert experiments_main(["status", "--queue", str(queue_dir), group]) == 1
+        out = capsys.readouterr().out
+        assert "0/4 settled" in out
+
+        worker_loop(str(queue_dir), worker_id="drain", poll_interval=0.02, max_jobs=4)
+        assert experiments_main(["status", "--queue", str(queue_dir), group]) == 0
+        assert "4/4 settled" in capsys.readouterr().out
+
+        assert experiments_main(
+            ["watch", "--queue", str(queue_dir), group, "--poll", "0.05", "--timeout", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "settled" in out and "queued" in out
+
+    def test_submit_rejects_non_sweep_drivers(self, tmp_path, capsys):
+        assert experiments_main(
+            ["submit", "FIG7", "--queue", str(tmp_path / "q")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "sweep" in err and "--backend queue" in err
+
+    def test_status_unknown_group_lists_known_groups(self, tmp_path, capsys):
+        WorkQueue.ensure(tmp_path / "q")
+        assert experiments_main(["status", "--queue", str(tmp_path / "q"), "nope"]) == 2
+        assert "unknown group" in capsys.readouterr().err
+
+    def test_describe_lists_executor_and_store_backends(self, capsys):
+        assert experiments_main(["describe", "FIG5"]) == 0
+        out = capsys.readouterr().out
+        assert "executor backends: serial, process-pool, chaos, queue" in out
+        assert "store backends: local, shared" in out
+
+    def test_unknown_backends_list_candidates_on_all_paths(self, capsys):
+        assert experiments_main(["run", "FIG5", "--backend", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown executor backend" in err and "queue" in err
+        assert experiments_main(["run", "FIG5", "--store-backend", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown store backend" in err and "shared" in err
+        assert experiments_main(
+            ["submit", "FIG5", "--queue", "/tmp/unused", "--store-backend", "nope"]
+        ) == 2
+        assert "unknown store backend" in capsys.readouterr().err
+
+    def test_queue_backend_without_env_is_a_usage_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE_DIR", raising=False)
+        assert experiments_main(["run", "FIG5", "--backend", "queue"]) == 2
+        assert "REPRO_QUEUE_DIR" in capsys.readouterr().err
+
+    def test_export_meta_surfaces_fabric_and_store_counters(self, tmp_path, capsys):
+        meta_path = tmp_path / "meta.json"
+        spec_path = tmp_path / "tiny.json"
+        spec_path.write_text(tiny_spec().to_json())
+        assert experiments_main(
+            [
+                "run", "--spec", str(spec_path),
+                "--cache-dir", str(tmp_path / "cache"), "--store-backend", "shared",
+                "--export", "json", "--export-meta", str(meta_path),
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "[fabric: attempts=4" in captured.err  # uniform summary segment
+        assert "torn-lines=0" in captured.err
+        meta = json.loads(meta_path.read_text())
+        assert meta["fabric"]["attempts"] == 4
+        assert meta["store"]["writes"] == 4
+        assert meta["store"]["torn_lines"] == 0

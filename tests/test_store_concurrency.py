@@ -1,0 +1,171 @@
+"""Concurrency discipline of the shared result store.
+
+The service fabric's byte-identity contract rests on three store properties:
+
+* interleaved writers — store instances in different processes appending to
+  the same cache directory — never produce torn lines or (under the
+  contains-guard discipline every writer uses) duplicate records;
+* a reader instance observes another writer's appends without reopening
+  (per-shard freshness stamps);
+* a warm rerun answers entirely from the store, dispatching zero simulations,
+  and returns records byte-identical to the cold run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.factories import RandomLiarFactory, UniformDeploymentFactory
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import SweepExecutor, SweepTask, run_repetition
+from repro.store import CachingSweepExecutor, SharedResultStore, scan_store
+
+
+def tiny_task(repetitions: int = 1) -> SweepTask:
+    return SweepTask(
+        label="store-concurrency",
+        deployment_factory=UniformDeploymentFactory(25, 5.0, 5.0),
+        config=ScenarioConfig(protocol="neighborwatch", radius=3.0, message_length=2),
+        fault_factory=RandomLiarFactory(1),
+        repetitions=repetitions,
+        base_seed=7,
+    )
+
+
+_RESULT = None
+
+
+def shared_result():
+    """One real RunResult, computed once — puts need a record, not a new sim."""
+    global _RESULT
+    if _RESULT is None:
+        _RESULT = run_repetition(tiny_task(), 0)
+    return _RESULT
+
+
+def shard_lines(cache_dir) -> list[dict]:
+    return [
+        json.loads(line)
+        for shard in sorted((Path(cache_dir) / "shards").glob("*.jsonl"))
+        for line in shard.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def fingerprint_for(index: int) -> str:
+    # Spread across shards: the shard key is the first two hex characters.
+    return f"{index % 256:02x}{index:060x}"
+
+
+# -- hypothesis: interleaved writers under the contains-guard discipline ------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2), st.integers(min_value=0, max_value=11)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_interleaved_writers_never_tear_or_duplicate(ops):
+    result = shared_result()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        writers = [SharedResultStore(cache_dir) for _ in range(3)]
+        written: set[str] = set()
+        for writer_index, key_index in ops:
+            fingerprint = fingerprint_for(key_index)
+            store = writers[writer_index]
+            # The discipline every service writer follows: check, then append.
+            if not store.contains(fingerprint):
+                store.put(fingerprint, result)
+            written.add(fingerprint)
+
+        lines = shard_lines(cache_dir)
+        assert sorted(line["fp"] for line in lines) == sorted(written)
+        assert all(report.damaged_lines == 0 for report in scan_store(cache_dir))
+        # Every writer instance — and a fresh reader — sees every record.
+        reader = SharedResultStore(cache_dir, readonly=True)
+        expected = json.dumps(result.to_record(), sort_keys=True)
+        for fingerprint in written:
+            for store in (*writers, reader):
+                loaded = store.get(fingerprint)
+                assert loaded is not None
+                assert json.dumps(loaded.to_record(), sort_keys=True) == expected
+
+
+def test_freshness_stamps_expose_other_writers_appends(tmp_path):
+    result = shared_result()
+    writer_a = SharedResultStore(tmp_path)
+    writer_b = SharedResultStore(tmp_path)
+    first = fingerprint_for(0)
+    second = fingerprint_for(256)  # same shard as first: exercises reload
+    writer_a.put(first, result)
+    assert writer_b.contains(first)  # b loads the shard a wrote
+    writer_b.put(second, result)
+    # a's in-memory shard index predates b's append; the stamp must expire it.
+    assert writer_a.contains(second)
+    assert len(shard_lines(tmp_path)) == 2
+
+
+# -- real processes -----------------------------------------------------------------------
+def _append_batch(cache_dir: str, start: int, count: int, result) -> None:
+    store = SharedResultStore(cache_dir)
+    for index in range(start, start + count):
+        fingerprint = fingerprint_for(index)
+        if not store.contains(fingerprint):
+            store.put(fingerprint, result)
+
+
+def test_multiprocess_writers_land_every_record_intact(tmp_path):
+    result = shared_result()
+    per_process = 20
+    processes = [
+        multiprocessing.Process(
+            target=_append_batch, args=(str(tmp_path), rank * per_process, per_process, result)
+        )
+        for rank in range(4)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+
+    lines = shard_lines(tmp_path)
+    fingerprints = [line["fp"] for line in lines]
+    assert len(fingerprints) == 4 * per_process
+    assert len(set(fingerprints)) == 4 * per_process
+    assert all(report.damaged_lines == 0 for report in scan_store(tmp_path))
+    reader = SharedResultStore(tmp_path, readonly=True)
+    assert all(reader.contains(fingerprint) for fingerprint in fingerprints)
+
+
+# -- warm reruns --------------------------------------------------------------------------
+def test_warm_rerun_is_zero_dispatch_and_byte_identical(tmp_path):
+    task = tiny_task(3)
+
+    class CountingExecutor(SweepExecutor):
+        dispatched = 0
+
+        def iter_jobs(self, jobs):
+            CountingExecutor.dispatched += len(jobs)
+            return super().iter_jobs(jobs)
+
+    cold_store = SharedResultStore(tmp_path)
+    with CachingSweepExecutor(cold_store, CountingExecutor(0)) as cold:
+        cold_results = cold.run_task(task)
+    assert CountingExecutor.dispatched == 3
+    assert cold_store.stats.writes == 3
+
+    warm_store = SharedResultStore(tmp_path)
+    with CachingSweepExecutor(warm_store, CountingExecutor(0)) as warm:
+        warm_results = warm.run_task(task)
+    assert CountingExecutor.dispatched == 3  # unchanged: zero new dispatches
+    assert warm_store.stats.hits == 3 and warm_store.stats.misses == 0
+    cold_bytes = [json.dumps(r.to_record(), sort_keys=True).encode() for r in cold_results]
+    warm_bytes = [json.dumps(r.to_record(), sort_keys=True).encode() for r in warm_results]
+    assert warm_bytes == cold_bytes
